@@ -1,0 +1,100 @@
+// Command ssalgebra evaluates textual SocialScope algebra expressions
+// against a dataset — a workbench for the Section 5 algebra.
+//
+// Usage:
+//
+//	ssalgebra -data site.json 'selectL{type=friend}(semijoin(src,src)(G, selectN{id=1}(G)))'
+//	ssalgebra -gen 'selectN{type=destination; 'denver'}(G)' -explain
+//
+// The base graph is bound to the name G. With -explain the (possibly
+// rewritten) plan is printed before evaluation; with -optimize the default
+// rewrite rules run first.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"socialscope/internal/core"
+	"socialscope/internal/graph"
+	"socialscope/internal/workload"
+)
+
+func main() {
+	data := flag.String("data", "", "JSON graph file (from ssgen); empty generates a corpus")
+	users := flag.Int("users", 50, "generated users")
+	items := flag.Int("items", 30, "generated destinations")
+	seed := flag.Int64("seed", 42, "generator seed")
+	explain := flag.Bool("explain", false, "print the plan before evaluating")
+	optimize := flag.Bool("optimize", false, "apply the default rewrite rules")
+	limit := flag.Int("limit", 10, "max nodes/links printed")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "ssalgebra: exactly one expression argument required")
+		os.Exit(2)
+	}
+	expr, err := core.Parse(flag.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+	if *optimize {
+		var fired []string
+		expr, fired = core.Rewrite(expr, core.DefaultRules)
+		if len(fired) > 0 {
+			fmt.Fprintf(os.Stderr, "ssalgebra: rewrites fired: %s\n", strings.Join(fired, ", "))
+		}
+	}
+	if *explain {
+		fmt.Print(core.Explain(expr))
+	}
+
+	g, err := loadGraph(*data, *users, *items, *seed)
+	if err != nil {
+		fail(err)
+	}
+	result, err := expr.Eval(core.NewContext(g))
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("result: %s\n", result)
+	for i, n := range result.Nodes() {
+		if i >= *limit {
+			fmt.Printf("  ... %d more nodes\n", result.NumNodes()-*limit)
+			break
+		}
+		fmt.Printf("  node %s\n", n)
+	}
+	for i, l := range result.Links() {
+		if i >= *limit {
+			fmt.Printf("  ... %d more links\n", result.NumLinks()-*limit)
+			break
+		}
+		fmt.Printf("  link %s\n", l)
+	}
+}
+
+func loadGraph(path string, users, items int, seed int64) (*graph.Graph, error) {
+	if path == "" {
+		corpus, err := workload.Travel(workload.TravelConfig{
+			Users: users, Destinations: items, Seed: seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return corpus.Graph, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return graph.Decode(f)
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "ssalgebra: %v\n", err)
+	os.Exit(1)
+}

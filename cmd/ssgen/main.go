@@ -1,0 +1,73 @@
+// Command ssgen generates synthetic social content datasets (travel or
+// tagging corpora) as JSON graphs that ssquery and downstream tools can
+// load.
+//
+// Usage:
+//
+//	ssgen -kind travel -users 200 -items 100 -seed 42 -o travel.json
+//	ssgen -kind tagging -users 150 -items 300 -tags 20 -o tagging.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"socialscope/internal/graph"
+	"socialscope/internal/workload"
+)
+
+func main() {
+	kind := flag.String("kind", "travel", "corpus kind: travel | tagging")
+	users := flag.Int("users", 200, "number of users")
+	items := flag.Int("items", 100, "number of items/destinations")
+	tags := flag.Int("tags", 20, "number of distinct tags (tagging corpus)")
+	seed := flag.Int64("seed", 42, "generator seed")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	var g *graph.Graph
+	switch *kind {
+	case "travel":
+		corpus, err := workload.Travel(workload.TravelConfig{
+			Users: *users, Destinations: *items, Seed: *seed,
+		})
+		if err != nil {
+			fail(err)
+		}
+		g = corpus.Graph
+	case "tagging":
+		corpus, err := workload.Tagging(workload.TaggingConfig{
+			Users: *users, Items: *items, Tags: *tags, Seed: *seed,
+		})
+		if err != nil {
+			fail(err)
+		}
+		g = corpus.Graph
+	default:
+		fail(fmt.Errorf("unknown kind %q (travel | tagging)", *kind))
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fail(err)
+			}
+		}()
+		w = f
+	}
+	if err := g.Encode(w); err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "ssgen: wrote %s\n", g)
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "ssgen: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,73 @@
+// Federation demonstrates the Content Management layer (Section 6.1): the
+// same user population operated under the three management models, the
+// remote-call price each pays for graph analysis, and Open Cartel's
+// activity-driven synchronization.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"socialscope/internal/federation"
+)
+
+func main() {
+	// Table 2, probed live.
+	table, err := federation.CompareModels()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(table.String())
+
+	// A day in the life of an Open Cartel content site.
+	social := federation.NewSocialSite("facebook")
+	site := federation.NewOpenCartel(social)
+	for i := 0; i < 10; i++ {
+		if err := site.RegisterUser(federation.Profile{
+			ID: fmt.Sprintf("u:%d", i), Name: fmt.Sprintf("user %d", i),
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	site.AddItem("dest:denver", []string{"denver", "attractions"})
+	// Connections made on the content site propagate back.
+	if err := site.Connect("u:0", "u:1"); err != nil {
+		log.Fatal(err)
+	}
+	if err := site.Connect("u:0", "u:2"); err != nil {
+		log.Fatal(err)
+	}
+	// Activities stay local.
+	if err := site.RecordActivity(federation.Activity{
+		User: "u:1", Item: "dest:denver", Kind: "visit",
+	}); err != nil {
+		log.Fatal(err)
+	}
+	if err := site.Sync(nil); err != nil {
+		log.Fatal(err)
+	}
+	g, err := site.LocalGraph()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("open-cartel local graph after sync: %s (remote calls so far: %d)\n",
+		g, site.RemoteCalls().Calls)
+
+	// Activity-driven sync vs uniform sync.
+	am := federation.NewActivityManager()
+	mutate := func(round int) map[string]int {
+		// u:0 is hyperactive; everyone else is quiet.
+		if err := social.UpdateProfile("u:0", []string{fmt.Sprintf("round-%d", round)}); err != nil {
+			panic(err)
+		}
+		return map[string]int{"u:0": 10}
+	}
+	out, err := federation.SimulateSync(social, site, federation.ActivityDrivenPolicy{
+		Manager: am, MediumCount: 5, HighCount: 20, MediumPeriod: 2, LowPeriod: 5,
+	}, am, 10, mutate)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("activity-driven sync: %d calls over %d rounds, stale-rate %.3f\n",
+		out.Calls, out.Rounds, out.StaleRate())
+}

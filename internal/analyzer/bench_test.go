@@ -1,0 +1,32 @@
+package analyzer
+
+import "testing"
+
+func BenchmarkFitLDA(b *testing.B) {
+	docs := ldaDocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := FitLDA(docs, LDAConfig{Topics: 2, Iterations: 100, Seed: 1, Alpha: 0.1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAprioriMining(b *testing.B) {
+	rng := newRand(42)
+	universe := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	txs := make([][]string, 200)
+	for i := range txs {
+		var tx []string
+		for _, it := range universe {
+			if rng.Intn(3) == 0 {
+				tx = append(tx, it)
+			}
+		}
+		txs[i] = tx
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sets := Apriori(txs, AprioriConfig{MinSupport: 10, MaxLen: 4})
+		Rules(sets, AprioriConfig{MinSupport: 10, MinConfidence: 0.5})
+	}
+}

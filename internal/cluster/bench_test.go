@@ -1,0 +1,16 @@
+package cluster
+
+import "testing"
+
+func BenchmarkBuild(b *testing.B) {
+	g := randomUserGraph(42)
+	for _, s := range []Strategy{PerUser, NetworkBased, BehaviorBased, Hybrid, Global} {
+		b.Run(s.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Build(g, s, 0.4); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

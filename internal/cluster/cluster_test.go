@@ -1,0 +1,247 @@
+package cluster
+
+import (
+	"testing"
+	"testing/quick"
+
+	"socialscope/internal/graph"
+)
+
+// clusterFixture: users 1..4; 1 and 2 share their whole network and items;
+// 3 overlaps partially; 4 is isolated.
+func clusterFixture(t testing.TB) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder()
+	var users [5]graph.NodeID
+	for i := 1; i <= 4; i++ {
+		users[i] = b.Node([]string{graph.TypeUser}, "name", "u")
+	}
+	hub1 := b.Node([]string{graph.TypeUser})
+	hub2 := b.Node([]string{graph.TypeUser})
+	items := make([]graph.NodeID, 6)
+	for i := range items {
+		items[i] = b.Node([]string{graph.TypeItem})
+	}
+	// Networks: u1,u2 both connect to hub1 and hub2 (identical networks).
+	// u3 connects to hub1 only; u4 to nobody.
+	for _, u := range []graph.NodeID{users[1], users[2]} {
+		b.Link(u, hub1, []string{graph.TypeConnect, graph.SubtypeFriend})
+		b.Link(u, hub2, []string{graph.TypeConnect, graph.SubtypeFriend})
+	}
+	b.Link(users[3], hub1, []string{graph.TypeConnect, graph.SubtypeFriend})
+	// Items: u1,u2 tag items 0,1; u3 tags 1,2; u4 tags nothing.
+	for _, u := range []graph.NodeID{users[1], users[2]} {
+		b.Link(u, items[0], []string{graph.TypeAct, graph.SubtypeTag}, "tags", "x")
+		b.Link(u, items[1], []string{graph.TypeAct, graph.SubtypeTag}, "tags", "x")
+	}
+	b.Link(users[3], items[1], []string{graph.TypeAct, graph.SubtypeTag}, "tags", "x")
+	b.Link(users[3], items[2], []string{graph.TypeAct, graph.SubtypeTag}, "tags", "x")
+	// Hubs tag identically so hybrid can group via them.
+	b.Link(hub1, items[4], []string{graph.TypeAct, graph.SubtypeTag}, "tags", "y")
+	b.Link(hub2, items[4], []string{graph.TypeAct, graph.SubtypeTag}, "tags", "y")
+	return b.Graph()
+}
+
+func TestPerUserAndGlobal(t *testing.T) {
+	g := clusterFixture(t)
+	users := g.CountNodes(graph.TypeUser)
+
+	per, err := Build(g, PerUser, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if per.NumClusters() != users {
+		t.Errorf("peruser clusters = %d, want %d", per.NumClusters(), users)
+	}
+	st := per.Stats()
+	if st.Singletons != users || st.MaxSize != 1 {
+		t.Errorf("peruser stats = %+v", st)
+	}
+
+	glob, err := Build(g, Global, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if glob.NumClusters() != 1 || len(glob.Members(0)) != users {
+		t.Errorf("global clustering = %+v", glob.Stats())
+	}
+}
+
+func TestNetworkBased(t *testing.T) {
+	g := clusterFixture(t)
+	c, err := Build(g, NetworkBased, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// u1 (id 1) and u2 (id 2) have identical networks → same cluster.
+	if c.Of(1) != c.Of(2) {
+		t.Error("identical networks should cluster together")
+	}
+	// u3's network Jaccard with u1 is 1/2 < 0.9 → different cluster.
+	if c.Of(3) == c.Of(1) {
+		t.Error("half-overlapping network clustered at θ=0.9")
+	}
+	// Lower θ merges u3 into u1's cluster.
+	c2, err := Build(g, NetworkBased, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Of(3) != c2.Of(1) {
+		t.Error("θ=0.5 should merge u3 with u1")
+	}
+}
+
+func TestBehaviorBased(t *testing.T) {
+	g := clusterFixture(t)
+	c, err := Build(g, BehaviorBased, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Of(1) != c.Of(2) {
+		t.Error("identical item sets should cluster together")
+	}
+	if c.Of(3) == c.Of(1) {
+		t.Error("items Jaccard 1/3 clustered at θ=0.9")
+	}
+	// θ=1/3 merges u3 (items {1,2} vs {0,1}: J = 1/3).
+	c2, err := Build(g, BehaviorBased, 1.0/3.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Of(3) != c2.Of(1) {
+		t.Error("θ=1/3 should merge u3 with u1")
+	}
+}
+
+func TestHybrid(t *testing.T) {
+	g := clusterFixture(t)
+	// hub1 and hub2 tag identically (J=1), so all pairs of u1/u2's network
+	// members tag with similarity 1 → u1,u2 hybrid-cluster at any θ.
+	c, err := Build(g, Hybrid, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Of(1) != c.Of(2) {
+		t.Error("hybrid should cluster u1,u2 via identically-tagging networks")
+	}
+	// u4 has an empty network: stays a singleton.
+	if len(c.Members(c.Of(4))) != 1 {
+		t.Error("empty-network user should be a singleton under hybrid")
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	g := clusterFixture(t)
+	if _, err := Build(g, NetworkBased, -0.1); err == nil {
+		t.Error("negative theta accepted")
+	}
+	if _, err := Build(g, NetworkBased, 1.1); err == nil {
+		t.Error("theta > 1 accepted")
+	}
+	if _, err := Build(g, Strategy(99), 0.5); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+}
+
+func TestParseStrategy(t *testing.T) {
+	for _, s := range []Strategy{PerUser, NetworkBased, BehaviorBased, Hybrid, Global} {
+		got, err := ParseStrategy(s.String())
+		if err != nil || got != s {
+			t.Errorf("ParseStrategy(%s) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseStrategy("bogus"); err == nil {
+		t.Error("bogus strategy accepted")
+	}
+	if Strategy(99).String() != "unknown" {
+		t.Error("unknown strategy String wrong")
+	}
+}
+
+func TestOfUnknownUser(t *testing.T) {
+	g := clusterFixture(t)
+	c, err := Build(g, PerUser, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Of(9999) != -1 {
+		t.Error("unknown user should map to -1")
+	}
+	if c.Members(-1) != nil || c.Members(999) != nil {
+		t.Error("out-of-range Members should be nil")
+	}
+}
+
+// Property: every strategy yields a partition — each user in exactly one
+// cluster, cluster sizes sum to the user count, and θ monotonicity holds
+// for network clustering (higher θ never yields fewer clusters).
+func TestQuickPartitionInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomUserGraph(seed)
+		users := g.CountNodes(graph.TypeUser)
+		var prevClusters int
+		for i, theta := range []float64{0.2, 0.5, 0.8} {
+			for _, s := range []Strategy{PerUser, NetworkBased, BehaviorBased, Hybrid, Global} {
+				c, err := Build(g, s, theta)
+				if err != nil {
+					return false
+				}
+				seen := map[graph.NodeID]int{}
+				total := 0
+				for _, cl := range c.Clusters {
+					total += len(cl.Members)
+					for _, m := range cl.Members {
+						seen[m]++
+						if c.Of(m) != cl.ID {
+							return false
+						}
+					}
+				}
+				if total != users || len(seen) != users {
+					return false
+				}
+				for _, n := range seen {
+					if n != 1 {
+						return false
+					}
+				}
+			}
+			c, _ := Build(g, NetworkBased, theta)
+			if i > 0 && c.NumClusters() < prevClusters {
+				return false // raising θ cannot merge clusters
+			}
+			prevClusters = c.NumClusters()
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randomUserGraph(seed int64) *graph.Graph {
+	rng := newRand(seed)
+	b := graph.NewBuilder()
+	const nUsers, nItems = 12, 8
+	users := make([]graph.NodeID, nUsers)
+	for i := range users {
+		users[i] = b.Node([]string{graph.TypeUser})
+	}
+	items := make([]graph.NodeID, nItems)
+	for i := range items {
+		items[i] = b.Node([]string{graph.TypeItem})
+	}
+	for _, u := range users {
+		for _, v := range users {
+			if u != v && rng.Intn(4) == 0 {
+				b.Link(u, v, []string{graph.TypeConnect, graph.SubtypeFriend})
+			}
+		}
+		for _, it := range items {
+			if rng.Intn(3) == 0 {
+				b.Link(u, it, []string{graph.TypeAct, graph.SubtypeTag}, "tags", "t")
+			}
+		}
+	}
+	return b.Graph()
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"testing"
+
+	"socialscope/internal/graph"
+)
+
+func benchBase(b *testing.B) *graph.Graph {
+	b.Helper()
+	g, _ := randomSite(42)
+	return g
+}
+
+func BenchmarkNodeSelect(b *testing.B) {
+	g := benchBase(b)
+	c := NewCondition(Cond("type", graph.TypeUser))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NodeSelect(g, c, nil)
+	}
+}
+
+func BenchmarkLinkSelect(b *testing.B) {
+	g := benchBase(b)
+	c := NewCondition(Cond("type", graph.TypeConnect))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		LinkSelect(g, c, nil)
+	}
+}
+
+func BenchmarkUnion(b *testing.B) {
+	g := benchBase(b)
+	h := LinkSelect(g, NewCondition(Cond("type", graph.TypeConnect)), nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Union(g, h); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSemiJoin(b *testing.B) {
+	g := benchBase(b)
+	anchor := NodeSelect(g, NewCondition(Cond("id", "1")), nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SemiJoin(g, anchor, Delta(graph.Src, graph.Src))
+	}
+}
+
+func BenchmarkCompose(b *testing.B) {
+	g := benchBase(b)
+	ids := graph.IDSourceFor(g)
+	f := ConstComposer("x")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compose(g, g, Delta(graph.Tgt, graph.Src), f, ids); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLinkAggregate(b *testing.B) {
+	g := benchBase(b)
+	ids := graph.IDSourceFor(g)
+	c := NewCondition(Cond("type", graph.TypeConnect))
+	agg := Num(Count())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := LinkAggregate(g, c, "n", agg, ids); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	const src = "selectL{type=friend}(semijoin(src,src)(G, selectN{id=101}(G))) union selectN{type=item; 'denver attractions'}(G)"
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRewrite(b *testing.B) {
+	c := NewCondition(Cond("type", "user"))
+	e := UnionOf(SelectNodes(SelectNodes(Base("G"), c), c), SelectNodes(SelectNodes(Base("G"), c), c))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Rewrite(e, DefaultRules)
+	}
+}

@@ -1,0 +1,254 @@
+// Package core implements SocialScope's logical algebra for manipulating
+// social content graphs (Section 5 of the paper) — the paper's primary
+// contribution. Every operator takes social content graphs as input and
+// produces a social content graph:
+//
+//   - unary selections σN⟨C,S⟩ and σL⟨C,S⟩ (Definitions 1-2)
+//   - set-theoretic ∪, ∩, node-driven minus \ (Definition 3) and
+//     link-driven minus \· (Definition 4)
+//   - composition ⟨δ,F⟩ and semi-join ⋉δ (Definitions 5-6)
+//   - node and link aggregation γN, γL with the SAF and NAF aggregation
+//     function classes (Definitions 7-10)
+//   - graph-pattern aggregation (Figure 2)
+//
+// Operators never mutate their inputs: they share unmodified elements and
+// clone elements before attaching scores or aggregation results. The package
+// also provides an expression tree over the operators with a rule-based
+// rewriter (including the Lemma 1 expansion of \· into \ and ⋉).
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"socialscope/internal/graph"
+	"socialscope/internal/scoring"
+)
+
+// Op is a comparison operator usable in a structural condition. Eq uses the
+// paper's superset satisfaction rule for multi-valued attributes; the
+// ordered operators compare numerically (first value) and fail on
+// non-numeric data.
+type Op uint8
+
+const (
+	Eq Op = iota // value set is a superset of the required values
+	Ne           // negation of Eq
+	Gt           // numeric >
+	Ge           // numeric >=
+	Lt           // numeric <
+	Le           // numeric <=
+)
+
+func (o Op) String() string {
+	switch o {
+	case Eq:
+		return "="
+	case Ne:
+		return "!="
+	case Gt:
+		return ">"
+	case Ge:
+		return ">="
+	case Lt:
+		return "<"
+	case Le:
+		return "<="
+	}
+	return "?"
+}
+
+// StructCond is one structural predicate over a node's or link's attributes.
+// The reserved attribute names "type" and "id" address the type set and the
+// element id respectively, matching the paper's usage (type='city',
+// id=101, id≠101, sim>0.5, rating>=0.5).
+type StructCond struct {
+	Attr   string
+	Op     Op
+	Values []string
+}
+
+// Cond builds an equality structural condition.
+func Cond(attr string, values ...string) StructCond {
+	return StructCond{Attr: attr, Op: Eq, Values: values}
+}
+
+// CondOp builds a structural condition with an explicit operator.
+func CondOp(attr string, op Op, values ...string) StructCond {
+	return StructCond{Attr: attr, Op: op, Values: values}
+}
+
+func (sc StructCond) String() string {
+	return fmt.Sprintf("%s%s%s", sc.Attr, sc.Op, strings.Join(sc.Values, ","))
+}
+
+// element abstracts the attribute surface shared by nodes and links so one
+// satisfaction routine serves both selections.
+type element interface {
+	TypeSuperset([]string) bool
+	Text() string
+}
+
+// satisfies evaluates one structural condition against an element's id,
+// types and attributes.
+func (sc StructCond) satisfies(id int64, types []string, attrs graph.Attrs) bool {
+	switch sc.Attr {
+	case "id":
+		return sc.compareID(id)
+	case "type":
+		return sc.compareTypes(types)
+	default:
+		return sc.compareAttr(attrs)
+	}
+}
+
+func (sc StructCond) compareID(id int64) bool {
+	if len(sc.Values) == 0 {
+		return sc.Op != Ne
+	}
+	match := false
+	for _, v := range sc.Values {
+		if v == fmt.Sprintf("%d", id) {
+			match = true
+			break
+		}
+	}
+	switch sc.Op {
+	case Eq:
+		return match
+	case Ne:
+		return !match
+	default:
+		// Ordered comparison against the first value.
+		var want int64
+		if _, err := fmt.Sscanf(sc.Values[0], "%d", &want); err != nil {
+			return false
+		}
+		return compareOrdered(sc.Op, float64(id), float64(want))
+	}
+}
+
+func (sc StructCond) compareTypes(types []string) bool {
+	superset := true
+	for _, w := range sc.Values {
+		found := false
+		for _, t := range types {
+			if t == w {
+				found = true
+				break
+			}
+		}
+		if !found {
+			superset = false
+			break
+		}
+	}
+	if sc.Op == Ne {
+		return !superset
+	}
+	return superset // ordered ops are meaningless on types; treat as Eq
+}
+
+func (sc StructCond) compareAttr(attrs graph.Attrs) bool {
+	switch sc.Op {
+	case Eq:
+		return attrs.Superset(sc.Attr, sc.Values)
+	case Ne:
+		return !attrs.Superset(sc.Attr, sc.Values)
+	default:
+		have, ok := attrs.Float(sc.Attr)
+		if !ok || len(sc.Values) == 0 {
+			return false
+		}
+		var want float64
+		if _, err := fmt.Sscanf(sc.Values[0], "%g", &want); err != nil {
+			return false
+		}
+		return compareOrdered(sc.Op, have, want)
+	}
+}
+
+func compareOrdered(op Op, have, want float64) bool {
+	switch op {
+	case Gt:
+		return have > want
+	case Ge:
+		return have >= want
+	case Lt:
+		return have < want
+	case Le:
+		return have <= want
+	}
+	return false
+}
+
+// Condition is the paper's C parameter: a list of structural conditions
+// (interpreted as a Boolean conjunction) plus a set of keywords used to
+// compute semantic relevance. When keywords are present, an element
+// satisfies C only if its score is positive — content conditions scope the
+// selection as well as score it (Example 4 uses C3 = {type='destination',
+// 'near Denver'} as a filter).
+type Condition struct {
+	Structural []StructCond
+	Keywords   []string
+}
+
+// NewCondition builds a condition from structural predicates.
+func NewCondition(structural ...StructCond) Condition {
+	return Condition{Structural: structural}
+}
+
+// WithKeywords returns a copy of the condition with the given keyword
+// string tokenized and attached.
+func (c Condition) WithKeywords(keywords string) Condition {
+	c.Keywords = scoring.Tokenize(keywords)
+	return c
+}
+
+// IsEmpty reports whether the condition constrains nothing (an empty query,
+// which the paper allows: "when a query is empty, only social relevance is
+// accounted for").
+func (c Condition) IsEmpty() bool {
+	return len(c.Structural) == 0 && len(c.Keywords) == 0
+}
+
+// String renders the condition in the paper's {cond, cond, 'keywords'} form.
+func (c Condition) String() string {
+	parts := make([]string, 0, len(c.Structural)+1)
+	for _, sc := range c.Structural {
+		parts = append(parts, sc.String())
+	}
+	if len(c.Keywords) > 0 {
+		parts = append(parts, "'"+strings.Join(c.Keywords, " ")+"'")
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// SatisfiedByNode evaluates the structural part of the condition on a node.
+func (c Condition) SatisfiedByNode(n *graph.Node) bool {
+	for _, sc := range c.Structural {
+		if !sc.satisfies(int64(n.ID), n.Types, n.Attrs) {
+			return false
+		}
+	}
+	return true
+}
+
+// SatisfiedByLink evaluates the structural part of the condition on a link.
+func (c Condition) SatisfiedByLink(l *graph.Link) bool {
+	for _, sc := range c.Structural {
+		if !sc.satisfies(int64(l.ID), l.Types, l.Attrs) {
+			return false
+		}
+	}
+	return true
+}
+
+// Scorer is the paper's optional S parameter: it maps an element's
+// searchable text and the condition's keywords to a relevance score.
+type Scorer func(keywords []string, text string) float64
+
+// DefaultScorer is used when S is omitted but keywords are present
+// (Section 5.1: "If no scoring function is specified, but C includes
+// keywords, a default scoring function is used").
+var DefaultScorer Scorer = scoring.DefaultScorer

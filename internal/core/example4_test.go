@@ -1,0 +1,139 @@
+package core
+
+import (
+	"testing"
+
+	"socialscope/internal/graph"
+)
+
+// TestExample4Search reproduces the paper's Example 4 step by step:
+// "Find John's friends who have visited travel destinations near Denver and
+// all their activities."
+//
+//	G1 = σL⟨C2⟩(G ⋉(src,src) σN⟨C1⟩(G))        C1: id=101, C2: type=friend
+//	G2 = σL⟨C4⟩(G ⋉(tgt,src) σN⟨C3⟩(G))        C3: {type=destination, 'near
+//	                                            Denver'}, C4: type=visit
+//	G3 = G1 ⋉(tgt,src) G2
+//	G4 = G2 ⋉(src,tgt) G1
+//	G5 = G3 ∪ G4
+//	G6 = σL⟨C5⟩(G ⋉(src,tgt) G3)               C5: type=act
+//	G7 = G5 ∪ G6
+func TestExample4Search(t *testing.T) {
+	f := travelFixture(t)
+	g := f.g
+
+	// G1: John's friendship network.
+	c1 := NewCondition(Cond("id", "101"))
+	c2 := NewCondition(Cond("type", graph.SubtypeFriend))
+	g1 := LinkSelect(SemiJoin(g, NodeSelect(g, c1, nil), Delta(graph.Src, graph.Src)), c2, nil)
+	if g1.NumLinks() != 2 { // John→Ann, John→Bob
+		t.Fatalf("G1 links = %v", g1.LinkIDs())
+	}
+
+	// G2: users who visited destinations near Denver.
+	c3 := NewCondition(Cond("type", "destination")).WithKeywords("near Denver")
+	c4 := NewCondition(Cond("type", graph.SubtypeVisit))
+	nearDenver := NodeSelect(g, c3, nil)
+	hasNodeIDs(t, nearDenver, f.coors, f.museum)
+	g2 := LinkSelect(SemiJoin(g, nearDenver, Delta(graph.Tgt, graph.Src)), c4, nil)
+	// Visits into Coors/Museum: Ann→Coors, Ann→Museum, Bob→Coors,
+	// John→Museum (the tag link is filtered by C4).
+	if g2.NumLinks() != 4 {
+		t.Fatalf("G2 links = %v", g2.LinkIDs())
+	}
+
+	// G3: John's friends who visited near-Denver places (friend links).
+	g3 := SemiJoin(g1, g2, Delta(graph.Tgt, graph.Src))
+	if g3.NumLinks() != 2 { // both Ann and Bob qualify
+		t.Fatalf("G3 links = %v", g3.LinkIDs())
+	}
+
+	// G4: near-Denver visits by John's friends.
+	g4 := SemiJoin(g2, g1, Delta(graph.Src, graph.Tgt))
+	if g4.NumLinks() != 3 { // Ann→Coors, Ann→Museum, Bob→Coors
+		t.Fatalf("G4 links = %v", g4.LinkIDs())
+	}
+	if g4.HasLink(f.vJohnMuseum) {
+		t.Error("John's own visit must not appear in G4")
+	}
+
+	// G5 = G3 ∪ G4.
+	g5, err := Union(g3, g4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g5.NumLinks() != 5 {
+		t.Fatalf("G5 links = %v", g5.LinkIDs())
+	}
+
+	// G6: all activities by those friends.
+	c5 := NewCondition(Cond("type", graph.TypeAct))
+	g6 := LinkSelect(SemiJoin(g, g3, Delta(graph.Src, graph.Tgt)), c5, nil)
+	// Ann's acts: visit Coors, visit Museum, tag Coors; Bob's: visit Coors,
+	// visit Gate. Total 5.
+	if g6.NumLinks() != 5 {
+		t.Fatalf("G6 links = %v", g6.LinkIDs())
+	}
+	if !g6.HasLink(f.tAnnTag) {
+		t.Error("G6 must include Ann's tagging activity")
+	}
+
+	// G7 = G5 ∪ G6: the final answer graph.
+	g7, err := Union(g5, g6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Links: 2 friend + 3 near-Denver visits + Bob→Gate visit + Ann tag = 7
+	// (Ann/Bob's near-Denver visits are shared between G5 and G6).
+	if g7.NumLinks() != 7 {
+		t.Fatalf("G7 links = %v", g7.LinkIDs())
+	}
+	// John, his two qualifying friends, their destinations.
+	for _, id := range []graph.NodeID{f.john, f.ann, f.bob, f.coors, f.museum, f.gate} {
+		if !g7.HasNode(id) {
+			t.Errorf("G7 missing node %d", id)
+		}
+	}
+	// Eve is not John's friend: absent.
+	if g7.HasNode(f.eve) || g7.HasNode(f.parc) {
+		t.Error("G7 leaked non-friends")
+	}
+	if err := g7.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestExample4AsExpression runs the same program through the expression
+// tree, checking the declarative form evaluates to the same graph.
+func TestExample4AsExpression(t *testing.T) {
+	f := travelFixture(t)
+	c1 := NewCondition(Cond("id", "101"))
+	c2 := NewCondition(Cond("type", graph.SubtypeFriend))
+	c3 := NewCondition(Cond("type", "destination")).WithKeywords("near Denver")
+	c4 := NewCondition(Cond("type", graph.SubtypeVisit))
+	c5 := NewCondition(Cond("type", graph.TypeAct))
+
+	G := Base("G")
+	g1 := SelectLinks(SemiJoinOf(G, SelectNodes(G, c1), Delta(graph.Src, graph.Src)), c2)
+	g2 := SelectLinks(SemiJoinOf(G, SelectNodes(G, c3), Delta(graph.Tgt, graph.Src)), c4)
+	g3 := SemiJoinOf(g1, g2, Delta(graph.Tgt, graph.Src))
+	g4 := SemiJoinOf(g2, g1, Delta(graph.Src, graph.Tgt))
+	g5 := UnionOf(g3, g4)
+	g6 := SelectLinks(SemiJoinOf(G, g3, Delta(graph.Src, graph.Tgt)), c5)
+	g7 := UnionOf(g5, g6)
+
+	got, err := g7.Eval(NewContext(f.g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumLinks() != 7 {
+		t.Fatalf("expression result links = %v", got.LinkIDs())
+	}
+	if got.HasNode(f.eve) {
+		t.Error("expression result leaked Eve")
+	}
+	// The plan explains itself.
+	if Explain(g7) == "" || g7.String() == "" {
+		t.Error("plan rendering empty")
+	}
+}

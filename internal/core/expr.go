@@ -1,0 +1,326 @@
+package core
+
+import (
+	"fmt"
+
+	"socialscope/internal/graph"
+)
+
+// Context supplies an algebra evaluation with its named input graphs and a
+// shared id source for operators that create links. One Context per query
+// evaluation keeps derived ids collision-free.
+type Context struct {
+	Graphs map[string]*graph.Graph
+	IDs    *graph.IDSource
+}
+
+// NewContext builds a context whose base graph is registered under "G" (the
+// paper's convention) and whose id source starts past the base graph's ids.
+func NewContext(base *graph.Graph) *Context {
+	return &Context{
+		Graphs: map[string]*graph.Graph{"G": base},
+		IDs:    graph.IDSourceFor(base),
+	}
+}
+
+// Expr is a node of an algebra expression tree. Expressions are immutable;
+// the rewriter builds new trees.
+type Expr interface {
+	// Eval evaluates the expression against the context.
+	Eval(ctx *Context) (*graph.Graph, error)
+	// String renders the expression in the paper's notation.
+	String() string
+}
+
+// --- Leaves ---------------------------------------------------------------
+
+// BaseExpr references a named input graph in the context.
+type BaseExpr struct{ Name string }
+
+// Base references the context graph registered under name ("G" for the
+// site graph).
+func Base(name string) Expr { return BaseExpr{name} }
+
+// Eval looks the named graph up in the context.
+func (b BaseExpr) Eval(ctx *Context) (*graph.Graph, error) {
+	g, ok := ctx.Graphs[b.Name]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown graph %q in context", b.Name)
+	}
+	return g, nil
+}
+
+func (b BaseExpr) String() string { return b.Name }
+
+// ConstExpr wraps a literal graph as a leaf.
+type ConstExpr struct{ G *graph.Graph }
+
+// Lit wraps a graph value as an expression leaf.
+func Lit(g *graph.Graph) Expr { return ConstExpr{g} }
+
+// Eval returns the wrapped literal graph.
+func (c ConstExpr) Eval(*Context) (*graph.Graph, error) { return c.G, nil }
+func (c ConstExpr) String() string                      { return c.G.String() }
+
+// --- Unary selections -------------------------------------------------------
+
+// NodeSelectExpr is σN⟨C,S⟩(In).
+type NodeSelectExpr struct {
+	In     Expr
+	C      Condition
+	Scorer Scorer
+}
+
+// SelectNodes builds a node selection expression with the default scorer.
+func SelectNodes(in Expr, c Condition) Expr { return NodeSelectExpr{In: in, C: c} }
+
+// SelectNodesScored builds a node selection with an explicit scorer.
+func SelectNodesScored(in Expr, c Condition, s Scorer) Expr {
+	return NodeSelectExpr{In: in, C: c, Scorer: s}
+}
+
+// Eval evaluates the input then applies NodeSelect.
+func (e NodeSelectExpr) Eval(ctx *Context) (*graph.Graph, error) {
+	g, err := e.In.Eval(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return NodeSelect(g, e.C, e.Scorer), nil
+}
+
+func (e NodeSelectExpr) String() string { return "σN" + e.C.String() + "(" + e.In.String() + ")" }
+
+// LinkSelectExpr is σL⟨C,S⟩(In).
+type LinkSelectExpr struct {
+	In     Expr
+	C      Condition
+	Scorer Scorer
+}
+
+// SelectLinks builds a link selection expression with the default scorer.
+func SelectLinks(in Expr, c Condition) Expr { return LinkSelectExpr{In: in, C: c} }
+
+// SelectLinksScored builds a link selection with an explicit scorer.
+func SelectLinksScored(in Expr, c Condition, s Scorer) Expr {
+	return LinkSelectExpr{In: in, C: c, Scorer: s}
+}
+
+// Eval evaluates the input then applies LinkSelect.
+func (e LinkSelectExpr) Eval(ctx *Context) (*graph.Graph, error) {
+	g, err := e.In.Eval(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return LinkSelect(g, e.C, e.Scorer), nil
+}
+
+func (e LinkSelectExpr) String() string { return "σL" + e.C.String() + "(" + e.In.String() + ")" }
+
+// --- Set-theoretic operators ------------------------------------------------
+
+// SetOpKind distinguishes the binary set-theoretic expressions.
+type SetOpKind uint8
+
+// The four set-theoretic operators of Definitions 3 and 4.
+const (
+	OpUnion SetOpKind = iota
+	OpIntersect
+	OpMinus     // node-driven \
+	OpLinkMinus // link-driven \·
+)
+
+func (k SetOpKind) String() string {
+	switch k {
+	case OpUnion:
+		return "∪"
+	case OpIntersect:
+		return "∩"
+	case OpMinus:
+		return "\\"
+	case OpLinkMinus:
+		return "\\·"
+	}
+	return "?"
+}
+
+// SetExpr is a binary set-theoretic expression.
+type SetExpr struct {
+	Kind SetOpKind
+	L, R Expr
+}
+
+// UnionOf builds L ∪ R.
+func UnionOf(l, r Expr) Expr { return SetExpr{OpUnion, l, r} }
+
+// IntersectOf builds L ∩ R.
+func IntersectOf(l, r Expr) Expr { return SetExpr{OpIntersect, l, r} }
+
+// MinusOf builds the node-driven L \ R.
+func MinusOf(l, r Expr) Expr { return SetExpr{OpMinus, l, r} }
+
+// LinkMinusOf builds the link-driven L \· R.
+func LinkMinusOf(l, r Expr) Expr { return SetExpr{OpLinkMinus, l, r} }
+
+// Eval evaluates both sides then applies the set operator.
+func (e SetExpr) Eval(ctx *Context) (*graph.Graph, error) {
+	l, err := e.L.Eval(ctx)
+	if err != nil {
+		return nil, err
+	}
+	r, err := e.R.Eval(ctx)
+	if err != nil {
+		return nil, err
+	}
+	switch e.Kind {
+	case OpUnion:
+		return Union(l, r)
+	case OpIntersect:
+		return Intersect(l, r)
+	case OpMinus:
+		return Minus(l, r), nil
+	case OpLinkMinus:
+		return LinkMinus(l, r), nil
+	}
+	return nil, fmt.Errorf("core: unknown set operator %d", e.Kind)
+}
+
+func (e SetExpr) String() string {
+	return "(" + e.L.String() + " " + e.Kind.String() + " " + e.R.String() + ")"
+}
+
+// --- Composition and semi-join ----------------------------------------------
+
+// ComposeExpr is L ⟨δ,F⟩ R.
+type ComposeExpr struct {
+	L, R Expr
+	D    DirCond
+	F    ComposeFn
+}
+
+// ComposeOf builds a composition expression.
+func ComposeOf(l, r Expr, d DirCond, f ComposeFn) Expr { return ComposeExpr{l, r, d, f} }
+
+// Eval evaluates both sides then composes them.
+func (e ComposeExpr) Eval(ctx *Context) (*graph.Graph, error) {
+	l, err := e.L.Eval(ctx)
+	if err != nil {
+		return nil, err
+	}
+	r, err := e.R.Eval(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return Compose(l, r, e.D, e.F, ctx.IDs)
+}
+
+func (e ComposeExpr) String() string {
+	return "(" + e.L.String() + " ⊙" + e.D.String() + " " + e.R.String() + ")"
+}
+
+// SemiJoinExpr is L ⋉δ R.
+type SemiJoinExpr struct {
+	L, R Expr
+	D    DirCond
+}
+
+// SemiJoinOf builds a semi-join expression.
+func SemiJoinOf(l, r Expr, d DirCond) Expr { return SemiJoinExpr{l, r, d} }
+
+// Eval evaluates both sides then semi-joins them.
+func (e SemiJoinExpr) Eval(ctx *Context) (*graph.Graph, error) {
+	l, err := e.L.Eval(ctx)
+	if err != nil {
+		return nil, err
+	}
+	r, err := e.R.Eval(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return SemiJoin(l, r, e.D), nil
+}
+
+func (e SemiJoinExpr) String() string {
+	return "(" + e.L.String() + " ⋉" + e.D.String() + " " + e.R.String() + ")"
+}
+
+// --- Aggregations -------------------------------------------------------------
+
+// NodeAggExpr is γN⟨C,d,att,A⟩(In).
+type NodeAggExpr struct {
+	In  Expr
+	C   Condition
+	D   graph.Direction
+	Att string
+	A   Aggregator
+}
+
+// AggregateNodes builds a node aggregation expression.
+func AggregateNodes(in Expr, c Condition, d graph.Direction, att string, a Aggregator) Expr {
+	return NodeAggExpr{in, c, d, att, a}
+}
+
+// Eval evaluates the input then applies NodeAggregate.
+func (e NodeAggExpr) Eval(ctx *Context) (*graph.Graph, error) {
+	g, err := e.In.Eval(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return NodeAggregate(g, e.C, e.D, e.Att, e.A)
+}
+
+func (e NodeAggExpr) String() string {
+	return fmt.Sprintf("γN⟨%s,%s,%s,%s⟩(%s)", e.C, e.D, e.Att, e.A, e.In)
+}
+
+// LinkAggExpr is γL⟨C,att,A⟩(In).
+type LinkAggExpr struct {
+	In    Expr
+	C     Condition
+	Att   string
+	A     Aggregator
+	Carry []string
+}
+
+// AggregateLinks builds a link aggregation expression.
+func AggregateLinks(in Expr, c Condition, att string, a Aggregator, carry ...string) Expr {
+	return LinkAggExpr{in, c, att, a, carry}
+}
+
+// Eval evaluates the input then applies LinkAggregate.
+func (e LinkAggExpr) Eval(ctx *Context) (*graph.Graph, error) {
+	g, err := e.In.Eval(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return LinkAggregate(g, e.C, e.Att, e.A, ctx.IDs, WithCarry(e.Carry...))
+}
+
+func (e LinkAggExpr) String() string {
+	return fmt.Sprintf("γL⟨%s,%s,%s⟩(%s)", e.C, e.Att, e.A, e.In)
+}
+
+// PatternAggExpr is γL⟨GP,att,A⟩(In).
+type PatternAggExpr struct {
+	In  Expr
+	P   Pattern
+	Att string
+	A   PathAggregator
+}
+
+// AggregatePattern builds a pattern aggregation expression.
+func AggregatePattern(in Expr, p Pattern, att string, a PathAggregator) Expr {
+	return PatternAggExpr{in, p, att, a}
+}
+
+// Eval evaluates the input then applies PatternAggregate.
+func (e PatternAggExpr) Eval(ctx *Context) (*graph.Graph, error) {
+	g, err := e.In.Eval(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return PatternAggregate(g, e.P, e.Att, e.A, ctx.IDs)
+}
+
+func (e PatternAggExpr) String() string {
+	return fmt.Sprintf("γL⟨%s,%s,%s⟩(%s)", e.P, e.Att, e.A, e.In)
+}

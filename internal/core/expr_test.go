@@ -1,0 +1,172 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"socialscope/internal/graph"
+)
+
+func TestBaseAndLitExpr(t *testing.T) {
+	f := travelFixture(t)
+	ctx := NewContext(f.g)
+	g, err := Base("G").Eval(ctx)
+	if err != nil || g != f.g {
+		t.Fatalf("Base eval = %v, %v", g, err)
+	}
+	if _, err := Base("missing").Eval(ctx); err == nil {
+		t.Error("unknown base should error")
+	}
+	lit := graph.New()
+	got, err := Lit(lit).Eval(ctx)
+	if err != nil || got != lit {
+		t.Error("Lit should return the wrapped graph")
+	}
+}
+
+func TestExprEvalMatchesDirectOperators(t *testing.T) {
+	f := travelFixture(t)
+	ctx := NewContext(f.g)
+	c := NewCondition(Cond("type", "destination"))
+
+	fromExpr, err := SelectNodes(Base("G"), c).Eval(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := NodeSelect(f.g, c, nil)
+	if !fromExpr.Equal(direct) {
+		t.Error("NodeSelectExpr diverges from NodeSelect")
+	}
+
+	lc := NewCondition(Cond("type", graph.SubtypeFriend))
+	fromExpr2, err := SelectLinks(Base("G"), lc).Eval(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fromExpr2.Equal(LinkSelect(f.g, lc, nil)) {
+		t.Error("LinkSelectExpr diverges from LinkSelect")
+	}
+
+	u, err := UnionOf(SelectLinks(Base("G"), lc), SelectNodes(Base("G"), c)).Eval(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.NumLinks() != 3 || u.NumNodes() != 8 {
+		t.Errorf("union expr = %v", u)
+	}
+
+	i, err := IntersectOf(SelectNodes(Base("G"), c), SelectNodes(Base("G"), Condition{})).Eval(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i.NumNodes() != 4 {
+		t.Errorf("intersect expr nodes = %d", i.NumNodes())
+	}
+
+	m, err := MinusOf(Base("G"), SelectNodes(Base("G"), c)).Eval(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumNodes() != 4 { // users only
+		t.Errorf("minus expr nodes = %d", m.NumNodes())
+	}
+
+	lm, err := LinkMinusOf(Base("G"), SelectLinks(Base("G"), lc)).Eval(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lm.NumLinks() != 7 { // 10 - 3 friend links
+		t.Errorf("link-minus expr links = %d", lm.NumLinks())
+	}
+}
+
+func TestExprAggregations(t *testing.T) {
+	f := travelFixture(t)
+	ctx := NewContext(f.g)
+	visit := NewCondition(Cond("type", graph.SubtypeVisit))
+
+	na, err := AggregateNodes(Base("G"), visit, graph.Src, "vst", CollectEnd(graph.Tgt)).Eval(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(na.Node(f.ann).Attrs.All("vst")) != 2 {
+		t.Error("node aggregation expr wrong")
+	}
+
+	la, err := AggregateLinks(Base("G"), visit, "cnt", Num(Count())).Eval(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if la.NumLinks() != 10 {
+		t.Errorf("link aggregation expr links = %d", la.NumLinks())
+	}
+
+	comp, err := ComposeOf(
+		SelectLinks(Base("G"), NewCondition(Cond("type", graph.SubtypeFriend))),
+		SelectLinks(Base("G"), visit),
+		Delta(graph.Tgt, graph.Src), ConstComposer("ufi")).Eval(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.NumLinks() != 5 {
+		t.Errorf("compose expr links = %d", comp.NumLinks())
+	}
+
+	sj, err := SemiJoinOf(Base("G"), SelectNodes(Base("G"), NewCondition(Cond("id", "101"))),
+		Delta(graph.Src, graph.Src)).Eval(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sj.NumLinks() != 3 {
+		t.Errorf("semijoin expr links = %d", sj.NumLinks())
+	}
+
+	pat := Pattern{
+		Start: NewCondition(Cond("id", "101")),
+		Steps: []PatternStep{{Link: NewCondition(Cond("type", graph.SubtypeFriend))}},
+	}
+	pa, err := AggregatePattern(Base("G"), pat, "n", CountPaths()).Eval(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa.NumLinks() != 2 { // John→Ann, John→Bob
+		t.Errorf("pattern expr links = %d", pa.NumLinks())
+	}
+}
+
+func TestExprErrorPropagation(t *testing.T) {
+	ctx := NewContext(graph.New())
+	bad := Base("missing")
+	exprs := []Expr{
+		SelectNodes(bad, Condition{}),
+		SelectLinks(bad, Condition{}),
+		UnionOf(bad, Base("G")),
+		UnionOf(Base("G"), bad),
+		ComposeOf(bad, Base("G"), Delta(graph.Src, graph.Src), ConstComposer("x")),
+		ComposeOf(Base("G"), bad, Delta(graph.Src, graph.Src), ConstComposer("x")),
+		SemiJoinOf(bad, Base("G"), Delta(graph.Src, graph.Src)),
+		SemiJoinOf(Base("G"), bad, Delta(graph.Src, graph.Src)),
+		AggregateNodes(bad, Condition{}, graph.Src, "x", Num(Count())),
+		AggregateLinks(bad, Condition{}, "x", Num(Count())),
+		AggregatePattern(bad, Pattern{Steps: []PatternStep{{}}}, "x", CountPaths()),
+	}
+	for i, e := range exprs {
+		if _, err := e.Eval(ctx); err == nil {
+			t.Errorf("expr %d should propagate the unknown-base error", i)
+		}
+	}
+}
+
+func TestExprStrings(t *testing.T) {
+	c := NewCondition(Cond("type", "user"))
+	e := UnionOf(SelectNodes(Base("G"), c), SelectLinks(Base("G"), c))
+	s := e.String()
+	for _, want := range []string{"σN", "σL", "∪", "G"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("expr String %q missing %q", s, want)
+		}
+	}
+	if SetOpKind(9).String() != "?" {
+		t.Error("unknown set op should render ?")
+	}
+}

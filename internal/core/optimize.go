@@ -1,0 +1,241 @@
+package core
+
+import (
+	"strings"
+
+	"socialscope/internal/graph"
+)
+
+// Rule is a local rewrite on an expression tree. A rule returns the
+// rewritten expression and whether it fired; rules must preserve the
+// evaluation result (equivalence is property-tested).
+type Rule struct {
+	Name  string
+	Apply func(Expr) (Expr, bool)
+}
+
+// FuseNodeSelections rewrites σN⟨C1⟩(σN⟨C2⟩(E)) into σN⟨C1∧C2⟩(E). Valid
+// because the inner selection produces a null graph whose nodes all satisfy
+// C2; keyword scoring of the outer selection is preserved by keeping C1's
+// keywords and scorer (the inner score is overwritten by the outer in the
+// original plan as well).
+var FuseNodeSelections = Rule{
+	Name: "fuse-node-selections",
+	Apply: func(e Expr) (Expr, bool) {
+		outer, ok := e.(NodeSelectExpr)
+		if !ok {
+			return e, false
+		}
+		inner, ok := outer.In.(NodeSelectExpr)
+		if !ok {
+			return e, false
+		}
+		// Only fuse when the inner selection carries no keywords: keyword
+		// filtering contributes a score threshold that must still apply.
+		if len(inner.C.Keywords) > 0 {
+			return e, false
+		}
+		fused := Condition{
+			Structural: append(append([]StructCond(nil), inner.C.Structural...), outer.C.Structural...),
+			Keywords:   outer.C.Keywords,
+		}
+		return NodeSelectExpr{In: inner.In, C: fused, Scorer: outer.Scorer}, true
+	},
+}
+
+// FuseLinkSelections rewrites σL⟨C1⟩(σL⟨C2⟩(E)) into σL⟨C1∧C2⟩(E) under the
+// same keyword proviso as FuseNodeSelections.
+var FuseLinkSelections = Rule{
+	Name: "fuse-link-selections",
+	Apply: func(e Expr) (Expr, bool) {
+		outer, ok := e.(LinkSelectExpr)
+		if !ok {
+			return e, false
+		}
+		inner, ok := outer.In.(LinkSelectExpr)
+		if !ok {
+			return e, false
+		}
+		if len(inner.C.Keywords) > 0 {
+			return e, false
+		}
+		fused := Condition{
+			Structural: append(append([]StructCond(nil), inner.C.Structural...), outer.C.Structural...),
+			Keywords:   outer.C.Keywords,
+		}
+		return LinkSelectExpr{In: inner.In, C: fused, Scorer: outer.Scorer}, true
+	},
+}
+
+// IdempotentUnion rewrites E ∪ E (syntactically identical operands without
+// scorers, compared by their printed form) into E. Valid because union
+// consolidation of an element with itself is the element.
+var IdempotentUnion = Rule{
+	Name: "idempotent-union",
+	Apply: func(e Expr) (Expr, bool) {
+		s, ok := e.(SetExpr)
+		if !ok || s.Kind != OpUnion {
+			return e, false
+		}
+		if s.L.String() == s.R.String() && pureExpr(s.L) && pureExpr(s.R) {
+			return s.L, true
+		}
+		return e, false
+	},
+}
+
+// ExpandLinkMinus rewrites L \· R into the Lemma 1 form
+// (L ⋉(src,src) σN⟨∅⟩(L\R)) ∪ (L ⋉(tgt,src) σN⟨∅⟩(L\R)). The expansion is
+// only equivalent when R is link-closed with respect to L (see
+// LinkMinusViaLemma1); the optimizer therefore exposes it as an opt-in rule
+// rather than including it in DefaultRules.
+var ExpandLinkMinus = Rule{
+	Name: "expand-link-minus-lemma1",
+	Apply: func(e Expr) (Expr, bool) {
+		s, ok := e.(SetExpr)
+		if !ok || s.Kind != OpLinkMinus {
+			return e, false
+		}
+		n := SelectNodes(MinusOf(s.L, s.R), Condition{})
+		left := SemiJoinOf(s.L, n, Delta(graph.Src, graph.Src))
+		right := SemiJoinOf(s.L, n, Delta(graph.Tgt, graph.Src))
+		return UnionOf(left, right), true
+	},
+}
+
+// pureExpr reports whether the expression contains no operator that
+// allocates fresh ids (composition, aggregation): those make syntactically
+// identical subtrees evaluate to graphs with different ids, so they must
+// not be deduplicated or compared by printed form.
+func pureExpr(e Expr) bool {
+	switch v := e.(type) {
+	case BaseExpr, ConstExpr:
+		return true
+	case NodeSelectExpr:
+		return pureExpr(v.In)
+	case LinkSelectExpr:
+		return pureExpr(v.In)
+	case SetExpr:
+		return pureExpr(v.L) && pureExpr(v.R)
+	case SemiJoinExpr:
+		return pureExpr(v.L) && pureExpr(v.R)
+	default:
+		return false
+	}
+}
+
+// DefaultRules are the always-safe rewrites.
+var DefaultRules = []Rule{FuseNodeSelections, FuseLinkSelections, IdempotentUnion}
+
+// Rewrite applies the rules bottom-up repeatedly until a fixed point (or a
+// generous iteration cap, preventing pathological rule sets from looping).
+// It returns the rewritten tree and the names of the rules that fired.
+func Rewrite(e Expr, rules []Rule) (Expr, []string) {
+	var fired []string
+	cur := e
+	for iter := 0; iter < 32; iter++ {
+		next, changed := rewriteOnce(cur, rules, &fired)
+		cur = next
+		if !changed {
+			break
+		}
+	}
+	return cur, fired
+}
+
+func rewriteOnce(e Expr, rules []Rule, fired *[]string) (Expr, bool) {
+	changed := false
+	// Rewrite children first.
+	switch v := e.(type) {
+	case NodeSelectExpr:
+		in, c := rewriteOnce(v.In, rules, fired)
+		changed = changed || c
+		e = NodeSelectExpr{In: in, C: v.C, Scorer: v.Scorer}
+	case LinkSelectExpr:
+		in, c := rewriteOnce(v.In, rules, fired)
+		changed = changed || c
+		e = LinkSelectExpr{In: in, C: v.C, Scorer: v.Scorer}
+	case SetExpr:
+		l, cl := rewriteOnce(v.L, rules, fired)
+		r, cr := rewriteOnce(v.R, rules, fired)
+		changed = changed || cl || cr
+		e = SetExpr{Kind: v.Kind, L: l, R: r}
+	case ComposeExpr:
+		l, cl := rewriteOnce(v.L, rules, fired)
+		r, cr := rewriteOnce(v.R, rules, fired)
+		changed = changed || cl || cr
+		e = ComposeExpr{L: l, R: r, D: v.D, F: v.F}
+	case SemiJoinExpr:
+		l, cl := rewriteOnce(v.L, rules, fired)
+		r, cr := rewriteOnce(v.R, rules, fired)
+		changed = changed || cl || cr
+		e = SemiJoinExpr{L: l, R: r, D: v.D}
+	case NodeAggExpr:
+		in, c := rewriteOnce(v.In, rules, fired)
+		changed = changed || c
+		e = NodeAggExpr{In: in, C: v.C, D: v.D, Att: v.Att, A: v.A}
+	case LinkAggExpr:
+		in, c := rewriteOnce(v.In, rules, fired)
+		changed = changed || c
+		e = LinkAggExpr{In: in, C: v.C, Att: v.Att, A: v.A, Carry: v.Carry}
+	case PatternAggExpr:
+		in, c := rewriteOnce(v.In, rules, fired)
+		changed = changed || c
+		e = PatternAggExpr{In: in, P: v.P, Att: v.Att, A: v.A}
+	}
+	// Then the node itself.
+	for _, r := range rules {
+		if next, ok := r.Apply(e); ok {
+			*fired = append(*fired, r.Name)
+			e = next
+			changed = true
+		}
+	}
+	return e, changed
+}
+
+// Explain renders a plan with one operator per line, indented by depth.
+func Explain(e Expr) string {
+	var sb strings.Builder
+	explain(e, 0, &sb)
+	return sb.String()
+}
+
+func explain(e Expr, depth int, sb *strings.Builder) {
+	indent := strings.Repeat("  ", depth)
+	switch v := e.(type) {
+	case BaseExpr:
+		sb.WriteString(indent + "base " + v.Name + "\n")
+	case ConstExpr:
+		sb.WriteString(indent + "lit " + v.G.String() + "\n")
+	case NodeSelectExpr:
+		sb.WriteString(indent + "σN " + v.C.String() + "\n")
+		explain(v.In, depth+1, sb)
+	case LinkSelectExpr:
+		sb.WriteString(indent + "σL " + v.C.String() + "\n")
+		explain(v.In, depth+1, sb)
+	case SetExpr:
+		sb.WriteString(indent + v.Kind.String() + "\n")
+		explain(v.L, depth+1, sb)
+		explain(v.R, depth+1, sb)
+	case ComposeExpr:
+		sb.WriteString(indent + "compose " + v.D.String() + "\n")
+		explain(v.L, depth+1, sb)
+		explain(v.R, depth+1, sb)
+	case SemiJoinExpr:
+		sb.WriteString(indent + "semijoin " + v.D.String() + "\n")
+		explain(v.L, depth+1, sb)
+		explain(v.R, depth+1, sb)
+	case NodeAggExpr:
+		sb.WriteString(indent + "γN " + v.C.String() + " " + v.D.String() + " → " + v.Att + "\n")
+		explain(v.In, depth+1, sb)
+	case LinkAggExpr:
+		sb.WriteString(indent + "γL " + v.C.String() + " → " + v.Att + "\n")
+		explain(v.In, depth+1, sb)
+	case PatternAggExpr:
+		sb.WriteString(indent + "γL pattern " + v.P.String() + " → " + v.Att + "\n")
+		explain(v.In, depth+1, sb)
+	default:
+		sb.WriteString(indent + e.String() + "\n")
+	}
+}

@@ -1,0 +1,217 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"socialscope/internal/graph"
+)
+
+func TestFuseNodeSelections(t *testing.T) {
+	f := travelFixture(t)
+	c1 := NewCondition(Cond("type", "destination"))
+	c2 := NewCondition(Cond("city", "Denver"))
+	stacked := SelectNodes(SelectNodes(Base("G"), c1), c2)
+	rewritten, fired := Rewrite(stacked, DefaultRules)
+	if len(fired) == 0 || fired[0] != "fuse-node-selections" {
+		t.Fatalf("fired = %v", fired)
+	}
+	if _, ok := rewritten.(NodeSelectExpr); !ok {
+		t.Fatalf("rewritten = %T", rewritten)
+	}
+	ctx := NewContext(f.g)
+	want, err := stacked.Eval(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := rewritten.Eval(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want.Equal(got) {
+		t.Error("fusion changed the result")
+	}
+	hasNodeIDs(t, got, f.coors, f.museum)
+}
+
+func TestFuseNodeSelectionsKeywordGuard(t *testing.T) {
+	// Inner keyword selection must not fuse: the keyword threshold filters.
+	inner := SelectNodes(Base("G"), Condition{Keywords: []string{"baseball"}})
+	outer := SelectNodes(inner, NewCondition(Cond("type", "destination")))
+	_, fired := Rewrite(outer, DefaultRules)
+	for _, r := range fired {
+		if r == "fuse-node-selections" {
+			t.Error("fused across a keyword selection")
+		}
+	}
+}
+
+func TestFuseLinkSelections(t *testing.T) {
+	f := travelFixture(t)
+	stacked := SelectLinks(SelectLinks(Base("G"),
+		NewCondition(Cond("type", graph.TypeAct))),
+		NewCondition(Cond("type", graph.SubtypeVisit)))
+	rewritten, fired := Rewrite(stacked, DefaultRules)
+	if len(fired) == 0 {
+		t.Fatal("link fusion did not fire")
+	}
+	ctx := NewContext(f.g)
+	want, _ := stacked.Eval(ctx)
+	got, err := rewritten.Eval(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want.Equal(got) {
+		t.Error("link fusion changed the result")
+	}
+}
+
+func TestIdempotentUnion(t *testing.T) {
+	f := travelFixture(t)
+	sel := SelectNodes(Base("G"), NewCondition(Cond("type", "destination")))
+	u := UnionOf(sel, sel)
+	rewritten, fired := Rewrite(u, DefaultRules)
+	found := false
+	for _, r := range fired {
+		if r == "idempotent-union" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("idempotent-union did not fire: %v", fired)
+	}
+	ctx := NewContext(f.g)
+	want, _ := u.Eval(ctx)
+	got, err := rewritten.Eval(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want.Equal(got) {
+		t.Error("idempotent-union changed the result")
+	}
+}
+
+func TestIdempotentUnionSkipsImpureOperands(t *testing.T) {
+	// Compositions allocate fresh ids; identical subtrees are NOT
+	// interchangeable and must not be deduplicated.
+	comp := ComposeOf(Base("G"), Base("G"), Delta(graph.Tgt, graph.Src), ConstComposer("x"))
+	u := UnionOf(comp, comp)
+	_, fired := Rewrite(u, DefaultRules)
+	for _, r := range fired {
+		if r == "idempotent-union" {
+			t.Error("deduplicated an id-allocating subtree")
+		}
+	}
+}
+
+func TestExpandLinkMinusRule(t *testing.T) {
+	g1, g2 := triExample(t)
+	e := LinkMinusOf(Lit(g1), Lit(g2))
+	rewritten, fired := Rewrite(e, []Rule{ExpandLinkMinus})
+	if len(fired) != 1 || fired[0] != "expand-link-minus-lemma1" {
+		t.Fatalf("fired = %v", fired)
+	}
+	ctx := NewContext(g1)
+	want, err := e.Eval(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := rewritten.Eval(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want.Equal(got) {
+		t.Errorf("Lemma 1 expansion changed the result on a link-closed input:\nwant %v\ngot %v",
+			want.LinkIDs(), got.LinkIDs())
+	}
+}
+
+func TestRewriteReachesFixedPoint(t *testing.T) {
+	// Triple-stacked selections need two fusion passes.
+	c := NewCondition(Cond("type", "user"))
+	e := SelectNodes(SelectNodes(SelectNodes(Base("G"), c), c), c)
+	rewritten, fired := Rewrite(e, DefaultRules)
+	if len(fired) < 2 {
+		t.Errorf("expected two fusions, fired = %v", fired)
+	}
+	sel, ok := rewritten.(NodeSelectExpr)
+	if !ok {
+		t.Fatalf("rewritten = %T", rewritten)
+	}
+	if _, isBase := sel.In.(BaseExpr); !isBase {
+		t.Errorf("not fully fused: %s", rewritten)
+	}
+}
+
+func TestRewriteTraversesAllShapes(t *testing.T) {
+	f := travelFixture(t)
+	c := NewCondition(Cond("type", "user"))
+	stack := SelectNodes(SelectNodes(Base("G"), c), c)
+	// Bury the fusable stack under every composite expression type.
+	exprs := []Expr{
+		UnionOf(stack, Base("G")),
+		IntersectOf(Base("G"), stack),
+		ComposeOf(stack, Base("G"), Delta(graph.Src, graph.Src), ConstComposer("x")),
+		SemiJoinOf(Base("G"), stack, Delta(graph.Src, graph.Src)),
+		AggregateNodes(stack, c, graph.Src, "a", Num(Count())),
+		AggregateLinks(stack, c, "a", Num(Count())),
+		AggregatePattern(stack, Pattern{Steps: []PatternStep{{}}}, "a", CountPaths()),
+		SelectLinks(stack, c),
+	}
+	for i, e := range exprs {
+		_, fired := Rewrite(e, DefaultRules)
+		if len(fired) == 0 {
+			t.Errorf("expr %d: rewriter did not descend (%s)", i, e)
+		}
+	}
+	_ = f
+}
+
+func TestExplain(t *testing.T) {
+	e := UnionOf(
+		SelectNodes(Base("G"), NewCondition(Cond("type", "user"))),
+		AggregateLinks(SelectLinks(Base("G"), Condition{}), Condition{}, "n", Num(Count())))
+	out := Explain(e)
+	for _, want := range []string{"∪", "σN", "σL", "γL", "base G"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Explain missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// Property: the default rules never change evaluation results on plans
+// combining selections and set operators over random link-closed pairs.
+func TestQuickRewriteEquivalence(t *testing.T) {
+	f := func(seed int64, pick uint8) bool {
+		g1, _ := randomSite(seed)
+		ctx := NewContext(g1)
+		conds := []Condition{
+			NewCondition(Cond("type", graph.TypeUser)),
+			NewCondition(Cond("type", graph.TypeConnect)),
+			Condition{},
+		}
+		c1 := conds[int(pick)%len(conds)]
+		c2 := conds[int(pick/3)%len(conds)]
+		plans := []Expr{
+			SelectNodes(SelectNodes(Base("G"), c1), c2),
+			SelectLinks(SelectLinks(Base("G"), c1), c2),
+			UnionOf(SelectNodes(Base("G"), c1), SelectNodes(Base("G"), c1)),
+			MinusOf(SelectNodes(Base("G"), c1), SelectNodes(SelectNodes(Base("G"), c1), c2)),
+		}
+		e := plans[int(pick/7)%len(plans)]
+		want, err := e.Eval(ctx)
+		if err != nil {
+			return false
+		}
+		rewritten, _ := Rewrite(e, DefaultRules)
+		got, err := rewritten.Eval(ctx)
+		if err != nil {
+			return false
+		}
+		return want.Equal(got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,309 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+
+	"socialscope/internal/graph"
+)
+
+// Parse turns a textual algebra expression into an Expr tree. The syntax
+// mirrors the paper's notation with ASCII operator names:
+//
+//	expr     := term (("union" | "intersect" | "minus" | "lminus") term)*
+//	term     := base | select | semijoin | "(" expr ")"
+//	base     := identifier                       // context graph, e.g. G
+//	select   := ("selectN" | "selectL") "{" conds "}" "(" expr ")"
+//	semijoin := "semijoin" "(" dir "," dir ")" "(" expr "," expr ")"
+//	conds    := cond (";" cond)* [";"] ["'" keywords "'"]
+//	cond     := attr ("=" | "!=" | ">" | ">=" | "<" | "<=") value[,value...]
+//	dir      := "src" | "tgt"
+//
+// Examples (Example 4's G1):
+//
+//	selectL{type=friend}(semijoin(src,src)(G, selectN{id=101}(G)))
+//
+// Binary set operators are left-associative with equal precedence, as in
+// the paper's linear notation. Composition and aggregation carry function
+// values and are constructed programmatically rather than parsed.
+func Parse(input string) (Expr, error) {
+	p := &parser{src: input}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, p.errorf("trailing input %q", p.src[p.pos:])
+	}
+	return e, nil
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) errorf(format string, args ...interface{}) error {
+	return fmt.Errorf("core: parse at offset %d: %s", p.pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) && unicode.IsSpace(rune(p.src[p.pos])) {
+		p.pos++
+	}
+}
+
+// peekWord returns the identifier at the cursor without consuming it.
+func (p *parser) peekWord() string {
+	p.skipSpace()
+	end := p.pos
+	for end < len(p.src) && (isIdent(p.src[end])) {
+		end++
+	}
+	return p.src[p.pos:end]
+}
+
+func isIdent(b byte) bool {
+	return b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z' || b >= '0' && b <= '9' || b == '_'
+}
+
+func (p *parser) consumeWord() string {
+	w := p.peekWord()
+	p.pos += len(w)
+	return w
+}
+
+func (p *parser) expect(tok string) error {
+	p.skipSpace()
+	if !strings.HasPrefix(p.src[p.pos:], tok) {
+		return p.errorf("expected %q", tok)
+	}
+	p.pos += len(tok)
+	return nil
+}
+
+var setOps = map[string]SetOpKind{
+	"union":     OpUnion,
+	"intersect": OpIntersect,
+	"minus":     OpMinus,
+	"lminus":    OpLinkMinus,
+}
+
+func (p *parser) parseExpr() (Expr, error) {
+	left, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		w := p.peekWord()
+		kind, ok := setOps[w]
+		if !ok {
+			return left, nil
+		}
+		p.consumeWord()
+		right, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		left = SetExpr{Kind: kind, L: left, R: right}
+	}
+}
+
+func (p *parser) parseTerm() (Expr, error) {
+	p.skipSpace()
+	if p.pos < len(p.src) && p.src[p.pos] == '(' {
+		p.pos++
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	w := p.peekWord()
+	switch w {
+	case "":
+		return nil, p.errorf("expected expression")
+	case "selectN", "selectL":
+		return p.parseSelect(w)
+	case "semijoin":
+		return p.parseSemiJoin()
+	case "union", "intersect", "minus", "lminus":
+		return nil, p.errorf("operator %q where an operand was expected", w)
+	default:
+		p.consumeWord()
+		return BaseExpr{Name: w}, nil
+	}
+}
+
+func (p *parser) parseSelect(kind string) (Expr, error) {
+	p.consumeWord()
+	cond, err := p.parseCondition()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	in, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	if kind == "selectN" {
+		return NodeSelectExpr{In: in, C: cond}, nil
+	}
+	return LinkSelectExpr{In: in, C: cond}, nil
+}
+
+func (p *parser) parseSemiJoin() (Expr, error) {
+	p.consumeWord()
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	d1, err := p.parseDirection()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(","); err != nil {
+		return nil, err
+	}
+	d2, err := p.parseDirection()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	l, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(","); err != nil {
+		return nil, err
+	}
+	r, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	return SemiJoinExpr{L: l, R: r, D: Delta(d1, d2)}, nil
+}
+
+func (p *parser) parseDirection() (graph.Direction, error) {
+	switch p.peekWord() {
+	case "src":
+		p.consumeWord()
+		return graph.Src, nil
+	case "tgt":
+		p.consumeWord()
+		return graph.Tgt, nil
+	}
+	return graph.Src, p.errorf("expected src or tgt")
+}
+
+// parseCondition reads {attr=val,...; attr>=val; 'keywords'}.
+func (p *parser) parseCondition() (Condition, error) {
+	var c Condition
+	if err := p.expect("{"); err != nil {
+		return c, err
+	}
+	for {
+		p.skipSpace()
+		if p.pos >= len(p.src) {
+			return c, p.errorf("unterminated condition")
+		}
+		if p.src[p.pos] == '}' {
+			p.pos++
+			return c, nil
+		}
+		if p.src[p.pos] == '\'' {
+			kw, err := p.parseQuoted()
+			if err != nil {
+				return c, err
+			}
+			c = c.WithKeywords(kw)
+			continue
+		}
+		if p.src[p.pos] == ';' {
+			p.pos++
+			continue
+		}
+		sc, err := p.parseStructCond()
+		if err != nil {
+			return c, err
+		}
+		c.Structural = append(c.Structural, sc)
+	}
+}
+
+func (p *parser) parseQuoted() (string, error) {
+	// cursor on opening quote
+	p.pos++
+	end := strings.IndexByte(p.src[p.pos:], '\'')
+	if end < 0 {
+		return "", p.errorf("unterminated keyword string")
+	}
+	s := p.src[p.pos : p.pos+end]
+	p.pos += end + 1
+	return s, nil
+}
+
+var condOps = []struct {
+	sym string
+	op  Op
+}{
+	{">=", Ge}, {"<=", Le}, {"!=", Ne}, {">", Gt}, {"<", Lt}, {"=", Eq},
+}
+
+func (p *parser) parseStructCond() (StructCond, error) {
+	attr := p.consumeWord()
+	if attr == "" {
+		return StructCond{}, p.errorf("expected attribute name")
+	}
+	p.skipSpace()
+	var op Op
+	found := false
+	for _, c := range condOps {
+		if strings.HasPrefix(p.src[p.pos:], c.sym) {
+			op = c.op
+			p.pos += len(c.sym)
+			found = true
+			break
+		}
+	}
+	if !found {
+		return StructCond{}, p.errorf("expected comparison operator after %q", attr)
+	}
+	// Values: comma-separated runs up to ';', '}' or "'".
+	var values []string
+	for {
+		p.skipSpace()
+		start := p.pos
+		for p.pos < len(p.src) && !strings.ContainsRune(",;}'", rune(p.src[p.pos])) {
+			p.pos++
+		}
+		v := strings.TrimSpace(p.src[start:p.pos])
+		if v == "" {
+			return StructCond{}, p.errorf("empty value for attribute %q", attr)
+		}
+		values = append(values, v)
+		if p.pos < len(p.src) && p.src[p.pos] == ',' {
+			p.pos++
+			continue
+		}
+		break
+	}
+	return StructCond{Attr: attr, Op: op, Values: values}, nil
+}

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"socialscope/internal/graph"
+)
+
+func TestParseBase(t *testing.T) {
+	e, err := Parse("G")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b, ok := e.(BaseExpr); !ok || b.Name != "G" {
+		t.Fatalf("parsed %T %v", e, e)
+	}
+}
+
+func TestParseSelectN(t *testing.T) {
+	e, err := Parse("selectN{type=destination; rating>=0.5}(G)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, ok := e.(NodeSelectExpr)
+	if !ok {
+		t.Fatalf("parsed %T", e)
+	}
+	if len(sel.C.Structural) != 2 {
+		t.Fatalf("conds = %v", sel.C.Structural)
+	}
+	if sel.C.Structural[1].Op != Ge || sel.C.Structural[1].Values[0] != "0.5" {
+		t.Errorf("second cond = %v", sel.C.Structural[1])
+	}
+}
+
+func TestParseKeywords(t *testing.T) {
+	e, err := Parse("selectN{type=destination; 'near Denver'}(G)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := e.(NodeSelectExpr)
+	if len(sel.C.Keywords) != 2 || sel.C.Keywords[0] != "near" {
+		t.Errorf("keywords = %v", sel.C.Keywords)
+	}
+}
+
+func TestParseMultiValueCond(t *testing.T) {
+	e, err := Parse("selectN{type=user,traveler}(G)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := e.(NodeSelectExpr)
+	if len(sel.C.Structural[0].Values) != 2 {
+		t.Errorf("values = %v", sel.C.Structural[0].Values)
+	}
+}
+
+func TestParseExample4G1(t *testing.T) {
+	// The textual form of Example 4's G1 must evaluate identically to the
+	// programmatic construction.
+	f := travelFixture(t)
+	e, err := Parse("selectL{type=friend}(semijoin(src,src)(G, selectN{id=101}(G)))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.Eval(NewContext(f.g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := LinkSelect(SemiJoin(f.g, NodeSelect(f.g, NewCondition(Cond("id", "101")), nil),
+		Delta(graph.Src, graph.Src)), NewCondition(Cond("type", graph.SubtypeFriend)), nil)
+	if !got.Equal(want) {
+		t.Errorf("parsed plan diverges: %v vs %v", got.LinkIDs(), want.LinkIDs())
+	}
+}
+
+func TestParseSetOps(t *testing.T) {
+	f := travelFixture(t)
+	e, err := Parse("selectN{type=user}(G) union selectN{type=item}(G)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.Eval(NewContext(f.g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumNodes() != 8 {
+		t.Errorf("union nodes = %d", got.NumNodes())
+	}
+	// Left associativity: a minus b union c == (a minus b) union c.
+	e2, err := Parse("G minus selectN{type=user}(G) union selectN{type=user}(G)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, err := e2.Eval(NewContext(f.g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2.NumNodes() != 8 {
+		t.Errorf("left-assoc result nodes = %d", got2.NumNodes())
+	}
+	for _, src := range []string{
+		"(G intersect G) lminus selectL{type=friend}(G)",
+		"selectL{type=visit}(G) intersect selectL{type=act}(G)",
+	} {
+		if _, err := Parse(src); err != nil {
+			t.Errorf("Parse(%q) failed: %v", src, err)
+		}
+	}
+}
+
+func TestParseParenthesized(t *testing.T) {
+	f := travelFixture(t)
+	e, err := Parse("(selectN{type=user}(G))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.Eval(NewContext(f.g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumNodes() != 4 {
+		t.Errorf("nodes = %d", got.NumNodes())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"selectN{type=user}(G",           // missing close paren
+		"selectN{type=user(G)",           // unterminated condition
+		"selectN{type=}(G)",              // empty value
+		"selectN{type user}(G)",          // missing operator
+		"selectN{'unterminated}(G)",      // unterminated keywords
+		"semijoin(up,down)(G, G)",        // bad directions
+		"semijoin(src,src)(G G)",         // missing comma
+		"G union",                        // dangling operator
+		"union G",                        // operator as operand
+		"G extra",                        // trailing input
+		"selectX{type=user}(G) trailing", // unknown op treated as base + trailing
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) unexpectedly succeeded", src)
+		}
+	}
+}
+
+func TestParseRoundTripThroughString(t *testing.T) {
+	// Parsed expressions render with the paper's symbols.
+	e, err := Parse("selectL{type=friend}(G) union selectN{id=101}(G)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := e.String()
+	for _, want := range []string{"σL", "σN", "∪"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendered plan %q missing %q", s, want)
+		}
+	}
+}
+
+func TestParsedPlanOptimizes(t *testing.T) {
+	f := travelFixture(t)
+	e, err := Parse("selectN{city=Denver}(selectN{type=destination}(G))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rewritten, fired := Rewrite(e, DefaultRules)
+	if len(fired) == 0 {
+		t.Fatal("no rewrite fired on parsed plan")
+	}
+	want, err := e.Eval(NewContext(f.g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := rewritten.Eval(NewContext(f.g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want.Equal(got) {
+		t.Error("optimized parsed plan diverges")
+	}
+}

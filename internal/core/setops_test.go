@@ -1,0 +1,321 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"socialscope/internal/graph"
+)
+
+func TestUnionConsolidates(t *testing.T) {
+	f := travelFixture(t)
+	friends := LinkSelect(f.g, NewCondition(Cond("type", graph.SubtypeFriend)), nil)
+	visits := LinkSelect(f.g, NewCondition(Cond("type", graph.SubtypeVisit)), nil)
+	u, err := Union(friends, visits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.NumLinks() != 9 { // 3 friend + 6 visit
+		t.Errorf("union links = %d", u.NumLinks())
+	}
+	// John appears in both operands and must appear once.
+	if u.NumNodes() != 8 {
+		t.Errorf("union nodes = %d, want 8", u.NumNodes())
+	}
+	if err := u.Validate(); err != nil {
+		t.Error(err)
+	}
+	// Union must not alias its inputs' elements.
+	u.Node(f.john).Attrs.Set("name", "X")
+	if f.g.Node(f.john).Attrs.Get("name") != "John" {
+		t.Error("union aliases input nodes")
+	}
+}
+
+func TestUnionMergesAttrs(t *testing.T) {
+	g1 := graph.New()
+	n1 := graph.NewNode(1, graph.TypeUser)
+	n1.Attrs.Set("a", "1")
+	if err := g1.AddNode(n1); err != nil {
+		t.Fatal(err)
+	}
+	g2 := graph.New()
+	n2 := graph.NewNode(1, "expert")
+	n2.Attrs.Set("b", "2")
+	if err := g2.AddNode(n2); err != nil {
+		t.Fatal(err)
+	}
+	u, err := Union(g1, g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := u.Node(1)
+	if !n.HasType(graph.TypeUser) || !n.HasType("expert") {
+		t.Error("union lost a type during consolidation")
+	}
+	if n.Attrs.Get("a") != "1" || n.Attrs.Get("b") != "2" {
+		t.Error("union lost attributes during consolidation")
+	}
+}
+
+func TestUnionConflictingLinkEndpoints(t *testing.T) {
+	g1 := graph.New()
+	g2 := graph.New()
+	for _, g := range []*graph.Graph{g1, g2} {
+		for id := graph.NodeID(1); id <= 2; id++ {
+			if err := g.AddNode(graph.NewNode(id, graph.TypeUser)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := g1.AddLink(graph.NewLink(1, 1, 2, graph.TypeConnect)); err != nil {
+		t.Fatal(err)
+	}
+	if err := g2.AddLink(graph.NewLink(1, 2, 1, graph.TypeConnect)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Union(g1, g2); err == nil {
+		t.Error("union of conflicting link endpoints should fail")
+	}
+	if _, err := Intersect(g1, g2); err == nil {
+		t.Error("intersection of conflicting link endpoints should fail")
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	f := travelFixture(t)
+	acts := LinkSelect(f.g, NewCondition(Cond("type", graph.TypeAct)), nil)
+	visits := LinkSelect(f.g, NewCondition(Cond("type", graph.SubtypeVisit)), nil)
+	i, err := Intersect(acts, visits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i.NumLinks() != 6 { // visits ⊂ acts
+		t.Errorf("intersection links = %d, want 6", i.NumLinks())
+	}
+	if err := i.Validate(); err != nil {
+		t.Error(err)
+	}
+	empty, err := Intersect(acts, graph.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.NumNodes() != 0 || empty.NumLinks() != 0 {
+		t.Error("intersection with empty graph should be empty")
+	}
+}
+
+// TestMinusPaperExample reproduces the Remarks of Section 5.2 verbatim:
+// G1 = {(a,b),(a,c),(b,c)}, G2 = {(a,b)}. Node-driven G1\G2 is the null
+// graph {c}; link-driven G1\·G2 keeps all three nodes and links (a,c),(b,c).
+func TestMinusPaperExample(t *testing.T) {
+	g1, g2 := triExample(t)
+
+	nd := Minus(g1, g2)
+	hasNodeIDs(t, nd, 3)
+	if nd.NumLinks() != 0 {
+		t.Errorf("node-driven minus links = %d, want 0", nd.NumLinks())
+	}
+
+	ld := LinkMinus(g1, g2)
+	hasNodeIDs(t, ld, 1, 2, 3)
+	if ld.NumLinks() != 2 || ld.HasLink(1) {
+		t.Errorf("link-driven minus links = %v, want {2,3}", ld.LinkIDs())
+	}
+}
+
+// TestLemma1OnPaperExample checks the Lemma 1 reconstruction on the
+// Remarks' example, where G2 is link-closed w.r.t. G1 (the only G1 link
+// inside nodes(G2) is (a,b), which G2 contains).
+func TestLemma1OnPaperExample(t *testing.T) {
+	g1, g2 := triExample(t)
+	if !LinkClosed(g1, g2) {
+		t.Fatal("fixture should be link-closed")
+	}
+	want := LinkMinus(g1, g2)
+	got, err := LinkMinusViaLemma1(g1, g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want.Equal(got) {
+		t.Errorf("Lemma 1 mismatch:\nwant %v %v\ngot  %v %v",
+			want.NodeIDs(), want.LinkIDs(), got.NodeIDs(), got.LinkIDs())
+	}
+}
+
+// TestLemma1CounterexampleWithoutClosure documents that the Lemma 1 rewrite
+// requires link-closure: when G2 contains both endpoints of a G1 link but
+// not the link itself, \· keeps the link while the rewrite drops it.
+func TestLemma1CounterexampleWithoutClosure(t *testing.T) {
+	g1, _ := triExample(t)
+	// G2: nodes a,b and no links — not link-closed w.r.t. G1 (link (a,b)).
+	g2 := graph.New()
+	if err := g2.AddNode(graph.NewNode(1, graph.TypeUser)); err != nil {
+		t.Fatal(err)
+	}
+	if err := g2.AddNode(graph.NewNode(2, graph.TypeUser)); err != nil {
+		t.Fatal(err)
+	}
+	if LinkClosed(g1, g2) {
+		t.Fatal("fixture should not be link-closed")
+	}
+	direct := LinkMinus(g1, g2) // keeps every link of G1
+	if direct.NumLinks() != 3 {
+		t.Fatalf("direct \\· links = %d, want 3", direct.NumLinks())
+	}
+	viaLemma, err := LinkMinusViaLemma1(g1, g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaLemma.HasLink(1) {
+		t.Error("rewrite should lose link (a,b) without closure — counterexample broken")
+	}
+	if direct.Equal(viaLemma) {
+		t.Error("expected a divergence without link-closure")
+	}
+}
+
+// randomSite builds a random base graph and a random induced subgraph of
+// it; induced subgraphs are always link-closed, the situation the paper's
+// operators produce.
+func randomSite(seed int64) (base, sub *graph.Graph) {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.New()
+	n := 8 + rng.Intn(8)
+	for i := 1; i <= n; i++ {
+		if err := b.AddNode(graph.NewNode(graph.NodeID(i), graph.TypeUser)); err != nil {
+			panic(err)
+		}
+	}
+	m := rng.Intn(3 * n)
+	for i := 1; i <= m; i++ {
+		src := graph.NodeID(rng.Intn(n) + 1)
+		tgt := graph.NodeID(rng.Intn(n) + 1)
+		if err := b.AddLink(graph.NewLink(graph.LinkID(i), src, tgt, graph.TypeConnect)); err != nil {
+			panic(err)
+		}
+	}
+	keep := make(map[graph.NodeID]struct{})
+	for i := 1; i <= n; i++ {
+		if rng.Intn(2) == 0 {
+			keep[graph.NodeID(i)] = struct{}{}
+		}
+	}
+	return b, b.InducedByNodes(keep).ShallowClone()
+}
+
+// Property: on induced (hence link-closed) subgraphs, the Lemma 1 rewrite
+// agrees with the native link-driven minus.
+func TestQuickLemma1OnInducedSubgraphs(t *testing.T) {
+	f := func(seed int64) bool {
+		g1, g2 := randomSite(seed)
+		if !LinkClosed(g1, g2) {
+			return false // induced subgraphs must be link-closed
+		}
+		want := LinkMinus(g1, g2)
+		got, err := LinkMinusViaLemma1(g1, g2)
+		if err != nil {
+			return false
+		}
+		return want.Equal(got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: algebraic laws of the set operators under consolidation
+// semantics — union commutes and is idempotent, intersection commutes,
+// minus with self is empty, and G\∅ = G (modulo clone).
+func TestQuickSetAlgebraLaws(t *testing.T) {
+	f := func(seed int64) bool {
+		g1, g2 := randomSite(seed)
+		u12, err := Union(g1, g2)
+		if err != nil {
+			return false
+		}
+		u21, err := Union(g2, g1)
+		if err != nil {
+			return false
+		}
+		if !u12.Equal(u21) {
+			return false
+		}
+		uSelf, err := Union(g1, g1)
+		if err != nil {
+			return false
+		}
+		if !uSelf.Equal(g1) {
+			return false
+		}
+		i12, err := Intersect(g1, g2)
+		if err != nil {
+			return false
+		}
+		i21, err := Intersect(g2, g1)
+		if err != nil {
+			return false
+		}
+		if !i12.Equal(i21) {
+			return false
+		}
+		if Minus(g1, g1).NumNodes() != 0 {
+			return false
+		}
+		if !Minus(g1, graph.New()).Equal(g1) {
+			return false
+		}
+		// \· with the empty graph keeps every link but only link-induced
+		// nodes (Definition 4 drops isolated nodes).
+		lm := LinkMinus(g1, graph.New())
+		if lm.NumLinks() != g1.NumLinks() {
+			return false
+		}
+		for _, id := range lm.NodeIDs() {
+			if !g1.HasNode(id) {
+				return false
+			}
+		}
+		// \· with self keeps no links, and only link-free nodes.
+		if LinkMinus(g1, g1).NumLinks() != 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: intersection is contained in both operands; minus is disjoint
+// from the subtrahend's nodes.
+func TestQuickContainment(t *testing.T) {
+	f := func(seed int64) bool {
+		g1, g2 := randomSite(seed)
+		i, err := Intersect(g1, g2)
+		if err != nil {
+			return false
+		}
+		for _, id := range i.NodeIDs() {
+			if !g1.HasNode(id) || !g2.HasNode(id) {
+				return false
+			}
+		}
+		for _, id := range i.LinkIDs() {
+			if !g1.HasLink(id) || !g2.HasLink(id) {
+				return false
+			}
+		}
+		m := Minus(g1, g2)
+		for _, id := range m.NodeIDs() {
+			if g2.HasNode(id) || !g1.HasNode(id) {
+				return false
+			}
+		}
+		return m.Validate() == nil && i.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,206 @@
+package discovery
+
+import (
+	"fmt"
+
+	"socialscope/internal/core"
+	"socialscope/internal/graph"
+	"socialscope/internal/scoring"
+)
+
+// Result is one ranked discovery: an item with its semantic and social
+// relevance legs, the fused score, and the endorsing users (provenance).
+type Result struct {
+	Item      graph.NodeID
+	Semantic  float64
+	Social    float64
+	Score     float64
+	Endorsers []graph.NodeID
+}
+
+// MSG is the Meaningful Social Graph (Section 3): the social content
+// subgraph semantically and socially relevant to a user and query, plus
+// the ranked results it was assembled from.
+type MSG struct {
+	User    graph.NodeID
+	Query   Query
+	Basis   SocialBasis
+	Results []Result
+	// Graph holds the result items, the endorsing users, their provenance
+	// act links, and derived 'rec' links user→item carrying fused scores.
+	Graph *graph.Graph
+}
+
+// Discoverer evaluates queries against a social content graph. It
+// precomputes the item corpus once so repeated queries share statistics.
+type Discoverer struct {
+	g        *graph.Graph
+	corpus   *scoring.Corpus
+	itemType string
+}
+
+// NewDiscoverer builds a discoverer over the graph. itemType scopes which
+// nodes are candidate results ("" means every item-typed node).
+func NewDiscoverer(g *graph.Graph, itemType string) *Discoverer {
+	if itemType == "" {
+		itemType = graph.TypeItem
+	}
+	return &Discoverer{
+		g:        g,
+		corpus:   scoring.NodeCorpus(g, itemType),
+		itemType: itemType,
+	}
+}
+
+// Discover runs the full Information Discoverer pipeline:
+//
+//  1. scope candidate items by the query's structural predicates
+//     (Section 4: "treating the structural predicates as the constraints
+//     defining the scope");
+//  2. compute semantic relevance (BM25) for keyword queries;
+//  3. select the social basis (Example 2) and compute social relevance as
+//     the fraction of the basis endorsing each item;
+//  4. fuse with score = α·semantic + (1-α)·social (normalized legs); an
+//     empty query degenerates to pure social relevance, keyword-less
+//     structural queries to pure social within scope;
+//  5. assemble the MSG with provenance links.
+func (d *Discoverer) Discover(user graph.NodeID, q Query) (*MSG, error) {
+	if !d.g.HasNode(user) {
+		return nil, fmt.Errorf("discovery: unknown user %d", user)
+	}
+	if q.K <= 0 {
+		q.K = 10
+	}
+	if q.Alpha < 0 || q.Alpha > 1 {
+		return nil, fmt.Errorf("discovery: alpha %g outside [0,1]", q.Alpha)
+	}
+
+	// 1. Scope.
+	scopeCond := core.Condition{Structural: append([]core.StructCond{
+		core.Cond("type", d.itemType)}, q.Structural...)}
+	scope := core.NodeSelect(d.g, scopeCond, nil)
+
+	// 2. Semantic relevance, normalized to [0,1] by the max.
+	semantic := make(map[graph.NodeID]float64)
+	if len(q.Keywords) > 0 {
+		maxSem := 0.0
+		for _, n := range scope.Nodes() {
+			s := d.corpus.BM25(q.Keywords, n.Text())
+			semantic[n.ID] = s
+			if s > maxSem {
+				maxSem = s
+			}
+		}
+		if maxSem > 0 {
+			for id := range semantic {
+				semantic[id] /= maxSem
+			}
+		}
+	}
+
+	// 3. Social relevance over the selected basis.
+	basis := SelectSocialBasis(d.g, user, q, 1)
+	social := make(map[graph.NodeID]float64)
+	endorsers := make(map[graph.NodeID][]graph.NodeID)
+	if len(basis.Users) > 0 {
+		for _, b := range basis.Users {
+			for _, l := range d.g.Out(b) {
+				if !l.HasType(graph.TypeAct) || !scope.HasNode(l.Tgt) {
+					continue
+				}
+				if !contains(endorsers[l.Tgt], b) {
+					endorsers[l.Tgt] = append(endorsers[l.Tgt], b)
+				}
+			}
+		}
+		n := float64(len(basis.Users))
+		for item, es := range endorsers {
+			social[item] = float64(len(es)) / n
+		}
+	}
+
+	// 4. Fuse.
+	alpha := q.Alpha
+	switch {
+	case len(q.Keywords) == 0:
+		alpha = 0 // empty/structural-only query: social relevance only
+	case len(social) == 0:
+		alpha = 1 // no usable social signal: semantic only
+	}
+	var ranked []Result
+	for _, n := range scope.Nodes() {
+		sem := semantic[n.ID]
+		soc := social[n.ID]
+		score := alpha*sem + (1-alpha)*soc
+		if score <= 0 {
+			continue
+		}
+		ranked = append(ranked, Result{
+			Item: n.ID, Semantic: sem, Social: soc, Score: score,
+			Endorsers: endorsers[n.ID],
+		})
+	}
+	sortResults(ranked)
+	if q.K < len(ranked) {
+		ranked = ranked[:q.K]
+	}
+
+	// 5. MSG assembly.
+	msgGraph, err := d.assemble(user, ranked)
+	if err != nil {
+		return nil, err
+	}
+	return &MSG{User: user, Query: q, Basis: basis, Results: ranked, Graph: msgGraph}, nil
+}
+
+func (d *Discoverer) assemble(user graph.NodeID, results []Result) (*graph.Graph, error) {
+	out := graph.New()
+	out.PutNode(d.g.Node(user).Clone())
+	ids := graph.IDSourceFor(d.g)
+	for _, r := range results {
+		item := d.g.Node(r.Item).Clone()
+		item.SetScore(r.Score)
+		out.PutNode(item)
+		rec := graph.NewLink(ids.NextLink(), user, r.Item, "rec")
+		rec.Attrs.SetFloat("score", r.Score)
+		if err := out.AddLink(rec); err != nil {
+			return nil, err
+		}
+		for _, e := range r.Endorsers {
+			if !out.HasNode(e) {
+				out.PutNode(d.g.Node(e).Clone())
+			}
+			// Copy the provenance act links endorser→item.
+			for _, l := range d.g.Out(e) {
+				if l.Tgt == r.Item && l.HasType(graph.TypeAct) && !out.HasLink(l.ID) {
+					if err := out.AddLink(l.Clone()); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+func sortResults(rs []Result) {
+	for i := 1; i < len(rs); i++ {
+		for j := i; j > 0; j-- {
+			if rs[j].Score > rs[j-1].Score ||
+				(rs[j].Score == rs[j-1].Score && rs[j].Item < rs[j-1].Item) {
+				rs[j], rs[j-1] = rs[j-1], rs[j]
+			} else {
+				break
+			}
+		}
+	}
+}
+
+func contains(ids []graph.NodeID, id graph.NodeID) bool {
+	for _, v := range ids {
+		if v == id {
+			return true
+		}
+	}
+	return false
+}

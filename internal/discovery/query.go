@@ -1,0 +1,87 @@
+// Package discovery implements SocialScope's Information Discoverer
+// (Sections 3-5): it parses user queries, computes semantic and social
+// relevance over the social content graph, runs the recommendation
+// strategies (network search per Example 4, collaborative filtering per
+// Example 5 in both its step-wise and graph-pattern forms, content-based,
+// and the expert fallback of Example 2), selects the social basis, fuses
+// the two relevance legs, and assembles the Meaningful Social Graph (MSG)
+// handed to the presentation layer.
+package discovery
+
+import (
+	"fmt"
+	"strings"
+
+	"socialscope/internal/core"
+	"socialscope/internal/scoring"
+)
+
+// Query is the paper's query model (Section 4): a possibly-empty set of
+// content keywords plus structural predicates. Structural predicates scope
+// the recommendation; keywords drive semantic relevance; an empty query
+// falls back to pure social relevance.
+type Query struct {
+	Keywords   []string
+	Structural []core.StructCond
+	K          int     // number of results wanted (default 10)
+	Alpha      float64 // semantic weight in [0,1]; social weight is 1-α (default 0.5)
+}
+
+// ParseQuery parses the CLI/search-box syntax: bare words become keywords;
+// key:value terms become equality structural predicates; key>=value,
+// key<=value, key>value, key<value become numeric predicates. Examples:
+//
+//	"Denver attractions"
+//	"family trip type:destination"
+//	"type:destination rating>=0.5 baseball"
+func ParseQuery(s string) (Query, error) {
+	q := Query{K: 10, Alpha: 0.5}
+	for _, field := range strings.Fields(s) {
+		if cond, ok, err := parseCond(field); err != nil {
+			return Query{}, err
+		} else if ok {
+			q.Structural = append(q.Structural, cond)
+			continue
+		}
+		q.Keywords = append(q.Keywords, scoring.Tokenize(field)...)
+	}
+	return q, nil
+}
+
+func parseCond(field string) (core.StructCond, bool, error) {
+	for _, op := range []struct {
+		sym string
+		op  core.Op
+	}{{">=", core.Ge}, {"<=", core.Le}, {"!=", core.Ne}, {">", core.Gt}, {"<", core.Lt}, {":", core.Eq}} {
+		i := strings.Index(field, op.sym)
+		if i <= 0 {
+			continue
+		}
+		attr, val := field[:i], field[i+len(op.sym):]
+		if val == "" {
+			return core.StructCond{}, false, fmt.Errorf("discovery: empty value in predicate %q", field)
+		}
+		return core.CondOp(attr, op.op, val), true, nil
+	}
+	return core.StructCond{}, false, nil
+}
+
+// IsEmpty reports whether the query constrains nothing.
+func (q Query) IsEmpty() bool { return len(q.Keywords) == 0 && len(q.Structural) == 0 }
+
+// Condition converts the query into an algebra condition.
+func (q Query) Condition() core.Condition {
+	return core.Condition{Structural: q.Structural, Keywords: q.Keywords}
+}
+
+// String renders the query for logs and explanations.
+func (q Query) String() string {
+	parts := make([]string, 0, len(q.Structural)+1)
+	for _, sc := range q.Structural {
+		parts = append(parts, sc.String())
+	}
+	if len(q.Keywords) > 0 {
+		parts = append(parts, "'"+strings.Join(q.Keywords, " ")+"'")
+	}
+	return strings.Join(parts, " ")
+}

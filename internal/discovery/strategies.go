@@ -1,0 +1,258 @@
+package discovery
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"socialscope/internal/analyzer"
+	"socialscope/internal/core"
+	"socialscope/internal/graph"
+	"socialscope/internal/scoring"
+)
+
+// Recommendation is one socially-scored item with its provenance: the
+// users whose activities produced the score (the "social provenance" the
+// presentation layer exposes).
+type Recommendation struct {
+	Item     graph.NodeID
+	Score    float64
+	Basis    []graph.NodeID // endorsing users
+	Strategy string
+}
+
+// sortRecs orders by descending score, ties by ascending item id.
+func sortRecs(rs []Recommendation) {
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].Score != rs[j].Score {
+			return rs[i].Score > rs[j].Score
+		}
+		return rs[i].Item < rs[j].Item
+	})
+}
+
+// CFVariant selects how collaborative filtering is evaluated — the paper's
+// explicitly posed open question at the end of Section 5.4.
+type CFVariant uint8
+
+const (
+	// CFStepwise evaluates Example 5's nine-step program (compose links,
+	// then aggregate).
+	CFStepwise CFVariant = iota
+	// CFPattern evaluates the Figure 2 graph-pattern aggregation over
+	// G4 ∪ G5.
+	CFPattern
+)
+
+func (v CFVariant) String() string {
+	if v == CFPattern {
+		return "pattern"
+	}
+	return "stepwise"
+}
+
+// CFConfig parameterizes collaborative filtering.
+type CFConfig struct {
+	SimThreshold float64   // minimum Jaccard similarity for the match network (default 0.5, the paper's)
+	Variant      CFVariant // evaluation strategy
+	ActType      string    // activity link type consulted (default visit)
+	ItemType     string    // item node type recommended (default destination)
+}
+
+func (c *CFConfig) fill() {
+	if c.SimThreshold <= 0 {
+		c.SimThreshold = 0.5
+	}
+	if c.ActType == "" {
+		c.ActType = graph.SubtypeVisit
+	}
+	if c.ItemType == "" {
+		c.ItemType = "destination"
+	}
+}
+
+// CollaborativeFiltering runs Example 5 for the given user and returns the
+// scored recommendations. Both variants share steps 1-7 (building the
+// similarity network G4 and the activity graph G5) and differ only in how
+// the final recommendation links are derived, exactly as Section 5.4
+// discusses.
+func CollaborativeFiltering(g *graph.Graph, user graph.NodeID, cfg CFConfig) ([]Recommendation, error) {
+	cfg.fill()
+	if !g.HasNode(user) {
+		return nil, fmt.Errorf("discovery: unknown user %d", user)
+	}
+	ids := graph.IDSourceFor(g)
+	act := core.NewCondition(core.Cond("type", cfg.ActType))
+	uid := strconv.FormatInt(int64(user), 10)
+
+	// Steps 1-2: the user and their acted-on items, folded into vst.
+	g1 := core.LinkSelect(core.SemiJoin(g, core.NodeSelect(g, core.NewCondition(core.Cond("id", uid)), nil),
+		core.Delta(graph.Src, graph.Src)), act, nil)
+	g1p, err := core.NodeAggregate(g1, act, graph.Src, "vst", core.CollectEnd(graph.Tgt))
+	if err != nil {
+		return nil, err
+	}
+	// Steps 3-4: everyone else.
+	g2 := core.LinkSelect(core.SemiJoin(g, core.NodeSelect(g, core.NewCondition(
+		core.CondOp("id", core.Ne, uid), core.Cond("type", graph.TypeUser)), nil),
+		core.Delta(graph.Src, graph.Src)), act, nil)
+	g2p, err := core.NodeAggregate(g2, act, graph.Src, "vst", core.CollectEnd(graph.Tgt))
+	if err != nil {
+		return nil, err
+	}
+	// Step 5: Jaccard similarity links.
+	delta := core.Delta(graph.Tgt, graph.Tgt)
+	g3, err := core.Compose(g1p, g2p, delta, core.JaccardComposer("simpair", "vst", "sim", delta), ids)
+	if err != nil {
+		return nil, err
+	}
+	// Step 6: similarity network G4.
+	thr := strconv.FormatFloat(cfg.SimThreshold, 'g', -1, 64)
+	g4raw, err := core.LinkAggregate(g3, core.NewCondition(core.CondOp("sim", core.Gt, thr)),
+		"type", core.ConstAgg("match"), ids, core.WithCarry("sim"))
+	if err != nil {
+		return nil, err
+	}
+	g4 := core.LinkSelect(g4raw, core.NewCondition(core.Cond("type", "match")), nil)
+	// Step 7: users and their acted-on items G5.
+	g5 := core.LinkSelect(core.SemiJoin(g, core.NodeSelect(g, core.NewCondition(
+		core.Cond("type", cfg.ItemType)), nil), core.Delta(graph.Tgt, graph.Src)), act, nil)
+
+	var g7 *graph.Graph
+	switch cfg.Variant {
+	case CFStepwise:
+		// Steps 8-9.
+		g6, err := core.Compose(core.SemiJoin(g4, g5, core.Delta(graph.Tgt, graph.Src)),
+			core.SemiJoin(g5, g4, core.Delta(graph.Src, graph.Tgt)),
+			core.Delta(graph.Tgt, graph.Src), core.CopyAttrComposer("rec", "sim", "sim_sc"), ids)
+		if err != nil {
+			return nil, err
+		}
+		g7, err = core.LinkAggregate(g6, core.NewCondition(core.Cond("type", "rec")),
+			"score", core.Num(core.Average(core.AttrNum("sim_sc"))), ids)
+		if err != nil {
+			return nil, err
+		}
+	case CFPattern:
+		u45, err := core.Union(g4, g5)
+		if err != nil {
+			return nil, err
+		}
+		pattern := core.Pattern{
+			Start: core.NewCondition(core.Cond("id", uid)),
+			Steps: []core.PatternStep{
+				{Link: core.NewCondition(core.Cond("type", "match"))},
+				{Link: core.NewCondition(core.Cond("type", cfg.ActType)),
+					Node: core.NewCondition(core.Cond("type", cfg.ItemType))},
+			},
+		}
+		g7, err = core.PatternAggregate(u45, pattern, "score", core.AvgPathAttr(0, "sim"), ids)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("discovery: unknown CF variant %d", cfg.Variant)
+	}
+
+	// The similarity network members are the provenance basis.
+	var basis []graph.NodeID
+	for _, l := range g4.Links() {
+		if l.Src == user {
+			basis = append(basis, l.Tgt)
+		}
+	}
+	sort.Slice(basis, func(i, j int) bool { return basis[i] < basis[j] })
+
+	var recs []Recommendation
+	for _, l := range g7.Links() {
+		if l.Src != user {
+			continue
+		}
+		score, ok := l.Attrs.Float("score")
+		if !ok || score <= 0 {
+			continue
+		}
+		recs = append(recs, Recommendation{
+			Item: l.Tgt, Score: score, Basis: basis, Strategy: "cf-" + cfg.Variant.String(),
+		})
+	}
+	sortRecs(recs)
+	return recs, nil
+}
+
+// ContentBased recommends items similar to those the user has acted on
+// (Section 7.2's ItemSim, realized as Jaccard over item token sets). The
+// per-item score is the maximum similarity to any past item; provenance is
+// empty (content-based explanations cite items, not users).
+func ContentBased(g *graph.Graph, user graph.NodeID, itemType string, minSim float64) ([]Recommendation, error) {
+	if !g.HasNode(user) {
+		return nil, fmt.Errorf("discovery: unknown user %d", user)
+	}
+	if itemType == "" {
+		itemType = graph.TypeItem
+	}
+	past := make(map[graph.NodeID]struct{})
+	for _, l := range g.Out(user) {
+		if l.HasType(graph.TypeAct) {
+			past[l.Tgt] = struct{}{}
+		}
+	}
+	var recs []Recommendation
+	for _, cand := range g.NodesOfType(itemType) {
+		if _, seen := past[cand.ID]; seen {
+			continue
+		}
+		// Content similarity over attribute text only: shared type
+		// vocabulary would make every item pair spuriously similar.
+		candToks := scoring.TokenSet(cand.Attrs.Text())
+		best := 0.0
+		for p := range past {
+			pn := g.Node(p)
+			if pn == nil {
+				continue
+			}
+			if s := scoring.Jaccard(candToks, scoring.TokenSet(pn.Attrs.Text())); s > best {
+				best = s
+			}
+		}
+		if best >= minSim && best > 0 {
+			recs = append(recs, Recommendation{Item: cand.ID, Score: best, Strategy: "content"})
+		}
+	}
+	sortRecs(recs)
+	return recs, nil
+}
+
+// ExpertBased recommends the items most acted on by topic experts — the
+// Example 2 fallback when the user's own connections cannot ground the
+// query. Experts are the top-n users by activity on keyword-matching items;
+// each recommended item is scored by how many experts acted on it.
+func ExpertBased(g *graph.Graph, keywords []string, nExperts int) ([]Recommendation, error) {
+	experts := analyzer.ExpertsOn(g, keywords, nExperts)
+	if len(experts) == 0 {
+		return nil, nil
+	}
+	counts := make(map[graph.NodeID]int)
+	endorsers := make(map[graph.NodeID][]graph.NodeID)
+	for _, e := range experts {
+		for _, l := range g.Out(e) {
+			if !l.HasType(graph.TypeAct) {
+				continue
+			}
+			item := g.Node(l.Tgt)
+			if item == nil || scoring.DefaultScorer(keywords, item.Text()) < 1 {
+				continue
+			}
+			counts[l.Tgt]++
+			endorsers[l.Tgt] = append(endorsers[l.Tgt], e)
+		}
+	}
+	var recs []Recommendation
+	for item, c := range counts {
+		recs = append(recs, Recommendation{
+			Item: item, Score: float64(c), Basis: endorsers[item], Strategy: "expert",
+		})
+	}
+	sortRecs(recs)
+	return recs, nil
+}

@@ -1,0 +1,224 @@
+package federation
+
+import "sort"
+
+// ActivityClass buckets users by how active they are; the Activity Manager
+// (Figure 1) uses the classes to drive refresh frequency: "a user who is
+// highly connected may require more frequent synchronization of his
+// network" (Section 6.2, Further Discussion).
+type ActivityClass uint8
+
+const (
+	// LowActivity users sync rarely.
+	LowActivity ActivityClass = iota
+	// MediumActivity users sync at the base rate.
+	MediumActivity
+	// HighActivity users sync every round.
+	HighActivity
+)
+
+func (c ActivityClass) String() string {
+	switch c {
+	case LowActivity:
+		return "low"
+	case MediumActivity:
+		return "medium"
+	case HighActivity:
+		return "high"
+	}
+	return "unknown"
+}
+
+// ActivityManager categorizes users from observed activity counts.
+type ActivityManager struct {
+	counts map[string]int
+}
+
+// NewActivityManager returns an empty manager.
+func NewActivityManager() *ActivityManager {
+	return &ActivityManager{counts: make(map[string]int)}
+}
+
+// Observe records n activities for the user.
+func (m *ActivityManager) Observe(user string, n int) { m.counts[user] += n }
+
+// Classify buckets a user: ≥ high → HighActivity, ≥ medium →
+// MediumActivity, else LowActivity.
+func (m *ActivityManager) Classify(user string, medium, high int) ActivityClass {
+	c := m.counts[user]
+	switch {
+	case c >= high:
+		return HighActivity
+	case c >= medium:
+		return MediumActivity
+	default:
+		return LowActivity
+	}
+}
+
+// SyncPolicy decides which users to refresh each round.
+type SyncPolicy interface {
+	Name() string
+	// Due returns the users to sync on the given round (1-based).
+	Due(round int, users []string) []string
+}
+
+// UniformPolicy refreshes every user every `period` rounds.
+type UniformPolicy struct{ Period int }
+
+// Name identifies the policy.
+func (p UniformPolicy) Name() string { return "uniform" }
+
+// Due returns all users on multiples of the period.
+func (p UniformPolicy) Due(round int, users []string) []string {
+	period := p.Period
+	if period <= 0 {
+		period = 1
+	}
+	if round%period != 0 {
+		return nil
+	}
+	return append([]string(nil), users...)
+}
+
+// ActivityDrivenPolicy refreshes high-activity users every round,
+// medium-activity users every MediumPeriod rounds, and low-activity users
+// every LowPeriod rounds.
+type ActivityDrivenPolicy struct {
+	Manager      *ActivityManager
+	MediumCount  int // activity threshold for medium class
+	HighCount    int // activity threshold for high class
+	MediumPeriod int
+	LowPeriod    int
+}
+
+// Name identifies the policy.
+func (p ActivityDrivenPolicy) Name() string { return "activity-driven" }
+
+// Due classifies each user and applies the per-class period.
+func (p ActivityDrivenPolicy) Due(round int, users []string) []string {
+	mp, lp := p.MediumPeriod, p.LowPeriod
+	if mp <= 0 {
+		mp = 2
+	}
+	if lp <= 0 {
+		lp = 4
+	}
+	var out []string
+	for _, u := range users {
+		switch p.Manager.Classify(u, p.MediumCount, p.HighCount) {
+		case HighActivity:
+			out = append(out, u)
+		case MediumActivity:
+			if round%mp == 0 {
+				out = append(out, u)
+			}
+		case LowActivity:
+			if round%lp == 0 {
+				out = append(out, u)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SyncOutcome summarizes a simulated synchronization run: remote cost vs.
+// freshness achieved.
+type SyncOutcome struct {
+	Policy      string
+	Rounds      int
+	Calls       int
+	StaleChecks int // user-rounds where the replica was stale at read time
+	Reads       int // user-rounds read
+}
+
+// StaleRate returns the fraction of reads that observed stale data.
+func (o SyncOutcome) StaleRate() float64 {
+	if o.Reads == 0 {
+		return 0
+	}
+	return float64(o.StaleChecks) / float64(o.Reads)
+}
+
+// SimulateSync drives an Open Cartel site for `rounds` rounds: each round,
+// `mutator` mutates some remote profiles (returning how many activities
+// each user generated, which feeds the Activity Manager), the policy picks
+// who to sync, the integrator pulls them, and every user's replica is read
+// once with staleness recorded. Deterministic given a deterministic
+// mutator.
+func SimulateSync(site *SocialSite, o *OpenCartel, policy SyncPolicy, am *ActivityManager,
+	rounds int, mutator func(round int) map[string]int) (SyncOutcome, error) {
+	users := site.Users()
+	out := SyncOutcome{Policy: policy.Name(), Rounds: rounds}
+	if err := o.Sync(users); err != nil { // initial full sync
+		return out, err
+	}
+	base := site.Stats().Calls
+	for round := 1; round <= rounds; round++ {
+		for u, n := range mutator(round) {
+			if am != nil {
+				am.Observe(u, n)
+			}
+		}
+		due := policy.Due(round, users)
+		if len(due) > 0 {
+			if err := o.Sync(due); err != nil {
+				return out, err
+			}
+		}
+		for _, u := range users {
+			out.Reads++
+			if site.ProfileVersion(u) > o.integrator.SyncedVersion(u) {
+				out.StaleChecks++
+			}
+		}
+	}
+	out.Calls = site.Stats().Calls - base
+	return out, nil
+}
+
+// ConnectivityDrivenPolicy refreshes users in proportion to how connected
+// they are — the paper's §6.2 closing observation that "a user who is
+// highly connected may require more frequent synchronization of his
+// network". Degrees are read from a provided snapshot (degree extraction
+// is the caller's concern; the policy is deliberately storage-agnostic).
+type ConnectivityDrivenPolicy struct {
+	Degrees      map[string]int
+	HighDegree   int // ≥ HighDegree syncs every round
+	MediumDegree int // ≥ MediumDegree syncs every MediumPeriod rounds
+	MediumPeriod int
+	LowPeriod    int
+}
+
+// Name identifies the policy.
+func (p ConnectivityDrivenPolicy) Name() string { return "connectivity-driven" }
+
+// Due applies the per-degree-class period.
+func (p ConnectivityDrivenPolicy) Due(round int, users []string) []string {
+	mp, lp := p.MediumPeriod, p.LowPeriod
+	if mp <= 0 {
+		mp = 2
+	}
+	if lp <= 0 {
+		lp = 4
+	}
+	var out []string
+	for _, u := range users {
+		d := p.Degrees[u]
+		switch {
+		case d >= p.HighDegree:
+			out = append(out, u)
+		case d >= p.MediumDegree:
+			if round%mp == 0 {
+				out = append(out, u)
+			}
+		default:
+			if round%lp == 0 {
+				out = append(out, u)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}

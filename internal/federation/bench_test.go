@@ -1,0 +1,46 @@
+package federation
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkCompareModels(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := CompareModels(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOpenCartelSync(b *testing.B) {
+	s := NewSocialSite("fb")
+	o := NewOpenCartel(s)
+	for i := 0; i < 100; i++ {
+		if err := o.RegisterUser(Profile{ID: fmt.Sprintf("u:%d", i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := o.Sync(nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClosedCartelAnalysis(b *testing.B) {
+	s := NewSocialSite("fb")
+	c := NewClosedCartel(s)
+	for i := 0; i < 100; i++ {
+		if err := c.RegisterUser(Profile{ID: fmt.Sprintf("u:%d", i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.LocalGraph(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

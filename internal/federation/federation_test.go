@@ -1,0 +1,419 @@
+package federation
+
+import (
+	"strings"
+	"testing"
+
+	"socialscope/internal/graph"
+)
+
+func seedSocial(t testing.TB) *SocialSite {
+	t.Helper()
+	s := NewSocialSite("fb")
+	for _, id := range []string{"u:a", "u:b", "u:c"} {
+		s.CreateProfile(Profile{ID: id, Name: id})
+	}
+	if err := s.Connect("u:a", "u:b", "friend"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Connect("u:b", "u:c", "friend"); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSocialSiteAPIAccounting(t *testing.T) {
+	s := seedSocial(t)
+	if s.Stats().Calls != 0 {
+		t.Fatal("local mutations should not charge calls")
+	}
+	if _, err := s.FetchProfile("u:a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.FetchConnections("u:a"); err != nil {
+		t.Fatal(err)
+	}
+	s.FetchActivities("u:a")
+	if got := s.Stats().Calls; got != 3 {
+		t.Errorf("calls = %d, want 3", got)
+	}
+	if s.Stats().SimLatencyU != 3*CallCost {
+		t.Error("latency accounting wrong")
+	}
+	if _, err := s.FetchProfile("nope"); err == nil {
+		t.Error("unknown profile fetch accepted")
+	}
+	if _, err := s.FetchConnections("nope"); err == nil {
+		t.Error("unknown connections fetch accepted")
+	}
+	s.ResetStats()
+	if s.Stats().Calls != 0 {
+		t.Error("ResetStats failed")
+	}
+}
+
+func TestSocialSiteVersioning(t *testing.T) {
+	s := seedSocial(t)
+	if v := s.ProfileVersion("u:a"); v != 1 {
+		t.Fatalf("initial version = %d", v)
+	}
+	if err := s.UpdateProfile("u:a", []string{"baseball"}); err != nil {
+		t.Fatal(err)
+	}
+	if v := s.ProfileVersion("u:a"); v != 2 {
+		t.Errorf("version after update = %d", v)
+	}
+	if err := s.UpdateProfile("nope", nil); err == nil {
+		t.Error("unknown profile update accepted")
+	}
+	if s.ProfileVersion("nope") != 0 {
+		t.Error("unknown profile version should be 0")
+	}
+	if err := s.Connect("nope", "u:a", "friend"); err == nil {
+		t.Error("connect with unknown user accepted")
+	}
+}
+
+func TestDecentralizedModel(t *testing.T) {
+	d := NewDecentralized()
+	if err := d.RegisterUser(Profile{ID: "u:a", Name: "A"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Connect("u:a", "u:b"); err == nil {
+		t.Error("connection to unregistered user accepted")
+	}
+	if err := d.RegisterUser(Profile{ID: "u:b", Name: "B"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Connect("u:a", "u:b"); err != nil {
+		t.Fatal(err)
+	}
+	d.AddItem("item:1", []string{"baseball"})
+	if err := d.RecordActivity(Activity{User: "u:a", Item: "item:1", Kind: "tag"}); err != nil {
+		t.Fatal(err)
+	}
+	g, err := d.LocalGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.CountNodes(graph.TypeUser) != 2 || g.CountNodes(graph.TypeItem) != 1 {
+		t.Errorf("graph = %v", g)
+	}
+	if g.CountLinks(graph.TypeConnect) != 1 || g.CountLinks(graph.TypeAct) != 1 {
+		t.Errorf("links = %v", g.Links())
+	}
+	if d.RemoteCalls().Calls != 0 {
+		t.Error("decentralized model made remote calls")
+	}
+	if d.Name() != "decentralized" {
+		t.Error("name wrong")
+	}
+}
+
+func TestClosedCartelChargesForAnalysis(t *testing.T) {
+	social := NewSocialSite("fb")
+	c := NewClosedCartel(social)
+	for _, id := range []string{"u:a", "u:b"} {
+		if err := c.RegisterUser(Profile{ID: id, Name: id}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Connect("u:a", "u:b"); err != nil {
+		t.Fatal(err)
+	}
+	c.AddItem("item:1", nil)
+	if err := c.RecordActivity(Activity{User: "u:a", Item: "item:1", Kind: "tag"}); err != nil {
+		t.Fatal(err)
+	}
+	// The activity went remote (1 call).
+	if got := c.RemoteCalls().Calls; got != 1 {
+		t.Errorf("calls after activity = %d, want 1", got)
+	}
+	g, err := c.LocalGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Graph reconstruction costs 3 calls per user.
+	if got := c.RemoteCalls().Calls; got != 1+3*2 {
+		t.Errorf("calls after analysis = %d, want 7", got)
+	}
+	if g.CountLinks(graph.TypeAct) != 1 || g.CountLinks(graph.TypeConnect) != 1 {
+		t.Errorf("reconstructed graph wrong: %v", g.Links())
+	}
+	if c.Name() != "closed-cartel" {
+		t.Error("name wrong")
+	}
+}
+
+func TestOpenCartelSyncAndPushback(t *testing.T) {
+	social := NewSocialSite("fb")
+	o := NewOpenCartel(social)
+	for _, id := range []string{"u:a", "u:b"} {
+		if err := o.RegisterUser(Profile{ID: id, Name: id}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Local connection pushed back to the social site.
+	if err := o.Connect("u:a", "u:b"); err != nil {
+		t.Fatal(err)
+	}
+	social.ResetStats()
+	if conns, err := social.FetchConnections("u:a"); err != nil || len(conns) != 1 {
+		t.Fatalf("push-back failed: %v %v", conns, err)
+	}
+
+	o.AddItem("item:1", nil)
+	if err := o.RecordActivity(Activity{User: "u:a", Item: "item:1", Kind: "visit"}); err != nil {
+		t.Fatal(err)
+	}
+	social.ResetStats()
+	if err := o.Sync(nil); err != nil {
+		t.Fatal(err)
+	}
+	// Sync: 2 calls per user.
+	if got := social.Stats().Calls; got != 4 {
+		t.Errorf("sync calls = %d, want 4", got)
+	}
+	g, err := o.LocalGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Local analysis after sync: no further remote calls.
+	if got := social.Stats().Calls; got != 4 {
+		t.Errorf("analysis charged %d extra calls", got-4)
+	}
+	if g.CountLinks(graph.TypeConnect) != 1 || g.CountLinks(graph.TypeAct) != 1 {
+		t.Errorf("graph = %v", g.Links())
+	}
+	if o.Name() != "open-cartel" {
+		t.Error("name wrong")
+	}
+}
+
+func TestIntegratorStaleness(t *testing.T) {
+	social := seedSocial(t)
+	in := NewIntegrator(social)
+	if _, _, err := in.Pull([]string{"u:a", "u:b"}); err != nil {
+		t.Fatal(err)
+	}
+	if len(in.StaleUsers()) != 0 {
+		t.Error("fresh sync reported stale users")
+	}
+	if err := social.UpdateProfile("u:a", []string{"jazz"}); err != nil {
+		t.Fatal(err)
+	}
+	stale := in.StaleUsers()
+	if len(stale) != 1 || stale[0] != "u:a" {
+		t.Errorf("stale = %v", stale)
+	}
+	if in.SyncedVersion("u:a") != 1 {
+		t.Error("synced version wrong")
+	}
+	if _, _, err := in.Pull([]string{"nope"}); err == nil {
+		t.Error("pull of unknown user accepted")
+	}
+}
+
+func TestActivityManagerClassification(t *testing.T) {
+	am := NewActivityManager()
+	am.Observe("u:hot", 10)
+	am.Observe("u:warm", 4)
+	am.Observe("u:cold", 1)
+	if am.Classify("u:hot", 3, 8) != HighActivity {
+		t.Error("hot user misclassified")
+	}
+	if am.Classify("u:warm", 3, 8) != MediumActivity {
+		t.Error("warm user misclassified")
+	}
+	if am.Classify("u:cold", 3, 8) != LowActivity {
+		t.Error("cold user misclassified")
+	}
+	if am.Classify("u:unknown", 3, 8) != LowActivity {
+		t.Error("unknown user should be low")
+	}
+	for _, c := range []ActivityClass{LowActivity, MediumActivity, HighActivity} {
+		if c.String() == "" || c.String() == "unknown" {
+			t.Error("class String broken")
+		}
+	}
+	if ActivityClass(9).String() != "unknown" {
+		t.Error("unknown class String broken")
+	}
+}
+
+func TestSyncPolicies(t *testing.T) {
+	users := []string{"u:a", "u:b"}
+	uni := UniformPolicy{Period: 2}
+	if got := uni.Due(1, users); got != nil {
+		t.Errorf("round 1 due = %v", got)
+	}
+	if got := uni.Due(2, users); len(got) != 2 {
+		t.Errorf("round 2 due = %v", got)
+	}
+	if got := (UniformPolicy{}).Due(1, users); len(got) != 2 {
+		t.Error("zero period should default to every round")
+	}
+
+	am := NewActivityManager()
+	am.Observe("u:a", 10) // high
+	pol := ActivityDrivenPolicy{Manager: am, MediumCount: 3, HighCount: 8}
+	due1 := pol.Due(1, users)
+	if len(due1) != 1 || due1[0] != "u:a" {
+		t.Errorf("round 1 due = %v", due1)
+	}
+	due4 := pol.Due(4, users) // low users due on round 4 (default LowPeriod)
+	if len(due4) != 2 {
+		t.Errorf("round 4 due = %v", due4)
+	}
+	if pol.Name() == "" || uni.Name() == "" {
+		t.Error("policy names empty")
+	}
+}
+
+func TestSimulateSyncActivityBeatsUniformOnCost(t *testing.T) {
+	build := func() (*SocialSite, *OpenCartel) {
+		s := NewSocialSite("fb")
+		for _, id := range []string{"u:hot", "u:cold1", "u:cold2", "u:cold3"} {
+			s.CreateProfile(Profile{ID: id, Name: id})
+		}
+		return s, NewOpenCartel(s)
+	}
+	// The hot user mutates every round; cold users never do.
+	mutator := func(round int) map[string]int {
+		return map[string]int{"u:hot": 5}
+	}
+	mutate := func(s *SocialSite) func(int) map[string]int {
+		return func(round int) map[string]int {
+			if err := s.UpdateProfile("u:hot", []string{"r"}); err != nil {
+				panic(err)
+			}
+			return mutator(round)
+		}
+	}
+
+	s1, o1 := build()
+	uniOut, err := SimulateSync(s1, o1, UniformPolicy{Period: 1}, nil, 8, mutate(s1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, o2 := build()
+	am := NewActivityManager()
+	actOut, err := SimulateSync(s2, o2, ActivityDrivenPolicy{
+		Manager: am, MediumCount: 2, HighCount: 4, MediumPeriod: 2, LowPeriod: 4,
+	}, am, 8, mutate(s2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Activity-driven: far fewer calls (skips cold users most rounds)…
+	if actOut.Calls >= uniOut.Calls {
+		t.Errorf("activity-driven calls %d should undercut uniform %d", actOut.Calls, uniOut.Calls)
+	}
+	// …with no staleness on the only mutating (hot) user beyond uniform's.
+	if actOut.StaleRate() > uniOut.StaleRate() {
+		t.Errorf("activity-driven stale rate %f worse than uniform %f",
+			actOut.StaleRate(), uniOut.StaleRate())
+	}
+	if uniOut.Reads == 0 || actOut.Rounds != 8 {
+		t.Error("outcome bookkeeping wrong")
+	}
+	if (SyncOutcome{}).StaleRate() != 0 {
+		t.Error("zero-read stale rate should be 0")
+	}
+}
+
+func TestCompareModelsMatchesPaperTable2(t *testing.T) {
+	tbl, err := CompareModels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every cell of the paper's Table 2, asserted verbatim.
+	want := map[[2]string]string{
+		{"which site", "decentralized"}:    "content site",
+		{"which site", "closed-cartel"}:    "social site",
+		{"which site", "open-cartel"}:      "content site",
+		{"multiple same", "decentralized"}: "yes",
+		{"multiple same", "closed-cartel"}: "no",
+		{"multiple same", "open-cartel"}:   "no",
+	}
+	for k, v := range want {
+		got, err := tbl.Cell(k[0], k[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != v {
+			t.Errorf("cell(%q, %q) = %q, want %q", k[0], k[1], got, v)
+		}
+	}
+	// Content-site and social-site control rows.
+	type rowWant struct {
+		factor string
+		cells  [3]string
+	}
+	// Locate rows by group+factor to disambiguate the duplicated factors.
+	findRow := func(group, factor string) *Table2Row {
+		for i := range tbl.Rows {
+			if tbl.Rows[i].Group == group && strings.Contains(tbl.Rows[i].Factor, factor) {
+				return &tbl.Rows[i]
+			}
+		}
+		return nil
+	}
+	checks := []struct {
+		group, factor string
+		cells         [3]string
+	}{
+		{"content sites", "control over content", [3]string{"yes", "limited", "yes"}},
+		{"content sites", "control over social graph", [3]string{"yes", "no", "limited"}},
+		{"content sites", "control over activities", [3]string{"yes", "no", "yes"}},
+		{"social sites", "control over content", [3]string{"no", "limited", "no"}},
+		{"social sites", "control over social graph", [3]string{"no", "yes", "yes"}},
+		{"social sites", "control over activities", [3]string{"no", "yes", "limited"}},
+	}
+	for _, c := range checks {
+		r := findRow(c.group, c.factor)
+		if r == nil {
+			t.Fatalf("missing row %s / %s", c.group, c.factor)
+		}
+		if r.Cells != c.cells {
+			t.Errorf("%s / %s = %v, want %v", c.group, c.factor, r.Cells, c.cells)
+		}
+	}
+	// Rendering and lookup errors.
+	if !strings.Contains(tbl.String(), "open-cartel") {
+		t.Error("table rendering incomplete")
+	}
+	if _, err := tbl.Cell("which site", "bogus"); err == nil {
+		t.Error("unknown column accepted")
+	}
+	if _, err := tbl.Cell("bogus-factor", "open-cartel"); err == nil {
+		t.Error("unknown factor accepted")
+	}
+}
+
+func TestConnectivityDrivenPolicy(t *testing.T) {
+	users := []string{"u:hub", "u:mid", "u:leaf"}
+	pol := ConnectivityDrivenPolicy{
+		Degrees:      map[string]int{"u:hub": 50, "u:mid": 10, "u:leaf": 1},
+		HighDegree:   30,
+		MediumDegree: 5,
+		MediumPeriod: 2,
+		LowPeriod:    4,
+	}
+	if got := pol.Due(1, users); len(got) != 1 || got[0] != "u:hub" {
+		t.Errorf("round 1 due = %v", got)
+	}
+	if got := pol.Due(2, users); len(got) != 2 {
+		t.Errorf("round 2 due = %v", got)
+	}
+	if got := pol.Due(4, users); len(got) != 3 {
+		t.Errorf("round 4 due = %v", got)
+	}
+	if pol.Name() != "connectivity-driven" {
+		t.Error("name wrong")
+	}
+	// Default periods.
+	def := ConnectivityDrivenPolicy{Degrees: map[string]int{}, HighDegree: 1, MediumDegree: 1}
+	if got := def.Due(4, []string{"u:x"}); len(got) != 1 {
+		t.Errorf("default low period due = %v", got)
+	}
+}

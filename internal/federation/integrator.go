@@ -1,0 +1,55 @@
+package federation
+
+import "sort"
+
+// Integrator is the Content Integrator of Figure 1: it pulls social data
+// from remote sites through their APIs and tracks per-user versions so the
+// Data Manager can reason about staleness.
+type Integrator struct {
+	source   *SocialSite
+	versions map[string]int // last synced profile version per user
+}
+
+// NewIntegrator builds an integrator over one remote social site.
+func NewIntegrator(source *SocialSite) *Integrator {
+	return &Integrator{source: source, versions: make(map[string]int)}
+}
+
+// Pull fetches the given users' profiles and connections (two calls per
+// user) and records the synced versions.
+func (in *Integrator) Pull(users []string) (map[string]Profile, []Connection, error) {
+	profiles := make(map[string]Profile, len(users))
+	var conns []Connection
+	for _, id := range users {
+		p, err := in.source.FetchProfile(id)
+		if err != nil {
+			return nil, nil, err
+		}
+		profiles[id] = p
+		in.versions[id] = p.Version
+		cs, err := in.source.FetchConnections(id)
+		if err != nil {
+			return nil, nil, err
+		}
+		conns = append(conns, cs...)
+	}
+	return profiles, conns, nil
+}
+
+// StaleUsers returns the users whose authoritative profile version is
+// ahead of the last synced one. (Instrumentation: a real deployment would
+// learn this from change feeds; the experiments use it as ground truth.)
+func (in *Integrator) StaleUsers() []string {
+	var out []string
+	for id, v := range in.versions {
+		if in.source.ProfileVersion(id) > v {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SyncedVersion returns the last version pulled for the user (0 when the
+// user has never been synced).
+func (in *Integrator) SyncedVersion(id string) int { return in.versions[id] }

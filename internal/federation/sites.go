@@ -1,0 +1,189 @@
+// Package federation implements SocialScope's Content Management layer
+// (Section 6): the three management models for social content sites
+// (Decentralized, Closed Cartel, Open Cartel), a simulated OpenSocial-style
+// API to stand in for remote social sites (Facebook, Y!IM, Y!Sports in
+// Figure 1), the Content Integrator that folds remote social data into the
+// local social content graph, the Data Manager's refresh machinery, and the
+// Activity Manager's activity-driven synchronization policy.
+//
+// Remote sites are in-process simulations: every call is counted and
+// charged a deterministic simulated latency, so the models' control and
+// cost trade-offs (Table 2) are measurable without network access.
+package federation
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Profile is a user's social profile as managed by a social site.
+type Profile struct {
+	ID        string // external user id, e.g. "fb:123"
+	Name      string
+	Interests []string
+	Version   int // bumped on every update; drives staleness accounting
+}
+
+// Connection is a social connection between two external user ids.
+type Connection struct {
+	From, To string
+	Kind     string // friend, contact, ...
+}
+
+// Activity is a user action on an item (tag, visit, review).
+type Activity struct {
+	User string
+	Item string
+	Kind string
+	Tags []string
+	Seq  int // site-assigned sequence number
+}
+
+// CallCost is the simulated latency charged per remote API call, in
+// microseconds. The absolute value is arbitrary; what the experiments
+// compare is call counts and their ratios across models.
+const CallCost = 50
+
+// APIStats counts the simulated remote traffic of a site.
+type APIStats struct {
+	Calls       int
+	SimLatencyU int64 // CallCost × Calls, in simulated microseconds
+}
+
+func (s *APIStats) charge() {
+	s.Calls++
+	s.SimLatencyU += CallCost
+}
+
+// SocialSite simulates a remote social site behind an OpenSocial-style
+// API: authoritative storage of profiles and connections, optional hosting
+// of activities (Closed Cartel), with call accounting.
+type SocialSite struct {
+	Name        string
+	profiles    map[string]*Profile
+	connections map[string][]Connection // by From
+	activities  []Activity
+	seq         int
+	stats       APIStats
+}
+
+// NewSocialSite creates an empty simulated social site.
+func NewSocialSite(name string) *SocialSite {
+	return &SocialSite{
+		Name:        name,
+		profiles:    make(map[string]*Profile),
+		connections: make(map[string][]Connection),
+	}
+}
+
+// Stats returns the accumulated API statistics.
+func (s *SocialSite) Stats() APIStats { return s.stats }
+
+// ResetStats clears the call counters (used between experiment phases).
+func (s *SocialSite) ResetStats() { s.stats = APIStats{} }
+
+// CreateProfile registers or replaces a profile (local mutation: the
+// site's own users acting on the site; not charged as remote traffic).
+func (s *SocialSite) CreateProfile(p Profile) {
+	p.Version = 1
+	if old, ok := s.profiles[p.ID]; ok {
+		p.Version = old.Version + 1
+	}
+	s.profiles[p.ID] = &p
+}
+
+// UpdateProfile mutates a profile, bumping its version.
+func (s *SocialSite) UpdateProfile(id string, interests []string) error {
+	p, ok := s.profiles[id]
+	if !ok {
+		return fmt.Errorf("federation: %s has no profile %q", s.Name, id)
+	}
+	p.Interests = append([]string(nil), interests...)
+	p.Version++
+	return nil
+}
+
+// Connect records a connection between two registered users.
+func (s *SocialSite) Connect(from, to, kind string) error {
+	if _, ok := s.profiles[from]; !ok {
+		return fmt.Errorf("federation: %s has no profile %q", s.Name, from)
+	}
+	if _, ok := s.profiles[to]; !ok {
+		return fmt.Errorf("federation: %s has no profile %q", s.Name, to)
+	}
+	s.connections[from] = append(s.connections[from], Connection{From: from, To: to, Kind: kind})
+	return nil
+}
+
+// --- OpenSocial-style remote API (charged) --------------------------------
+
+// FetchProfile returns a profile by id; one remote call.
+func (s *SocialSite) FetchProfile(id string) (Profile, error) {
+	s.stats.charge()
+	p, ok := s.profiles[id]
+	if !ok {
+		return Profile{}, fmt.Errorf("federation: %s has no profile %q", s.Name, id)
+	}
+	return *p, nil
+}
+
+// FetchConnections returns a user's connections; one remote call.
+func (s *SocialSite) FetchConnections(id string) ([]Connection, error) {
+	s.stats.charge()
+	if _, ok := s.profiles[id]; !ok {
+		return nil, fmt.Errorf("federation: %s has no profile %q", s.Name, id)
+	}
+	return append([]Connection(nil), s.connections[id]...), nil
+}
+
+// PushConnection propagates a connection established elsewhere back to the
+// social site (the Open Cartel back-channel); one remote call.
+func (s *SocialSite) PushConnection(c Connection) error {
+	s.stats.charge()
+	if _, ok := s.profiles[c.From]; !ok {
+		return fmt.Errorf("federation: %s has no profile %q", s.Name, c.From)
+	}
+	s.connections[c.From] = append(s.connections[c.From], c)
+	return nil
+}
+
+// PushActivity stores an activity at the social site (Closed Cartel: the
+// content site delegates activity management); one remote call.
+func (s *SocialSite) PushActivity(a Activity) {
+	s.stats.charge()
+	s.seq++
+	a.Seq = s.seq
+	s.activities = append(s.activities, a)
+}
+
+// FetchActivities returns a user's activities hosted at the social site;
+// one remote call.
+func (s *SocialSite) FetchActivities(user string) []Activity {
+	s.stats.charge()
+	var out []Activity
+	for _, a := range s.activities {
+		if a.User == user {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Users returns the registered external ids, sorted.
+func (s *SocialSite) Users() []string {
+	out := make([]string, 0, len(s.profiles))
+	for id := range s.profiles {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ProfileVersion exposes the current version of a profile without charging
+// a call (experiment instrumentation, not part of the remote API).
+func (s *SocialSite) ProfileVersion(id string) int {
+	if p, ok := s.profiles[id]; ok {
+		return p.Version
+	}
+	return 0
+}

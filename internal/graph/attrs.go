@@ -1,0 +1,201 @@
+package graph
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Attrs holds the schema-less, multi-valued structural attributes of a node
+// or link. The paper's satisfaction rule (Section 5.1) treats an attribute's
+// values as a set: a condition att=v1,...,vk is satisfied when the stored
+// value set is a superset of {v1,...,vk}. Values are kept in insertion order
+// but compared as sets.
+type Attrs map[string][]string
+
+// NewAttrs builds an attribute map from alternating key/value pairs.
+// Repeated keys accumulate multiple values. It panics on an odd number of
+// arguments, which is always a programming error, never data-dependent.
+func NewAttrs(kv ...string) Attrs {
+	if len(kv)%2 != 0 {
+		panic("graph.NewAttrs: odd number of key/value arguments")
+	}
+	a := make(Attrs, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		a.Add(kv[i], kv[i+1])
+	}
+	return a
+}
+
+// Get returns the first value of the attribute, or "" if absent.
+func (a Attrs) Get(key string) string {
+	vs := a[key]
+	if len(vs) == 0 {
+		return ""
+	}
+	return vs[0]
+}
+
+// All returns every value of the attribute (possibly nil). The returned
+// slice is the stored slice; callers must not mutate it.
+func (a Attrs) All(key string) []string {
+	return a[key]
+}
+
+// Set replaces all values of the attribute with the given ones.
+func (a Attrs) Set(key string, values ...string) {
+	a[key] = append([]string(nil), values...)
+}
+
+// Add appends a value to the attribute if not already present (set
+// semantics on write keep Has/Superset checks linear in practice).
+func (a Attrs) Add(key, value string) {
+	for _, v := range a[key] {
+		if v == value {
+			return
+		}
+	}
+	a[key] = append(a[key], value)
+}
+
+// Has reports whether the attribute contains the given value.
+func (a Attrs) Has(key, value string) bool {
+	for _, v := range a[key] {
+		if v == value {
+			return true
+		}
+	}
+	return false
+}
+
+// Superset reports whether the stored value set for key contains every value
+// in want. This is the paper's structural-condition satisfaction rule.
+func (a Attrs) Superset(key string, want []string) bool {
+	for _, w := range want {
+		if !a.Has(key, w) {
+			return false
+		}
+	}
+	return true
+}
+
+// Float parses the first value of the attribute as a float64. ok is false
+// when the attribute is absent or not numeric.
+func (a Attrs) Float(key string) (v float64, ok bool) {
+	s := a.Get(key)
+	if s == "" {
+		return 0, false
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, false
+	}
+	return f, true
+}
+
+// SetFloat stores a numeric value as the attribute's single value.
+func (a Attrs) SetFloat(key string, v float64) {
+	a.Set(key, strconv.FormatFloat(v, 'g', -1, 64))
+}
+
+// Int parses the first value of the attribute as an int64.
+func (a Attrs) Int(key string) (v int64, ok bool) {
+	s := a.Get(key)
+	if s == "" {
+		return 0, false
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// SetInt stores an integer value as the attribute's single value.
+func (a Attrs) SetInt(key string, v int64) {
+	a.Set(key, strconv.FormatInt(v, 10))
+}
+
+// Keys returns the attribute names in sorted order, giving deterministic
+// iteration for encoding and tests.
+func (a Attrs) Keys() []string {
+	keys := make([]string, 0, len(a))
+	for k := range a {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Clone returns a deep copy. Operators in the algebra clone attributes
+// before mutating so that input graphs are never modified.
+func (a Attrs) Clone() Attrs {
+	if a == nil {
+		return nil
+	}
+	c := make(Attrs, len(a))
+	for k, vs := range a {
+		c[k] = append([]string(nil), vs...)
+	}
+	return c
+}
+
+// Merge folds the other attribute map into this one with set semantics per
+// key. Used when set-theoretic operators consolidate two nodes or links with
+// the same id (Definition 3).
+func (a Attrs) Merge(other Attrs) {
+	for _, k := range other.Keys() {
+		for _, v := range other[k] {
+			a.Add(k, v)
+		}
+	}
+}
+
+// Equal reports whether two attribute maps hold the same value sets.
+func (a Attrs) Equal(other Attrs) bool {
+	if len(a) != len(other) {
+		return false
+	}
+	for k, vs := range a {
+		ws, ok := other[k]
+		if !ok || len(vs) != len(ws) {
+			return false
+		}
+		if !a.Superset(k, ws) || !other.Superset(k, vs) {
+			return false
+		}
+	}
+	return true
+}
+
+// Text concatenates every attribute value into a single lowercase string for
+// keyword scoring. The mandatory type attribute participates, matching the
+// paper's use of content conditions against whole entities.
+func (a Attrs) Text() string {
+	var sb strings.Builder
+	for _, k := range a.Keys() {
+		for _, v := range a[k] {
+			if sb.Len() > 0 {
+				sb.WriteByte(' ')
+			}
+			sb.WriteString(strings.ToLower(v))
+		}
+	}
+	return sb.String()
+}
+
+// String renders the attributes in a stable {k=v1,v2; ...} form.
+func (a Attrs) String() string {
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, k := range a.Keys() {
+		if i > 0 {
+			sb.WriteString("; ")
+		}
+		sb.WriteString(k)
+		sb.WriteByte('=')
+		sb.WriteString(strings.Join(a[k], ","))
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}

@@ -1,0 +1,140 @@
+package graph
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestNewAttrs(t *testing.T) {
+	a := NewAttrs("type", "user", "type", "traveler", "name", "John")
+	if got := a.Get("name"); got != "John" {
+		t.Errorf("Get(name) = %q, want John", got)
+	}
+	if got := a.All("type"); !reflect.DeepEqual(got, []string{"user", "traveler"}) {
+		t.Errorf("All(type) = %v", got)
+	}
+}
+
+func TestNewAttrsOddPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on odd kv count")
+		}
+	}()
+	NewAttrs("only-key")
+}
+
+func TestAttrsAddDeduplicates(t *testing.T) {
+	a := Attrs{}
+	a.Add("tags", "baseball")
+	a.Add("tags", "baseball")
+	a.Add("tags", "rockies")
+	if got := a.All("tags"); len(got) != 2 {
+		t.Errorf("duplicate value stored: %v", got)
+	}
+}
+
+func TestAttrsSupersetSatisfaction(t *testing.T) {
+	// The paper: node satisfies att=v1..vk iff its value set is a superset.
+	a := NewAttrs("type", "item", "type", "city", "keywords", "skiing")
+	cases := []struct {
+		key  string
+		want []string
+		ok   bool
+	}{
+		{"type", []string{"city"}, true},
+		{"type", []string{"item", "city"}, true},
+		{"type", []string{"city", "hotel"}, false},
+		{"keywords", []string{"skiing"}, true},
+		{"missing", []string{"x"}, false},
+		{"type", nil, true}, // empty requirement always satisfied
+	}
+	for _, c := range cases {
+		if got := a.Superset(c.key, c.want); got != c.ok {
+			t.Errorf("Superset(%s, %v) = %v, want %v", c.key, c.want, got, c.ok)
+		}
+	}
+}
+
+func TestAttrsNumeric(t *testing.T) {
+	a := Attrs{}
+	a.SetFloat("rating", 0.5)
+	if v, ok := a.Float("rating"); !ok || v != 0.5 {
+		t.Errorf("Float(rating) = %v,%v", v, ok)
+	}
+	a.SetInt("count", 42)
+	if v, ok := a.Int("count"); !ok || v != 42 {
+		t.Errorf("Int(count) = %v,%v", v, ok)
+	}
+	if _, ok := a.Float("missing"); ok {
+		t.Error("Float(missing) reported ok")
+	}
+	a.Set("junk", "not-a-number")
+	if _, ok := a.Float("junk"); ok {
+		t.Error("Float(junk) reported ok")
+	}
+	if _, ok := a.Int("junk"); ok {
+		t.Error("Int(junk) reported ok")
+	}
+}
+
+func TestAttrsCloneIndependence(t *testing.T) {
+	a := NewAttrs("k", "v1")
+	c := a.Clone()
+	c.Add("k", "v2")
+	c.Set("new", "x")
+	if len(a.All("k")) != 1 || a.Get("new") != "" {
+		t.Errorf("clone mutated original: %v", a)
+	}
+	var nilA Attrs
+	if nilA.Clone() != nil {
+		t.Error("Clone of nil should be nil")
+	}
+}
+
+func TestAttrsMerge(t *testing.T) {
+	a := NewAttrs("type", "user", "name", "John")
+	b := NewAttrs("type", "traveler", "name", "John", "city", "Denver")
+	a.Merge(b)
+	if !a.Superset("type", []string{"user", "traveler"}) {
+		t.Errorf("merge lost types: %v", a)
+	}
+	if len(a.All("name")) != 1 {
+		t.Errorf("merge duplicated name: %v", a.All("name"))
+	}
+	if a.Get("city") != "Denver" {
+		t.Errorf("merge missed new key: %v", a)
+	}
+}
+
+func TestAttrsEqual(t *testing.T) {
+	a := NewAttrs("k", "v1", "k", "v2")
+	b := NewAttrs("k", "v2", "k", "v1") // order differs, set equal
+	if !a.Equal(b) {
+		t.Error("set-equal attrs reported unequal")
+	}
+	c := NewAttrs("k", "v1")
+	if a.Equal(c) {
+		t.Error("different value counts reported equal")
+	}
+	d := NewAttrs("k2", "v1", "k2", "v2")
+	if a.Equal(d) {
+		t.Error("different keys reported equal")
+	}
+}
+
+func TestAttrsText(t *testing.T) {
+	a := NewAttrs("name", "Denver", "keywords", "Skiing")
+	txt := a.Text()
+	if txt != "skiing denver" && txt != "denver skiing" {
+		// keys iterate sorted: keywords < name
+		t.Errorf("Text() = %q", txt)
+	}
+}
+
+func TestAttrsStringDeterministic(t *testing.T) {
+	a := NewAttrs("b", "2", "a", "1")
+	if got := a.String(); got != "{a=1; b=2}" {
+		t.Errorf("String() = %q", got)
+	}
+}

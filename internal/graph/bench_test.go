@@ -1,0 +1,70 @@
+package graph
+
+import "testing"
+
+func benchGraph(b *testing.B, n, m int) *Graph {
+	b.Helper()
+	g := randomGraph(42, n, m)
+	b.ResetTimer()
+	return g
+}
+
+func BenchmarkAddLink(b *testing.B) {
+	g := New()
+	for i := 1; i <= 2; i++ {
+		if err := g.AddNode(NewNode(NodeID(i), TypeUser)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := g.AddLink(NewLink(LinkID(i+1), 1, 2, TypeConnect)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClone(b *testing.B) {
+	g := benchGraph(b, 500, 2000)
+	for i := 0; i < b.N; i++ {
+		g.Clone()
+	}
+}
+
+func BenchmarkShallowClone(b *testing.B) {
+	g := benchGraph(b, 500, 2000)
+	for i := 0; i < b.N; i++ {
+		g.ShallowClone()
+	}
+}
+
+func BenchmarkInducedByNodes(b *testing.B) {
+	g := benchGraph(b, 500, 2000)
+	keep := make(map[NodeID]struct{})
+	for _, id := range g.NodeIDs()[:250] {
+		keep[id] = struct{}{}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.InducedByNodes(keep)
+	}
+}
+
+func BenchmarkBFS(b *testing.B) {
+	g := benchGraph(b, 500, 2000)
+	start := g.NodeIDs()[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		count := 0
+		g.BFS(start, true, true, func(NodeID, int) bool { count++; return true })
+	}
+}
+
+func BenchmarkValidate(b *testing.B) {
+	g := benchGraph(b, 500, 2000)
+	for i := 0; i < b.N; i++ {
+		if err := g.Validate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

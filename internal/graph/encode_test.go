@@ -1,0 +1,110 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	b := NewBuilder()
+	u := b.Node([]string{TypeUser, "traveler"}, "name", "John")
+	c := b.Node([]string{TypeItem, "city"}, "name", "Denver", "keywords", "skiing")
+	b.Link(u, c, []string{TypeAct, SubtypeTag}, "tags", "rockies", "tags", "baseball")
+	g := b.Graph()
+
+	var buf bytes.Buffer
+	if err := g.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Equal(got) {
+		t.Errorf("round trip mismatch:\n%v\n%v", g.Nodes(), got.Nodes())
+	}
+	if err := got.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	g := buildSample(t)
+	var a, b bytes.Buffer
+	if err := g.Encode(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Encode(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("Encode is nondeterministic")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(strings.NewReader("{not json")); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	// Link referencing a missing node.
+	bad := `{"nodes":[{"id":1,"types":["user"]}],"links":[{"id":1,"src":1,"tgt":9,"types":["act"]}]}`
+	if _, err := Decode(strings.NewReader(bad)); err == nil {
+		t.Error("dangling link accepted")
+	}
+	// Duplicate node ids.
+	dup := `{"nodes":[{"id":1,"types":["user"]},{"id":1,"types":["user"]}],"links":[]}`
+	if _, err := Decode(strings.NewReader(dup)); err == nil {
+		t.Error("duplicate node accepted")
+	}
+}
+
+func TestDOT(t *testing.T) {
+	g := buildSample(t)
+	dot := g.DOT("sample")
+	for _, want := range []string{"digraph", "n1", "n2", "n1 -> n2", "John"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	g := buildSample(t)
+	s := g.ComputeStats()
+	if s.Nodes != 2 || s.Links != 1 || s.Components != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.NodesByType[TypeUser] != 1 || s.NodesByType[TypeItem] != 1 {
+		t.Errorf("NodesByType = %v", s.NodesByType)
+	}
+	if s.LinksByType[TypeAct] != 1 {
+		t.Errorf("LinksByType = %v", s.LinksByType)
+	}
+	if s.MaxOutDegree != 1 || s.MaxInDegree != 1 || s.IsolatedNodes != 0 {
+		t.Errorf("degrees = %+v", s)
+	}
+	if !strings.Contains(s.String(), "nodes=2") {
+		t.Errorf("stats String = %q", s.String())
+	}
+}
+
+func TestTypeCounters(t *testing.T) {
+	g := buildSample(t)
+	if g.CountNodes(TypeUser) != 1 || g.CountNodes(TypeItem) != 1 || g.CountNodes(TypeTopic) != 0 {
+		t.Error("CountNodes wrong")
+	}
+	if g.CountLinks(TypeAct) != 1 || g.CountLinks(TypeConnect) != 0 {
+		t.Error("CountLinks wrong")
+	}
+	if ns := g.NodesOfType(TypeUser); len(ns) != 1 || ns[0].ID != 1 {
+		t.Errorf("NodesOfType = %v", ns)
+	}
+	if ls := g.LinksOfType(SubtypeTag); len(ls) != 1 {
+		t.Errorf("LinksOfType = %v", ls)
+	}
+	h := g.DegreeHistogram()
+	if h[1] != 2 {
+		t.Errorf("DegreeHistogram = %v", h)
+	}
+}

@@ -1,0 +1,405 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Common errors returned by graph mutation methods.
+var (
+	ErrDuplicateNode  = errors.New("graph: node id already present")
+	ErrDuplicateLink  = errors.New("graph: link id already present")
+	ErrMissingNode    = errors.New("graph: node id not present")
+	ErrMissingEnd     = errors.New("graph: link endpoint not present")
+	ErrNilElement     = errors.New("graph: nil node or link")
+	ErrEndpointChange = errors.New("graph: consolidated link has different endpoints")
+)
+
+// Graph is an instance of a social content site: a set of id-addressed nodes
+// and links with adjacency indexes. A Graph may be a "null graph" in the
+// paper's sense — nodes with no links — which node selection produces.
+//
+// Graphs are not safe for concurrent mutation; concurrent reads are safe.
+type Graph struct {
+	nodes map[NodeID]*Node
+	links map[LinkID]*Link
+	out   map[NodeID][]LinkID
+	in    map[NodeID][]LinkID
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{
+		nodes: make(map[NodeID]*Node),
+		links: make(map[LinkID]*Link),
+		out:   make(map[NodeID][]LinkID),
+		in:    make(map[NodeID][]LinkID),
+	}
+}
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumLinks returns the number of links.
+func (g *Graph) NumLinks() int { return len(g.links) }
+
+// Node returns the node with the given id, or nil.
+func (g *Graph) Node(id NodeID) *Node { return g.nodes[id] }
+
+// Link returns the link with the given id, or nil.
+func (g *Graph) Link(id LinkID) *Link { return g.links[id] }
+
+// HasNode reports whether the node id is present.
+func (g *Graph) HasNode(id NodeID) bool { _, ok := g.nodes[id]; return ok }
+
+// HasLink reports whether the link id is present.
+func (g *Graph) HasLink(id LinkID) bool { _, ok := g.links[id]; return ok }
+
+// AddNode inserts a node. It fails on nil input or duplicate id.
+func (g *Graph) AddNode(n *Node) error {
+	if n == nil {
+		return ErrNilElement
+	}
+	if _, ok := g.nodes[n.ID]; ok {
+		return fmt.Errorf("%w: %d", ErrDuplicateNode, n.ID)
+	}
+	g.nodes[n.ID] = n
+	return nil
+}
+
+// PutNode inserts the node, consolidating (merging) with any existing node
+// of the same id. This is the consolidation rule of Definition 3.
+func (g *Graph) PutNode(n *Node) {
+	if n == nil {
+		return
+	}
+	if ex, ok := g.nodes[n.ID]; ok {
+		ex.Merge(n)
+		return
+	}
+	g.nodes[n.ID] = n
+}
+
+// AddLink inserts a link. Both endpoints must already be present; this keeps
+// every Graph a well-formed subgraph (links induce their endpoints).
+func (g *Graph) AddLink(l *Link) error {
+	if l == nil {
+		return ErrNilElement
+	}
+	if _, ok := g.links[l.ID]; ok {
+		return fmt.Errorf("%w: %d", ErrDuplicateLink, l.ID)
+	}
+	if !g.HasNode(l.Src) {
+		return fmt.Errorf("%w: src %d of link %d", ErrMissingEnd, l.Src, l.ID)
+	}
+	if !g.HasNode(l.Tgt) {
+		return fmt.Errorf("%w: tgt %d of link %d", ErrMissingEnd, l.Tgt, l.ID)
+	}
+	g.links[l.ID] = l
+	g.out[l.Src] = append(g.out[l.Src], l.ID)
+	g.in[l.Tgt] = append(g.in[l.Tgt], l.ID)
+	return nil
+}
+
+// PutLink inserts the link, consolidating with any existing link of the same
+// id. Consolidation with different endpoints is an error. Missing endpoint
+// nodes are an error, as with AddLink.
+func (g *Graph) PutLink(l *Link) error {
+	if l == nil {
+		return ErrNilElement
+	}
+	if ex, ok := g.links[l.ID]; ok {
+		if ex.Src != l.Src || ex.Tgt != l.Tgt {
+			return fmt.Errorf("%w: link %d", ErrEndpointChange, l.ID)
+		}
+		ex.Merge(l)
+		return nil
+	}
+	return g.AddLink(l)
+}
+
+// RemoveLink deletes a link (no-op when absent). Endpoint nodes remain.
+func (g *Graph) RemoveLink(id LinkID) {
+	l, ok := g.links[id]
+	if !ok {
+		return
+	}
+	delete(g.links, id)
+	g.out[l.Src] = removeLinkID(g.out[l.Src], id)
+	g.in[l.Tgt] = removeLinkID(g.in[l.Tgt], id)
+}
+
+// RemoveNode deletes a node and every link incident on it.
+func (g *Graph) RemoveNode(id NodeID) {
+	if _, ok := g.nodes[id]; !ok {
+		return
+	}
+	for _, lid := range append(append([]LinkID(nil), g.out[id]...), g.in[id]...) {
+		g.RemoveLink(lid)
+	}
+	delete(g.nodes, id)
+	delete(g.out, id)
+	delete(g.in, id)
+}
+
+func removeLinkID(ids []LinkID, id LinkID) []LinkID {
+	for i, v := range ids {
+		if v == id {
+			return append(ids[:i], ids[i+1:]...)
+		}
+	}
+	return ids
+}
+
+// NodeIDs returns all node ids in ascending order.
+func (g *Graph) NodeIDs() []NodeID {
+	ids := make([]NodeID, 0, len(g.nodes))
+	for id := range g.nodes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// LinkIDs returns all link ids in ascending order.
+func (g *Graph) LinkIDs() []LinkID {
+	ids := make([]LinkID, 0, len(g.links))
+	for id := range g.links {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Nodes returns all nodes ordered by ascending id.
+func (g *Graph) Nodes() []*Node {
+	ids := g.NodeIDs()
+	ns := make([]*Node, len(ids))
+	for i, id := range ids {
+		ns[i] = g.nodes[id]
+	}
+	return ns
+}
+
+// Links returns all links ordered by ascending id.
+func (g *Graph) Links() []*Link {
+	ids := g.LinkIDs()
+	ls := make([]*Link, len(ids))
+	for i, id := range ids {
+		ls[i] = g.links[id]
+	}
+	return ls
+}
+
+// Out returns the links whose source is the given node, ordered by id.
+func (g *Graph) Out(id NodeID) []*Link {
+	return g.linkSlice(g.out[id])
+}
+
+// In returns the links whose target is the given node, ordered by id.
+func (g *Graph) In(id NodeID) []*Link {
+	return g.linkSlice(g.in[id])
+}
+
+// Incident returns all links touching the node (out then in), ordered by id
+// within each direction.
+func (g *Graph) Incident(id NodeID) []*Link {
+	return append(g.Out(id), g.In(id)...)
+}
+
+// OutDegree returns the number of outgoing links of the node.
+func (g *Graph) OutDegree(id NodeID) int { return len(g.out[id]) }
+
+// InDegree returns the number of incoming links of the node.
+func (g *Graph) InDegree(id NodeID) int { return len(g.in[id]) }
+
+func (g *Graph) linkSlice(ids []LinkID) []*Link {
+	sorted := append([]LinkID(nil), ids...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	ls := make([]*Link, len(sorted))
+	for i, id := range sorted {
+		ls[i] = g.links[id]
+	}
+	return ls
+}
+
+// Neighbors returns the distinct node ids adjacent to the node (either
+// direction), in ascending order.
+func (g *Graph) Neighbors(id NodeID) []NodeID {
+	seen := make(map[NodeID]struct{})
+	for _, lid := range g.out[id] {
+		seen[g.links[lid].Tgt] = struct{}{}
+	}
+	for _, lid := range g.in[id] {
+		seen[g.links[lid].Src] = struct{}{}
+	}
+	delete(seen, id)
+	ids := make([]NodeID, 0, len(seen))
+	for nid := range seen {
+		ids = append(ids, nid)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Clone returns a deep copy of the graph: nodes, links and adjacency.
+func (g *Graph) Clone() *Graph {
+	c := New()
+	for _, n := range g.nodes {
+		c.nodes[n.ID] = n.Clone()
+	}
+	for _, l := range g.links {
+		lc := l.Clone()
+		c.links[lc.ID] = lc
+		c.out[lc.Src] = append(c.out[lc.Src], lc.ID)
+		c.in[lc.Tgt] = append(c.in[lc.Tgt], lc.ID)
+	}
+	return c
+}
+
+// ShallowClone returns a copy of the graph structure that shares node and
+// link values with the original. Operators that only filter (and never
+// mutate elements) use it to avoid deep copies.
+func (g *Graph) ShallowClone() *Graph {
+	c := New()
+	for id, n := range g.nodes {
+		c.nodes[id] = n
+	}
+	for id, l := range g.links {
+		c.links[id] = l
+		c.out[l.Src] = append(c.out[l.Src], id)
+		c.in[l.Tgt] = append(c.in[l.Tgt], id)
+	}
+	return c
+}
+
+// InducedByNodes returns the subgraph of g induced by the given node set:
+// those nodes plus every link whose both endpoints are in the set. Node and
+// link values are shared with g (callers clone before mutating).
+func (g *Graph) InducedByNodes(ids map[NodeID]struct{}) *Graph {
+	sub := New()
+	for id := range ids {
+		if n := g.nodes[id]; n != nil {
+			sub.nodes[id] = n
+		}
+	}
+	for lid, l := range g.links {
+		if sub.HasNode(l.Src) && sub.HasNode(l.Tgt) {
+			sub.links[lid] = l
+			sub.out[l.Src] = append(sub.out[l.Src], lid)
+			sub.in[l.Tgt] = append(sub.in[l.Tgt], lid)
+		}
+	}
+	return sub
+}
+
+// InducedByLinks returns the subgraph of g induced by the given link set:
+// those links plus precisely the nodes they are incident on (Definition 2's
+// "subgraph induced by those links"). Values are shared with g.
+func (g *Graph) InducedByLinks(ids map[LinkID]struct{}) *Graph {
+	sub := New()
+	for lid := range ids {
+		l := g.links[lid]
+		if l == nil {
+			continue
+		}
+		if !sub.HasNode(l.Src) {
+			sub.nodes[l.Src] = g.nodes[l.Src]
+		}
+		if !sub.HasNode(l.Tgt) {
+			sub.nodes[l.Tgt] = g.nodes[l.Tgt]
+		}
+		sub.links[lid] = l
+		sub.out[l.Src] = append(sub.out[l.Src], lid)
+		sub.in[l.Tgt] = append(sub.in[l.Tgt], lid)
+	}
+	return sub
+}
+
+// Equal reports whether two graphs contain equal node and link sets.
+func (g *Graph) Equal(other *Graph) bool {
+	if g.NumNodes() != other.NumNodes() || g.NumLinks() != other.NumLinks() {
+		return false
+	}
+	for id, n := range g.nodes {
+		if !n.Equal(other.nodes[id]) {
+			return false
+		}
+	}
+	for id, l := range g.links {
+		if !l.Equal(other.links[id]) {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxNodeID returns the largest node id present (0 when empty).
+func (g *Graph) MaxNodeID() NodeID {
+	var max NodeID
+	for id := range g.nodes {
+		if id > max {
+			max = id
+		}
+	}
+	return max
+}
+
+// MaxLinkID returns the largest link id present (0 when empty).
+func (g *Graph) MaxLinkID() LinkID {
+	var max LinkID
+	for id := range g.links {
+		if id > max {
+			max = id
+		}
+	}
+	return max
+}
+
+// Validate checks internal consistency: every link's endpoints exist and the
+// adjacency indexes agree with the link set. It returns the first violation.
+func (g *Graph) Validate() error {
+	for id, l := range g.links {
+		if l.ID != id {
+			return fmt.Errorf("graph: link stored under id %d has id %d", id, l.ID)
+		}
+		if !g.HasNode(l.Src) || !g.HasNode(l.Tgt) {
+			return fmt.Errorf("%w: link %d (%d->%d)", ErrMissingEnd, id, l.Src, l.Tgt)
+		}
+	}
+	outCount, inCount := 0, 0
+	for src, lids := range g.out {
+		for _, lid := range lids {
+			l, ok := g.links[lid]
+			if !ok || l.Src != src {
+				return fmt.Errorf("graph: out index for node %d lists stale link %d", src, lid)
+			}
+			outCount++
+		}
+	}
+	for tgt, lids := range g.in {
+		for _, lid := range lids {
+			l, ok := g.links[lid]
+			if !ok || l.Tgt != tgt {
+				return fmt.Errorf("graph: in index for node %d lists stale link %d", tgt, lid)
+			}
+			inCount++
+		}
+	}
+	if outCount != len(g.links) || inCount != len(g.links) {
+		return fmt.Errorf("graph: adjacency indexes cover %d/%d links (out/in %d/%d)",
+			outCount, len(g.links), outCount, inCount)
+	}
+	for id, n := range g.nodes {
+		if n.ID != id {
+			return fmt.Errorf("graph: node stored under id %d has id %d", id, n.ID)
+		}
+	}
+	return nil
+}
+
+// String summarizes the graph.
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph{nodes=%d links=%d}", len(g.nodes), len(g.links))
+}

@@ -1,0 +1,124 @@
+package graph
+
+import "sort"
+
+// BFS visits nodes reachable from start following links in the given
+// directions (Src means traverse a link from Tgt back to Src; Tgt means
+// follow it forward). visit is called once per node in breadth-first order,
+// starting with start; returning false stops the traversal.
+func (g *Graph) BFS(start NodeID, followOut, followIn bool, visit func(id NodeID, depth int) bool) {
+	if !g.HasNode(start) {
+		return
+	}
+	type qe struct {
+		id    NodeID
+		depth int
+	}
+	seen := map[NodeID]struct{}{start: {}}
+	queue := []qe{{start, 0}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if !visit(cur.id, cur.depth) {
+			return
+		}
+		var next []NodeID
+		if followOut {
+			for _, l := range g.Out(cur.id) {
+				next = append(next, l.Tgt)
+			}
+		}
+		if followIn {
+			for _, l := range g.In(cur.id) {
+				next = append(next, l.Src)
+			}
+		}
+		sort.Slice(next, func(i, j int) bool { return next[i] < next[j] })
+		for _, id := range next {
+			if _, ok := seen[id]; ok {
+				continue
+			}
+			seen[id] = struct{}{}
+			queue = append(queue, qe{id, cur.depth + 1})
+		}
+	}
+}
+
+// Reachable returns the set of node ids reachable from start (following
+// links in both directions), including start itself.
+func (g *Graph) Reachable(start NodeID) map[NodeID]struct{} {
+	out := make(map[NodeID]struct{})
+	g.BFS(start, true, true, func(id NodeID, _ int) bool {
+		out[id] = struct{}{}
+		return true
+	})
+	return out
+}
+
+// ConnectedComponents returns the weakly connected components of the graph
+// as sorted id slices, ordered by their smallest member.
+func (g *Graph) ConnectedComponents() [][]NodeID {
+	var comps [][]NodeID
+	seen := make(map[NodeID]struct{}, len(g.nodes))
+	for _, id := range g.NodeIDs() {
+		if _, ok := seen[id]; ok {
+			continue
+		}
+		var comp []NodeID
+		g.BFS(id, true, true, func(n NodeID, _ int) bool {
+			seen[n] = struct{}{}
+			comp = append(comp, n)
+			return true
+		})
+		sort.Slice(comp, func(i, j int) bool { return comp[i] < comp[j] })
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// Path is a sequence of links where each link's source is the previous
+// link's target (forward orientation).
+type Path []*Link
+
+// Last returns the final node of the path (the target of its last link).
+func (p Path) Last() NodeID {
+	if len(p) == 0 {
+		return 0
+	}
+	return p[len(p)-1].Tgt
+}
+
+// PathsMatching enumerates every forward path starting at start whose i-th
+// link satisfies match(i, link), with exactly `steps` links. Paths may
+// revisit nodes but never reuse a link. The enumeration order is
+// deterministic (link-id order at each step). The Figure 2 graph-pattern
+// aggregation is evaluated on top of this primitive.
+func (g *Graph) PathsMatching(start NodeID, steps int, match func(step int, l *Link) bool) []Path {
+	if steps <= 0 || !g.HasNode(start) {
+		return nil
+	}
+	var out []Path
+	used := make(map[LinkID]struct{})
+	var rec func(at NodeID, step int, cur Path)
+	rec = func(at NodeID, step int, cur Path) {
+		if step == steps {
+			cp := make(Path, len(cur))
+			copy(cp, cur)
+			out = append(out, cp)
+			return
+		}
+		for _, l := range g.Out(at) {
+			if _, ok := used[l.ID]; ok {
+				continue
+			}
+			if !match(step, l) {
+				continue
+			}
+			used[l.ID] = struct{}{}
+			rec(l.Tgt, step+1, append(cur, l))
+			delete(used, l.ID)
+		}
+	}
+	rec(start, 0, nil)
+	return out
+}

@@ -1,0 +1,151 @@
+package graph
+
+import (
+	"reflect"
+	"testing"
+)
+
+// chainGraph builds 1 -> 2 -> 3 -> 4 with 'match' then 'visit' then 'visit'
+// links, plus an isolated node 5.
+func chainGraph(t *testing.T) *Graph {
+	t.Helper()
+	b := NewBuilder()
+	for i := 0; i < 5; i++ {
+		b.Node([]string{TypeUser})
+	}
+	b.Link(1, 2, []string{TypeMatch})
+	b.Link(2, 3, []string{TypeAct, SubtypeVisit})
+	b.Link(3, 4, []string{TypeAct, SubtypeVisit})
+	return b.Graph()
+}
+
+func TestBFSOrderAndDepth(t *testing.T) {
+	g := chainGraph(t)
+	var order []NodeID
+	var depths []int
+	g.BFS(1, true, false, func(id NodeID, d int) bool {
+		order = append(order, id)
+		depths = append(depths, d)
+		return true
+	})
+	if !reflect.DeepEqual(order, []NodeID{1, 2, 3, 4}) {
+		t.Errorf("order = %v", order)
+	}
+	if !reflect.DeepEqual(depths, []int{0, 1, 2, 3}) {
+		t.Errorf("depths = %v", depths)
+	}
+}
+
+func TestBFSStop(t *testing.T) {
+	g := chainGraph(t)
+	count := 0
+	g.BFS(1, true, true, func(NodeID, int) bool {
+		count++
+		return count < 2
+	})
+	if count != 2 {
+		t.Errorf("visited %d nodes after stop", count)
+	}
+}
+
+func TestBFSMissingStart(t *testing.T) {
+	g := chainGraph(t)
+	called := false
+	g.BFS(99, true, true, func(NodeID, int) bool { called = true; return true })
+	if called {
+		t.Error("BFS visited from absent start")
+	}
+}
+
+func TestReachable(t *testing.T) {
+	g := chainGraph(t)
+	r := g.Reachable(3)
+	// Following both directions, all of the chain is reachable.
+	want := map[NodeID]struct{}{1: {}, 2: {}, 3: {}, 4: {}}
+	if !reflect.DeepEqual(r, want) {
+		t.Errorf("Reachable(3) = %v", r)
+	}
+	if _, ok := g.Reachable(5)[5]; !ok {
+		t.Error("isolated node should reach itself")
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	g := chainGraph(t)
+	comps := g.ConnectedComponents()
+	if len(comps) != 2 {
+		t.Fatalf("components = %v", comps)
+	}
+	if !reflect.DeepEqual(comps[0], []NodeID{1, 2, 3, 4}) {
+		t.Errorf("first component = %v", comps[0])
+	}
+	if !reflect.DeepEqual(comps[1], []NodeID{5}) {
+		t.Errorf("second component = %v", comps[1])
+	}
+}
+
+func TestPathsMatching(t *testing.T) {
+	g := chainGraph(t)
+	// match-visit pattern from node 1 (the Figure 2 shape).
+	paths := g.PathsMatching(1, 2, func(step int, l *Link) bool {
+		if step == 0 {
+			return l.HasType(TypeMatch)
+		}
+		return l.HasType(SubtypeVisit)
+	})
+	if len(paths) != 1 {
+		t.Fatalf("paths = %v", paths)
+	}
+	if paths[0].Last() != 3 {
+		t.Errorf("path end = %d", paths[0].Last())
+	}
+	if len(paths[0]) != 2 {
+		t.Errorf("path len = %d", len(paths[0]))
+	}
+}
+
+func TestPathsMatchingBranching(t *testing.T) {
+	b := NewBuilder()
+	john := b.Node([]string{TypeUser}, "name", "John")
+	u2 := b.Node([]string{TypeUser})
+	u3 := b.Node([]string{TypeUser})
+	d1 := b.Node([]string{TypeItem})
+	d2 := b.Node([]string{TypeItem})
+	b.Link(john, u2, []string{TypeMatch})
+	b.Link(john, u3, []string{TypeMatch})
+	b.Link(u2, d1, []string{SubtypeVisit})
+	b.Link(u2, d2, []string{SubtypeVisit})
+	b.Link(u3, d1, []string{SubtypeVisit})
+	g := b.Graph()
+
+	paths := g.PathsMatching(john, 2, func(step int, l *Link) bool {
+		if step == 0 {
+			return l.HasType(TypeMatch)
+		}
+		return l.HasType(SubtypeVisit)
+	})
+	if len(paths) != 3 {
+		t.Fatalf("want 3 match-visit paths, got %d", len(paths))
+	}
+	ends := map[NodeID]int{}
+	for _, p := range paths {
+		ends[p.Last()]++
+	}
+	if ends[d1] != 2 || ends[d2] != 1 {
+		t.Errorf("path ends = %v", ends)
+	}
+}
+
+func TestPathsMatchingEdgeCases(t *testing.T) {
+	g := chainGraph(t)
+	if p := g.PathsMatching(1, 0, nil); p != nil {
+		t.Error("zero steps should give nil")
+	}
+	if p := g.PathsMatching(42, 1, func(int, *Link) bool { return true }); p != nil {
+		t.Error("absent start should give nil")
+	}
+	var empty Path
+	if empty.Last() != 0 {
+		t.Error("empty path Last should be 0")
+	}
+}

@@ -1,0 +1,80 @@
+package index
+
+import (
+	"testing"
+
+	"socialscope/internal/cluster"
+	"socialscope/internal/graph"
+	"socialscope/internal/scoring"
+)
+
+func benchData(b *testing.B) (*Data, *graph.Graph) {
+	b.Helper()
+	g := randomTagGraph(42, 60, 120, 8)
+	return Extract(g), g
+}
+
+func BenchmarkExtract(b *testing.B) {
+	g := randomTagGraph(42, 60, 120, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Extract(g)
+	}
+}
+
+func BenchmarkBuildPerUser(b *testing.B) {
+	d, g := benchData(b)
+	c, err := cluster.Build(g, cluster.PerUser, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(d, c, scoring.CountF); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTopK(b *testing.B) {
+	d, g := benchData(b)
+	c, err := cluster.Build(g, cluster.NetworkBased, 0.3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ix, err := Build(d, c, scoring.CountF)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tags := d.Tags
+	if len(tags) > 2 {
+		tags = tags[:2]
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ix.TopK(d.Users[i%len(d.Users)], tags, 10, scoring.SumG); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIncrementalUpdate(b *testing.B) {
+	d, g := benchData(b)
+	c, err := cluster.Build(g, cluster.NetworkBased, 0.3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ix, err := Build(d, c, scoring.CountF)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := d.Users[i%len(d.Users)]
+		it := d.Items[i%len(d.Items)]
+		affected := d.AddTagging(u, it, "benchtag")
+		if err := ix.ApplyTagging(u, it, "benchtag", affected); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

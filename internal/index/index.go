@@ -1,0 +1,248 @@
+package index
+
+import (
+	"fmt"
+	"sort"
+
+	"socialscope/internal/cluster"
+	"socialscope/internal/graph"
+	"socialscope/internal/scoring"
+)
+
+// EntryBytes is the per-entry storage estimate the paper uses in its
+// back-of-envelope index sizing ("assuming 10 bytes per index entry").
+const EntryBytes = 10
+
+// Entry is one posting: an item with its stored score. For singleton
+// clusters the score is exact; otherwise it is the Equation 1 upper bound
+// max_{u∈C} score_k(i,u).
+type Entry struct {
+	Item  graph.NodeID
+	Score float64
+}
+
+type listKey struct {
+	cluster int
+	tag     string
+}
+
+// Index is a network-aware inverted index: one posting list per
+// (cluster, tag), sorted by descending stored score. PerUser clustering
+// reproduces the paper's IL^u_k exact index; Global clustering reproduces
+// classic IR lists; intermediate clusterings realize the space/time
+// trade-off of [5].
+type Index struct {
+	data       *Data
+	clustering *cluster.Clustering
+	f          scoring.UserSetFn
+	lists      map[listKey][]Entry
+	entries    int
+}
+
+// Build materializes the posting lists. For every tag and item it computes
+// per-user exact scores by walking the taggers' reverse networks (touching
+// only users who can score > 0), folds them into per-cluster maxima, and
+// sorts each list by descending score.
+func Build(data *Data, clustering *cluster.Clustering, f scoring.UserSetFn) (*Index, error) {
+	if data == nil || clustering == nil {
+		return nil, fmt.Errorf("index: nil data or clustering")
+	}
+	if f == nil {
+		f = scoring.CountF
+	}
+	ix := &Index{data: data, clustering: clustering, f: f, lists: make(map[listKey][]Entry)}
+
+	// Reverse network: who has u in their network (symmetric, so identical
+	// to Network, but keep the access pattern explicit).
+	for _, tag := range data.Tags {
+		byItem := data.Taggers[tag]
+		items := make([]graph.NodeID, 0, len(byItem))
+		for item := range byItem {
+			items = append(items, item)
+		}
+		sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
+		for _, item := range items {
+			taggers := byItem[item]
+			// Count taggers within each potential querier's network.
+			counts := make(map[graph.NodeID]int)
+			for tg := range taggers {
+				for u := range data.Network[tg] {
+					counts[u]++
+				}
+			}
+			// Fold into per-cluster maxima of f(count).
+			maxima := make(map[int]float64)
+			for u, c := range counts {
+				cid := clustering.Of(u)
+				if cid < 0 {
+					continue
+				}
+				if s := f(c); s > maxima[cid] {
+					maxima[cid] = s
+				}
+			}
+			for cid, ub := range maxima {
+				if ub <= 0 {
+					continue
+				}
+				k := listKey{cid, tag}
+				ix.lists[k] = append(ix.lists[k], Entry{item, ub})
+				ix.entries++
+			}
+		}
+	}
+	for k := range ix.lists {
+		l := ix.lists[k]
+		sort.Slice(l, func(i, j int) bool {
+			if l[i].Score != l[j].Score {
+				return l[i].Score > l[j].Score
+			}
+			return l[i].Item < l[j].Item
+		})
+	}
+	return ix, nil
+}
+
+// Strategy returns the clustering strategy the index was built with.
+func (ix *Index) Strategy() cluster.Strategy { return ix.clustering.Strategy }
+
+// EntryCount returns the number of postings stored.
+func (ix *Index) EntryCount() int { return ix.entries }
+
+// SizeBytes estimates storage at the paper's 10 bytes/entry.
+func (ix *Index) SizeBytes() int64 { return int64(ix.entries) * EntryBytes }
+
+// NumLists returns the number of non-empty posting lists.
+func (ix *Index) NumLists() int { return len(ix.lists) }
+
+// List exposes the posting list for a (user, tag) pair — the list of the
+// user's cluster. Nil when the user is unknown or the tag unindexed.
+func (ix *Index) List(user graph.NodeID, tag string) []Entry {
+	cid := ix.clustering.Of(user)
+	if cid < 0 {
+		return nil
+	}
+	return ix.lists[listKey{cid, tag}]
+}
+
+// QueryStats reports the work a top-k evaluation performed, the currency in
+// which Section 6.2 prices clustering ("score upper-bounds entail having to
+// compute exact scores at query time").
+type QueryStats struct {
+	EntriesScanned int // postings read across all lists
+	ExactScores    int // exact score_k computations (the rescoring overhead)
+	Candidates     int // distinct items considered
+}
+
+// TopK answers a keyword-only query with the threshold algorithm: scan the
+// per-tag lists of the user's cluster in stored-score order, fully rescore
+// each new item exactly, and stop when the k-th exact score reaches the
+// upper-bound threshold g(heads). Monotonicity of f and g plus the max
+// upper bound make early termination safe; singleton clusters never
+// rescore wastefully because stored scores are exact.
+func (ix *Index) TopK(user graph.NodeID, tags []string, k int,
+	g scoring.AggregateFn) ([]Result, QueryStats, error) {
+	var stats QueryStats
+	if k <= 0 {
+		return nil, stats, fmt.Errorf("index: k must be positive, got %d", k)
+	}
+	if g == nil {
+		g = scoring.SumG
+	}
+	cid := ix.clustering.Of(user)
+	if cid < 0 {
+		return nil, stats, fmt.Errorf("index: unknown user %d", user)
+	}
+	lists := make([][]Entry, len(tags))
+	pos := make([]int, len(tags))
+	for i, tag := range tags {
+		lists[i] = ix.lists[listKey{cid, tag}]
+	}
+
+	seen := make(map[graph.NodeID]struct{})
+	var results []Result
+	kth := 0.0
+	heads := make([]float64, len(tags))
+
+	for {
+		advanced := false
+		for i := range lists {
+			if pos[i] >= len(lists[i]) {
+				continue
+			}
+			e := lists[i][pos[i]]
+			pos[i]++
+			stats.EntriesScanned++
+			advanced = true
+			if _, dup := seen[e.Item]; !dup {
+				seen[e.Item] = struct{}{}
+				stats.Candidates++
+				per := make([]float64, len(tags))
+				for j, tag := range tags {
+					per[j] = ix.data.ScoreTag(e.Item, user, tag, ix.f)
+					stats.ExactScores++
+				}
+				if s := g(per); s > 0 {
+					results = append(results, Result{e.Item, s})
+				}
+			}
+		}
+		if !advanced {
+			break
+		}
+		// Threshold: the best possible score of any unseen item.
+		for i := range lists {
+			if pos[i] < len(lists[i]) {
+				heads[i] = lists[i][pos[i]].Score
+			} else {
+				heads[i] = 0
+			}
+		}
+		threshold := g(heads)
+		if len(results) >= k {
+			sortResults(results)
+			results = results[:min(len(results), 4*k)] // bound the buffer
+			kth = results[k-1].Score
+			// Strict comparison: at equality an unseen item could still tie
+			// the k-th score and win the ascending-item-id tie-break, so
+			// draining continues until no unseen item can reach kth.
+			if kth > threshold {
+				break
+			}
+		}
+	}
+	sortResults(results)
+	if k < len(results) {
+		results = results[:k]
+	}
+	return results, stats, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// SizeReport summarizes an index build for the Section 6.2 tables.
+type SizeReport struct {
+	Strategy cluster.Strategy
+	Theta    float64
+	Clusters int
+	Lists    int
+	Entries  int
+	Bytes    int64
+}
+
+// Report returns the index's size summary.
+func (ix *Index) Report() SizeReport {
+	return SizeReport{
+		Strategy: ix.clustering.Strategy,
+		Theta:    ix.clustering.Theta,
+		Clusters: ix.clustering.NumClusters(),
+		Lists:    ix.NumLists(),
+		Entries:  ix.entries,
+		Bytes:    ix.SizeBytes(),
+	}
+}

@@ -1,0 +1,125 @@
+package index
+
+import (
+	"fmt"
+	"sort"
+
+	"socialscope/internal/graph"
+	"socialscope/internal/scoring"
+)
+
+// AddTagging folds a new tagging action into the substrate: user tagged
+// item with tag. It returns the users whose score for (item, tag) may have
+// changed — precisely the tagger's network — so callers can refresh
+// derived structures incrementally.
+func (d *Data) AddTagging(user, item graph.NodeID, tag string) []graph.NodeID {
+	byItem, ok := d.Taggers[tag]
+	if !ok {
+		byItem = make(map[graph.NodeID]scoring.Set[graph.NodeID])
+		d.Taggers[tag] = byItem
+		d.Tags = append(d.Tags, tag)
+		sort.Strings(d.Tags)
+	}
+	set, ok := byItem[item]
+	if !ok {
+		set = scoring.NewSet[graph.NodeID]()
+		byItem[item] = set
+		if !containsID(d.Items, item) {
+			d.Items = append(d.Items, item)
+			sort.Slice(d.Items, func(i, j int) bool { return d.Items[i] < d.Items[j] })
+		}
+	}
+	if set.Has(user) {
+		return nil // duplicate action: scores unchanged
+	}
+	set.Add(user)
+	if s, ok := d.ItemsOf[user]; ok {
+		s.Add(item)
+	}
+	net, ok := d.Network[user]
+	if !ok {
+		return nil
+	}
+	affected := make([]graph.NodeID, 0, net.Len())
+	for v := range net {
+		affected = append(affected, v)
+	}
+	sort.Slice(affected, func(i, j int) bool { return affected[i] < affected[j] })
+	return affected
+}
+
+// ApplyTagging incrementally maintains the index after a new tagging
+// action has been folded into the substrate via Data.AddTagging. Because
+// scores under a monotone f only grow when taggers are added, the stored
+// per-cluster maximum can be raised in place without a rebuild: for every
+// affected user v (the tagger's network), the entry for (cluster(v), tag,
+// item) is set to max(current, score_tag(item, v)).
+//
+// The clustering itself is treated as fixed — re-clustering cadence is the
+// Data Manager's policy decision, mirroring Section 6.2's separation of
+// index maintenance from cluster maintenance.
+func (ix *Index) ApplyTagging(user, item graph.NodeID, tag string, affected []graph.NodeID) error {
+	if ix.data.Taggers[tag] == nil || !ix.data.Taggers[tag][item].Has(user) {
+		return fmt.Errorf("index: ApplyTagging before Data.AddTagging for (%d,%d,%s)", user, item, tag)
+	}
+	for _, v := range affected {
+		cid := ix.clustering.Of(v)
+		if cid < 0 {
+			continue
+		}
+		score := ix.data.ScoreTag(item, v, tag, ix.f)
+		if score <= 0 {
+			continue
+		}
+		ix.raise(listKey{cid, tag}, item, score)
+	}
+	return nil
+}
+
+// raise sets the entry for item in the list to at least score, inserting
+// if absent, and restores descending-score order around the touched entry.
+func (ix *Index) raise(k listKey, item graph.NodeID, score float64) {
+	l := ix.lists[k]
+	for i := range l {
+		if l[i].Item != item {
+			continue
+		}
+		if l[i].Score >= score {
+			return
+		}
+		l[i].Score = score
+		// Bubble the raised entry toward the front to restore order.
+		for i > 0 && less(l[i-1], l[i]) {
+			l[i-1], l[i] = l[i], l[i-1]
+			i--
+		}
+		return
+	}
+	// New posting: insert in order.
+	l = append(l, Entry{item, score})
+	i := len(l) - 1
+	for i > 0 && less(l[i-1], l[i]) {
+		l[i-1], l[i] = l[i], l[i-1]
+		i--
+	}
+	ix.lists[k] = l
+	ix.entries++
+}
+
+// less reports whether a should sort after b (descending score, ascending
+// item id).
+func less(a, b Entry) bool {
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	return a.Item > b.Item
+}
+
+func containsID(ids []graph.NodeID, id graph.NodeID) bool {
+	for _, v := range ids {
+		if v == id {
+			return true
+		}
+	}
+	return false
+}

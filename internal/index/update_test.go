@@ -1,0 +1,170 @@
+package index
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"socialscope/internal/cluster"
+	"socialscope/internal/graph"
+	"socialscope/internal/scoring"
+)
+
+func TestAddTaggingUpdatesSubstrate(t *testing.T) {
+	g := tagFixture(t)
+	d := Extract(g)
+	// User 1 (network {2,3}) tags item 13 with a brand-new tag.
+	affected := d.AddTagging(1, 13, "newtag")
+	if !reflect.DeepEqual(affected, []graph.NodeID{2, 3}) {
+		t.Errorf("affected = %v, want [2 3]", affected)
+	}
+	if !d.Taggers["newtag"][13].Has(1) {
+		t.Error("tagger not recorded")
+	}
+	if !containsID(d.Items, 13) {
+		t.Error("item universe not extended")
+	}
+	found := false
+	for _, tag := range d.Tags {
+		if tag == "newtag" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("tag universe not extended")
+	}
+	// Duplicate action changes nothing.
+	if dup := d.AddTagging(1, 13, "newtag"); dup != nil {
+		t.Errorf("duplicate tagging affected %v", dup)
+	}
+	// Score visible: user 2's network contains 1, who tagged 13.
+	if got := d.ScoreTag(13, 2, "newtag", scoring.CountF); got != 1 {
+		t.Errorf("score after update = %f", got)
+	}
+}
+
+func TestApplyTaggingMatchesRebuild(t *testing.T) {
+	for _, s := range []cluster.Strategy{cluster.PerUser, cluster.NetworkBased, cluster.Global} {
+		g := tagFixture(t)
+		d := Extract(g)
+		cl, err := cluster.Build(g, s, 0.3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ix, err := Build(d, cl, scoring.CountF)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Apply a series of new actions incrementally.
+		actions := []struct {
+			user, item graph.NodeID
+			tag        string
+		}{
+			{1, 13, "go"}, {2, 12, "db"}, {4, 11, "db"}, {3, 13, "go"},
+		}
+		for _, a := range actions {
+			affected := d.AddTagging(a.user, a.item, a.tag)
+			if err := ix.ApplyTagging(a.user, a.item, a.tag, affected); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Rebuild from the updated substrate: lists must agree.
+		rebuilt, err := Build(d, cl, scoring.CountF)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, u := range d.Users {
+			for _, tag := range d.Tags {
+				got, want := ix.List(u, tag), rebuilt.List(u, tag)
+				if len(got) != len(want) {
+					t.Fatalf("%s: list (%d,%s) length %d vs rebuild %d",
+						s, u, tag, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Errorf("%s: list (%d,%s)[%d] = %v, rebuild %v",
+							s, u, tag, i, got[i], want[i])
+					}
+				}
+			}
+		}
+		if ix.EntryCount() != rebuilt.EntryCount() {
+			t.Errorf("%s: entry count %d vs rebuild %d", s, ix.EntryCount(), rebuilt.EntryCount())
+		}
+	}
+}
+
+func TestApplyTaggingRequiresSubstrateUpdate(t *testing.T) {
+	g := tagFixture(t)
+	d := Extract(g)
+	cl, err := cluster.Build(g, cluster.PerUser, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := Build(d, cl, scoring.CountF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.ApplyTagging(1, 13, "never-added", []graph.NodeID{2}); err == nil {
+		t.Error("ApplyTagging without AddTagging accepted")
+	}
+}
+
+// Property: a stream of random incremental updates leaves the index
+// identical to a fresh rebuild, and top-k answers identical to brute
+// force.
+func TestQuickIncrementalEqualsRebuild(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomTagGraph(seed, 8, 10, 3)
+		d := Extract(g)
+		cl, err := cluster.Build(g, cluster.NetworkBased, 0.4)
+		if err != nil {
+			return false
+		}
+		ix, err := Build(d, cl, scoring.CountF)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		tags := []string{"a", "b", "z"}
+		for i := 0; i < 12; i++ {
+			u := d.Users[rng.Intn(len(d.Users))]
+			it := d.Items[rng.Intn(len(d.Items))]
+			tag := tags[rng.Intn(len(tags))]
+			affected := d.AddTagging(u, it, tag)
+			if err := ix.ApplyTagging(u, it, tag, affected); err != nil {
+				return false
+			}
+		}
+		rebuilt, err := Build(d, cl, scoring.CountF)
+		if err != nil {
+			return false
+		}
+		if ix.EntryCount() != rebuilt.EntryCount() {
+			return false
+		}
+		for _, u := range d.Users {
+			for _, tag := range d.Tags {
+				a, b := ix.List(u, tag), rebuilt.List(u, tag)
+				if len(a) != len(b) {
+					return false
+				}
+				for i := range a {
+					if a[i] != b[i] {
+						return false
+					}
+				}
+			}
+			want := d.ExactTopK(u, d.Tags, 3, scoring.CountF, scoring.SumG)
+			got, _, err := ix.TopK(u, d.Tags, 3, scoring.SumG)
+			if err != nil || !sameResults(want, got) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,208 @@
+package presentation
+
+import (
+	"fmt"
+	"sort"
+
+	"socialscope/internal/graph"
+	"socialscope/internal/scoring"
+)
+
+// Explanation is Section 7.2's Expl(u, i): the items or users grounding a
+// recommendation, each with its similarity weight, plus the aggregate
+// phrasing ("60% of your friends endorsed this item").
+type Explanation struct {
+	Strategy string // "content" or "cf"
+	Items    []WeightedID
+	Users    []WeightedID
+	Summary  string
+}
+
+// WeightedID is one explanation element with its weight
+// (ItemSim × rating or UserSim × rating per the paper).
+type WeightedID struct {
+	ID     graph.NodeID
+	Weight float64
+}
+
+// rating returns rating(u, i): the rating attribute of u's act link onto
+// i, or 0 when u has not rated i (the paper's convention). Unrated acts
+// count as endorsement strength 1.
+func rating(g *graph.Graph, user, item graph.NodeID) float64 {
+	for _, l := range g.Out(user) {
+		if l.Tgt != item || !l.HasType(graph.TypeAct) {
+			continue
+		}
+		if v, ok := l.Attrs.Float("rating"); ok {
+			return v
+		}
+		return 1
+	}
+	return 0
+}
+
+// itemSim is ItemSim(i, i'): Jaccard over the items' content token sets.
+// Only attribute text participates — the shared type vocabulary ('item',
+// 'destination') would otherwise make every pair spuriously similar.
+func itemSim(g *graph.Graph, a, b graph.NodeID) float64 {
+	na, nb := g.Node(a), g.Node(b)
+	if na == nil || nb == nil {
+		return 0
+	}
+	return scoring.Jaccard(scoring.TokenSet(na.Attrs.Text()), scoring.TokenSet(nb.Attrs.Text()))
+}
+
+// userSim is UserSim(u, u'): 1 for directly connected users, else Jaccard
+// of their acted-item sets (0 for strangers with no overlap, matching "it
+// is 0 if u and u' are not connected").
+func userSim(g *graph.Graph, a, b graph.NodeID) float64 {
+	for _, l := range g.Incident(a) {
+		if !l.HasType(graph.TypeConnect) {
+			continue
+		}
+		if l.Src == b || l.Tgt == b {
+			return 1
+		}
+	}
+	return scoring.Jaccard(actedItems(g, a), actedItems(g, b))
+}
+
+func actedItems(g *graph.Graph, u graph.NodeID) scoring.Set[graph.NodeID] {
+	s := scoring.NewSet[graph.NodeID]()
+	for _, l := range g.Out(u) {
+		if l.HasType(graph.TypeAct) {
+			s.Add(l.Tgt)
+		}
+	}
+	return s
+}
+
+// ExplainContent builds the content-based explanation:
+// Expl(u,i) = {i' ∈ Items(u) | ItemSim(i,i') > 0}, weighted by
+// ItemSim(i,i') × rating(u,i').
+func ExplainContent(g *graph.Graph, user, item graph.NodeID) Explanation {
+	ex := Explanation{Strategy: "content"}
+	past := scoring.SortedInts(actedItems(g, user))
+	var totalPast int
+	for _, p := range past {
+		if p == item {
+			continue
+		}
+		totalPast++
+		if sim := itemSim(g, item, p); sim > 0 {
+			ex.Items = append(ex.Items, WeightedID{p, sim * rating(g, user, p)})
+		}
+	}
+	sortWeighted(ex.Items)
+	if totalPast > 0 {
+		pct := 100 * len(ex.Items) / totalPast
+		ex.Summary = fmt.Sprintf("This item is similar to %d%% of items you visited before", pct)
+	} else {
+		ex.Summary = "You have no past activity to relate this item to"
+	}
+	return ex
+}
+
+// ExplainCF builds the collaborative-filtering explanation:
+// Expl(u,i) = {u' | UserSim(u,u') > 0 & i ∈ Items(u')}, weighted by
+// UserSim(u,u') × rating(u',i). The aggregate phrasing counts the user's
+// direct connections among the endorsers.
+func ExplainCF(g *graph.Graph, user, item graph.NodeID) Explanation {
+	ex := Explanation{Strategy: "cf"}
+	friends := scoring.NewSet[graph.NodeID]()
+	for _, l := range g.Incident(user) {
+		if !l.HasType(graph.TypeConnect) {
+			continue
+		}
+		other := l.Tgt
+		if other == user {
+			other = l.Src
+		}
+		friends.Add(other)
+	}
+	endorsingFriends := 0
+	for _, other := range sortedUsers(g) {
+		if other == user {
+			continue
+		}
+		if !actedItems(g, other).Has(item) {
+			continue
+		}
+		sim := userSim(g, user, other)
+		if sim <= 0 {
+			continue
+		}
+		ex.Users = append(ex.Users, WeightedID{other, sim * rating(g, other, item)})
+		if friends.Has(other) {
+			endorsingFriends++
+		}
+	}
+	sortWeighted(ex.Users)
+	if friends.Len() > 0 {
+		pct := 100 * endorsingFriends / friends.Len()
+		ex.Summary = fmt.Sprintf("%d%% of your friends endorsed this item", pct)
+	} else if len(ex.Users) > 0 {
+		ex.Summary = fmt.Sprintf("%d similar users endorsed this item", len(ex.Users))
+	} else {
+		ex.Summary = "No social endorsement found for this item"
+	}
+	return ex
+}
+
+// ExplainGroup aggregates item explanations into a group-level explanation
+// (Section 7.2's Expl(u, g)): the union of the member explanations'
+// users/items with summed weights, summarized concisely.
+func ExplainGroup(g *graph.Graph, user graph.NodeID, group Group, strategy string) Explanation {
+	agg := Explanation{Strategy: strategy}
+	userW := map[graph.NodeID]float64{}
+	itemW := map[graph.NodeID]float64{}
+	for _, it := range group.Items {
+		var ex Explanation
+		if strategy == "content" {
+			ex = ExplainContent(g, user, it)
+		} else {
+			ex = ExplainCF(g, user, it)
+		}
+		for _, w := range ex.Users {
+			userW[w.ID] += w.Weight
+		}
+		for _, w := range ex.Items {
+			itemW[w.ID] += w.Weight
+		}
+	}
+	for id, w := range userW {
+		agg.Users = append(agg.Users, WeightedID{id, w})
+	}
+	for id, w := range itemW {
+		agg.Items = append(agg.Items, WeightedID{id, w})
+	}
+	sortWeighted(agg.Users)
+	sortWeighted(agg.Items)
+	switch {
+	case len(agg.Users) > 0:
+		agg.Summary = fmt.Sprintf("Group %q is endorsed by %d related users", group.Label, len(agg.Users))
+	case len(agg.Items) > 0:
+		agg.Summary = fmt.Sprintf("Group %q is similar to %d items you know", group.Label, len(agg.Items))
+	default:
+		agg.Summary = fmt.Sprintf("Group %q has no social provenance", group.Label)
+	}
+	return agg
+}
+
+func sortWeighted(ws []WeightedID) {
+	sort.Slice(ws, func(i, j int) bool {
+		if ws[i].Weight != ws[j].Weight {
+			return ws[i].Weight > ws[j].Weight
+		}
+		return ws[i].ID < ws[j].ID
+	})
+}
+
+func sortedUsers(g *graph.Graph) []graph.NodeID {
+	users := g.NodesOfType(graph.TypeUser)
+	out := make([]graph.NodeID, len(users))
+	for i, u := range users {
+		out[i] = u.ID
+	}
+	return out
+}

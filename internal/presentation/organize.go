@@ -1,0 +1,163 @@
+package presentation
+
+import (
+	"fmt"
+	"math"
+
+	"socialscope/internal/graph"
+)
+
+// OrganizeConfig bounds a presentation: the paper's meaningfulness
+// criteria are the total number of groups (screen real estate), group
+// quality, and group size.
+type OrganizeConfig struct {
+	MaxGroups   int     // groups shown at once (default 6)
+	MinSize     int     // groups smaller than this fold into "more" (default 1)
+	SocialTheta float64 // θ for social grouping (default 0.3)
+	FacetAttr   string  // attribute for structural grouping (default "city")
+}
+
+func (c *OrganizeConfig) fill() {
+	if c.MaxGroups <= 0 {
+		c.MaxGroups = 6
+	}
+	if c.MinSize <= 0 {
+		c.MinSize = 1
+	}
+	if c.SocialTheta <= 0 {
+		c.SocialTheta = 0.3
+	}
+	if c.FacetAttr == "" {
+		c.FacetAttr = "city"
+	}
+}
+
+// Meaningfulness scores a grouping for the Information Organizer's choice
+// among candidate criteria. It combines the paper's three criteria:
+// group count fit (penalizing more groups than fit on screen and the
+// degenerate 1-group case), balance (entropy of the size distribution, so
+// all-singletons and one-giant-group both score low), and mean quality.
+func Meaningfulness(gr Grouping, cfg OrganizeConfig) float64 {
+	cfg.fill()
+	n := len(gr.Groups)
+	if n == 0 {
+		return 0
+	}
+	total := 0
+	var quality float64
+	for _, g := range gr.Groups {
+		total += g.Size()
+		quality += g.Quality * float64(g.Size())
+	}
+	if total == 0 {
+		return 0
+	}
+	quality /= float64(total)
+
+	// Count fit: 1 when 2..MaxGroups, decaying outside.
+	countFit := 1.0
+	switch {
+	case n == 1:
+		countFit = 0.25
+	case n > cfg.MaxGroups:
+		countFit = float64(cfg.MaxGroups) / float64(n)
+	}
+	// Balance: normalized entropy of group sizes.
+	entropy := 0.0
+	for _, g := range gr.Groups {
+		p := float64(g.Size()) / float64(total)
+		if p > 0 {
+			entropy -= p * math.Log(p)
+		}
+	}
+	balance := 1.0
+	if n > 1 {
+		balance = entropy / math.Log(float64(n))
+	}
+	return countFit * (0.5 + 0.5*balance) * (0.5 + 0.5*quality)
+}
+
+// Presentation is the organized result: the chosen grouping plus the
+// alternatives considered, so a UI can offer "group by ..." toggles.
+type Presentation struct {
+	Chosen       Grouping
+	Score        float64
+	Alternatives []Grouping
+}
+
+// Organize runs the Information Organizer: build the social, topical and
+// structural candidate groupings, score each for meaningfulness, cap the
+// chosen one at MaxGroups (folding the overflow into a "more" group), and
+// return the winner with the alternatives.
+func Organize(g *graph.Graph, items []graph.NodeID, scores map[graph.NodeID]float64, cfg OrganizeConfig) (Presentation, error) {
+	cfg.fill()
+	if len(items) == 0 {
+		return Presentation{}, fmt.Errorf("presentation: nothing to organize")
+	}
+	social, err := SocialGrouping(g, items, scores, cfg.SocialTheta)
+	if err != nil {
+		return Presentation{}, err
+	}
+	candidates := []Grouping{
+		social,
+		TopicalGrouping(g, items, scores),
+		StructuralGrouping(g, items, scores, cfg.FacetAttr),
+	}
+	best, bestScore := 0, -1.0
+	for i, c := range candidates {
+		if s := Meaningfulness(c, cfg); s > bestScore {
+			best, bestScore = i, s
+		}
+	}
+	chosen := capGroups(candidates[best], cfg.MaxGroups)
+	var alts []Grouping
+	for i, c := range candidates {
+		if i != best {
+			alts = append(alts, c)
+		}
+	}
+	return Presentation{Chosen: chosen, Score: bestScore, Alternatives: alts}, nil
+}
+
+// capGroups keeps the MaxGroups best groups and folds the rest into a
+// trailing "more" group, mirroring the paper's screen-real-estate
+// constraint with hierarchical presentation.
+func capGroups(gr Grouping, max int) Grouping {
+	if len(gr.Groups) <= max {
+		return gr
+	}
+	kept := append([]Group(nil), gr.Groups[:max-1]...)
+	var overflow Group
+	overflow.Label = "more"
+	var qualitySum float64
+	count := 0
+	for _, g := range gr.Groups[max-1:] {
+		overflow.Items = append(overflow.Items, g.Items...)
+		qualitySum += g.Quality * float64(g.Size())
+		count += g.Size()
+	}
+	if count > 0 {
+		overflow.Quality = qualitySum / float64(count)
+	}
+	kept = append(kept, overflow)
+	return Grouping{Criterion: gr.Criterion, Groups: kept}
+}
+
+// Zoom expands one group into subgroups — the paper's zoom-in request.
+// Social groups re-cluster at a tighter θ; other criteria re-group the
+// subset structurally by the fallback attribute. The returned grouping is
+// again capped at MaxGroups.
+func Zoom(g *graph.Graph, parent Group, scores map[graph.NodeID]float64, cfg OrganizeConfig, criterion string) (Grouping, error) {
+	cfg.fill()
+	switch criterion {
+	case "social":
+		sub, err := SocialGrouping(g, parent.Items, scores, math.Min(1, cfg.SocialTheta*2))
+		if err != nil {
+			return Grouping{}, err
+		}
+		return capGroups(sub, cfg.MaxGroups), nil
+	default:
+		sub := StructuralGrouping(g, parent.Items, scores, cfg.FacetAttr)
+		return capGroups(sub, cfg.MaxGroups), nil
+	}
+}

@@ -1,0 +1,312 @@
+package presentation
+
+import (
+	"strings"
+	"testing"
+
+	"socialscope/internal/graph"
+)
+
+// alexiaFixture models Example 3: a broad "american history" query whose
+// results span cities and endorser communities.
+type alexiaFixture struct {
+	g           *graph.Graph
+	alexia      graph.NodeID
+	classmates  []graph.NodeID
+	soccerTeam  []graph.NodeID
+	items       []graph.NodeID // 0,1: endorsed by classmates; 2,3: by soccer team
+	topicWar    graph.NodeID
+	topicMuseum graph.NodeID
+	scores      map[graph.NodeID]float64
+}
+
+func buildAlexia(t testing.TB) *alexiaFixture {
+	t.Helper()
+	b := graph.NewBuilder()
+	f := &alexiaFixture{scores: map[graph.NodeID]float64{}}
+	f.alexia = b.Node([]string{graph.TypeUser}, "name", "Alexia")
+	for i := 0; i < 2; i++ {
+		f.classmates = append(f.classmates, b.Node([]string{graph.TypeUser}, "name", "classmate"))
+		f.soccerTeam = append(f.soccerTeam, b.Node([]string{graph.TypeUser}, "name", "soccer"))
+	}
+	cities := []string{"Boston", "Boston", "Philadelphia", "Philadelphia"}
+	for i := 0; i < 4; i++ {
+		it := b.Node([]string{graph.TypeItem, "destination"},
+			"name", "site", "city", cities[i], "keywords", "american history")
+		f.items = append(f.items, it)
+		f.scores[it] = 1.0 - float64(i)*0.1
+	}
+	f.topicWar = b.Node([]string{graph.TypeTopic}, "name", "Independence War")
+	f.topicMuseum = b.Node([]string{graph.TypeTopic}, "name", "Museums")
+	// Belong links: items 0,2 → war; 1,3 → museum.
+	b.Link(f.items[0], f.topicWar, []string{graph.TypeBelong})
+	b.Link(f.items[2], f.topicWar, []string{graph.TypeBelong})
+	b.Link(f.items[1], f.topicMuseum, []string{graph.TypeBelong})
+	b.Link(f.items[3], f.topicMuseum, []string{graph.TypeBelong})
+	// Endorsements: classmates act on items 0,1; soccer on 2,3.
+	for _, c := range f.classmates {
+		b.Link(f.alexia, c, []string{graph.TypeConnect, graph.SubtypeFriend})
+		b.Link(c, f.items[0], []string{graph.TypeAct, graph.SubtypeReview}, "rating", "0.8")
+		b.Link(c, f.items[1], []string{graph.TypeAct, graph.SubtypeReview})
+	}
+	for _, s := range f.soccerTeam {
+		b.Link(f.alexia, s, []string{graph.TypeConnect, graph.SubtypeFriend})
+		b.Link(s, f.items[2], []string{graph.TypeAct, graph.SubtypeVisit})
+		b.Link(s, f.items[3], []string{graph.TypeAct, graph.SubtypeVisit})
+	}
+	f.g = b.Graph()
+	return f
+}
+
+func TestSocialGrouping(t *testing.T) {
+	f := buildAlexia(t)
+	gr, err := SocialGrouping(f.g, f.items, f.scores, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Items 0,1 share taggers (classmates); 2,3 share taggers (soccer):
+	// exactly two groups.
+	if len(gr.Groups) != 2 {
+		t.Fatalf("groups = %+v", gr.Groups)
+	}
+	for _, g := range gr.Groups {
+		if g.Size() != 2 {
+			t.Errorf("group %q size = %d, want 2", g.Label, g.Size())
+		}
+	}
+	if gr.Criterion != "social" {
+		t.Error("criterion label wrong")
+	}
+	if _, err := SocialGrouping(f.g, f.items, f.scores, 2); err == nil {
+		t.Error("theta > 1 accepted")
+	}
+}
+
+func TestTopicalGrouping(t *testing.T) {
+	f := buildAlexia(t)
+	gr := TopicalGrouping(f.g, f.items, f.scores)
+	if len(gr.Groups) != 2 {
+		t.Fatalf("groups = %+v", gr.Groups)
+	}
+	labels := map[string]bool{}
+	for _, g := range gr.Groups {
+		labels[g.Label] = true
+	}
+	if !labels["Independence War"] || !labels["Museums"] {
+		t.Errorf("labels = %v", labels)
+	}
+	// Items without belong links fall into "other".
+	b := graph.NewBuilder()
+	lone := b.Node([]string{graph.TypeItem})
+	gr2 := TopicalGrouping(b.Graph(), []graph.NodeID{lone}, nil)
+	if len(gr2.Groups) != 1 || gr2.Groups[0].Label != "other" {
+		t.Errorf("untopiced grouping = %+v", gr2.Groups)
+	}
+}
+
+func TestStructuralGrouping(t *testing.T) {
+	f := buildAlexia(t)
+	gr := StructuralGrouping(f.g, f.items, f.scores, "city")
+	if len(gr.Groups) != 2 {
+		t.Fatalf("groups = %+v", gr.Groups)
+	}
+	for _, g := range gr.Groups {
+		if g.Label != "Boston" && g.Label != "Philadelphia" {
+			t.Errorf("unexpected label %q", g.Label)
+		}
+	}
+	// Missing attribute → "unknown".
+	gr2 := StructuralGrouping(f.g, f.items, f.scores, "no-such-attr")
+	if len(gr2.Groups) != 1 || gr2.Groups[0].Label != "unknown" {
+		t.Errorf("missing-attr grouping = %+v", gr2.Groups)
+	}
+}
+
+func TestGroupOrderingAndQuality(t *testing.T) {
+	f := buildAlexia(t)
+	gr := StructuralGrouping(f.g, f.items, f.scores, "city")
+	// Boston group: scores 1.0, 0.9 → quality 0.95; Philadelphia: 0.8,
+	// 0.7 → 0.75. Boston first.
+	if gr.Groups[0].Label != "Boston" {
+		t.Errorf("groups not ordered by quality: %+v", gr.Groups)
+	}
+	if q := gr.Groups[0].Quality; q < 0.94 || q > 0.96 {
+		t.Errorf("Boston quality = %f", q)
+	}
+	// Within-group ranking: best item first.
+	if gr.Groups[0].Items[0] != f.items[0] {
+		t.Error("within-group ranking wrong")
+	}
+}
+
+func TestMeaningfulness(t *testing.T) {
+	f := buildAlexia(t)
+	cfg := OrganizeConfig{}
+	balanced := StructuralGrouping(f.g, f.items, f.scores, "city")
+	single := Grouping{Criterion: "x", Groups: []Group{{Label: "all", Items: f.items}}}
+	if Meaningfulness(balanced, cfg) <= Meaningfulness(single, cfg) {
+		t.Error("balanced grouping should beat the single-group degenerate")
+	}
+	if Meaningfulness(Grouping{}, cfg) != 0 {
+		t.Error("empty grouping should score 0")
+	}
+	many := Grouping{Criterion: "y"}
+	for i := 0; i < 20; i++ {
+		many.Groups = append(many.Groups, Group{Items: []graph.NodeID{graph.NodeID(i + 1)}})
+	}
+	if Meaningfulness(many, cfg) >= Meaningfulness(balanced, cfg) {
+		t.Error("20 singleton groups should not beat a balanced 2-group split")
+	}
+}
+
+func TestOrganize(t *testing.T) {
+	f := buildAlexia(t)
+	p, err := Organize(f.g, f.items, f.scores, OrganizeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Chosen.Groups) == 0 || p.Score <= 0 {
+		t.Fatalf("presentation = %+v", p)
+	}
+	if len(p.Alternatives) != 2 {
+		t.Errorf("alternatives = %d, want 2", len(p.Alternatives))
+	}
+	if _, err := Organize(f.g, nil, nil, OrganizeConfig{}); err == nil {
+		t.Error("empty item set accepted")
+	}
+}
+
+func TestCapGroupsAndZoom(t *testing.T) {
+	// Three items with pairwise-disjoint taggers: θ=1 social grouping
+	// yields three singleton groups; capping at 2 folds two into "more".
+	b := graph.NewBuilder()
+	scores := map[graph.NodeID]float64{}
+	var items []graph.NodeID
+	for i := 0; i < 3; i++ {
+		u := b.Node([]string{graph.TypeUser})
+		it := b.Node([]string{graph.TypeItem}, "name", "it", "city", "C")
+		b.Link(u, it, []string{graph.TypeAct, graph.SubtypeVisit})
+		items = append(items, it)
+		scores[it] = 1.0 - float64(i)*0.1
+	}
+	g := b.Graph()
+	gr, err := SocialGrouping(g, items, scores, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gr.Groups) != 3 {
+		t.Fatalf("expected 3 singleton groups, got %+v", gr.Groups)
+	}
+	capped := capGroups(gr, 2)
+	if len(capped.Groups) != 2 {
+		t.Fatalf("capped = %+v", capped.Groups)
+	}
+	if capped.Groups[1].Label != "more" {
+		t.Errorf("overflow label = %q", capped.Groups[1].Label)
+	}
+	total := 0
+	for _, grp := range capped.Groups {
+		total += grp.Size()
+	}
+	if total != len(items) {
+		t.Error("capping lost items")
+	}
+
+	// Zoom into the merged group.
+	sub, err := Zoom(g, capped.Groups[1], scores, OrganizeConfig{}, "social")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub.Groups) != 2 { // disjoint taggers separate again
+		t.Errorf("social zoom groups = %+v", sub.Groups)
+	}
+	sub2, err := Zoom(g, capped.Groups[1], scores, OrganizeConfig{}, "structural")
+	if err != nil || len(sub2.Groups) == 0 {
+		t.Error("structural zoom failed")
+	}
+}
+
+func TestExplainCF(t *testing.T) {
+	f := buildAlexia(t)
+	ex := ExplainCF(f.g, f.alexia, f.items[0])
+	// Both classmates endorse item 0 and are Alexia's friends (sim 1,
+	// rating 0.8): weights 0.8.
+	if len(ex.Users) != 2 {
+		t.Fatalf("explanation users = %+v", ex.Users)
+	}
+	for _, w := range ex.Users {
+		if w.Weight != 0.8 {
+			t.Errorf("weight = %f, want 0.8 (sim 1 × rating 0.8)", w.Weight)
+		}
+	}
+	// 2 of 4 friends endorsed: "50% of your friends...".
+	if !strings.Contains(ex.Summary, "50%") {
+		t.Errorf("summary = %q", ex.Summary)
+	}
+}
+
+func TestExplainCFNoFriends(t *testing.T) {
+	b := graph.NewBuilder()
+	u := b.Node([]string{graph.TypeUser})
+	v := b.Node([]string{graph.TypeUser})
+	i := b.Node([]string{graph.TypeItem})
+	// v acted on i; u and v share no connection and no items → sim 0 → no
+	// explanation users.
+	b.Link(v, i, []string{graph.TypeAct, graph.SubtypeVisit})
+	ex := ExplainCF(b.Graph(), u, i)
+	if len(ex.Users) != 0 || !strings.Contains(ex.Summary, "No social endorsement") {
+		t.Errorf("explanation = %+v", ex)
+	}
+}
+
+func TestExplainContent(t *testing.T) {
+	b := graph.NewBuilder()
+	u := b.Node([]string{graph.TypeUser})
+	past := b.Node([]string{graph.TypeItem}, "keywords", "baseball stadium denver")
+	rec := b.Node([]string{graph.TypeItem}, "keywords", "baseball museum denver")
+	other := b.Node([]string{graph.TypeItem}, "keywords", "beach resort")
+	b.Link(u, past, []string{graph.TypeAct, graph.SubtypeVisit}, "rating", "0.5")
+	b.Link(u, other, []string{graph.TypeAct, graph.SubtypeVisit})
+	g := b.Graph()
+	ex := ExplainContent(g, u, rec)
+	if len(ex.Items) != 1 || ex.Items[0].ID != past {
+		t.Fatalf("explanation items = %+v", ex.Items)
+	}
+	if ex.Items[0].Weight <= 0 || ex.Items[0].Weight > 0.5 {
+		t.Errorf("weight = %f, want (0, 0.5]", ex.Items[0].Weight)
+	}
+	if !strings.Contains(ex.Summary, "50%") { // 1 of 2 past items similar
+		t.Errorf("summary = %q", ex.Summary)
+	}
+	// User with no history.
+	lone := graph.NewNode(graph.IDSourceFor(g).NextNode(), graph.TypeUser)
+	if err := g.AddNode(lone); err != nil {
+		t.Fatal(err)
+	}
+	ex2 := ExplainContent(g, lone.ID, rec)
+	if len(ex2.Items) != 0 || !strings.Contains(ex2.Summary, "no past activity") {
+		t.Errorf("explanation = %+v", ex2)
+	}
+}
+
+func TestExplainGroup(t *testing.T) {
+	f := buildAlexia(t)
+	group := Group{Label: "Boston", Items: f.items[:2]}
+	ex := ExplainGroup(f.g, f.alexia, group, "cf")
+	if len(ex.Users) != 2 { // both classmates, weights summed over 2 items
+		t.Fatalf("group explanation users = %+v", ex.Users)
+	}
+	// Each classmate: item0 weight 0.8 + item1 weight 1.0 (unrated act) = 1.8.
+	for _, w := range ex.Users {
+		if w.Weight < 1.79 || w.Weight > 1.81 {
+			t.Errorf("aggregated weight = %f, want 1.8", w.Weight)
+		}
+	}
+	if !strings.Contains(ex.Summary, "Boston") {
+		t.Errorf("summary = %q", ex.Summary)
+	}
+	exContent := ExplainGroup(f.g, f.alexia, group, "content")
+	if exContent.Strategy != "content" {
+		t.Error("strategy not propagated")
+	}
+}

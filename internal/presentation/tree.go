@@ -1,0 +1,170 @@
+package presentation
+
+import (
+	"fmt"
+	"strings"
+
+	"socialscope/internal/graph"
+)
+
+// TreeNode is one level of the hierarchical presentation Section 7.1
+// sketches ("present the groups hierarchically, i.e., initially present a
+// small number of groups appropriate for the screen area and upon request
+// divide a group that the user is interested in into subgroups"): a group
+// with lazily-materialized subgroups.
+type TreeNode struct {
+	Group    Group
+	Depth    int
+	Children []*TreeNode // nil until Expand
+	expanded bool
+}
+
+// Tree is a navigable presentation hierarchy with zoom-in and zoom-out.
+type Tree struct {
+	g      *graph.Graph
+	scores map[graph.NodeID]float64
+	cfg    OrganizeConfig
+	Root   *TreeNode
+	// path is the zoom trail from root to the current focus.
+	path []*TreeNode
+}
+
+// BuildTree organizes the items once and wraps the result as the top level
+// of a zoomable hierarchy. The root's children are the chosen grouping's
+// groups.
+func BuildTree(g *graph.Graph, items []graph.NodeID, scores map[graph.NodeID]float64, cfg OrganizeConfig) (*Tree, error) {
+	cfg.fill()
+	pres, err := Organize(g, items, scores, cfg)
+	if err != nil {
+		return nil, err
+	}
+	root := &TreeNode{
+		Group:    Group{Label: "all results", Items: append([]graph.NodeID(nil), items...)},
+		expanded: true,
+	}
+	for _, grp := range pres.Chosen.Groups {
+		root.Children = append(root.Children, &TreeNode{Group: grp, Depth: 1})
+	}
+	t := &Tree{g: g, scores: scores, cfg: cfg, Root: root}
+	t.path = []*TreeNode{root}
+	return t, nil
+}
+
+// Focus returns the node currently zoomed into.
+func (t *Tree) Focus() *TreeNode { return t.path[len(t.path)-1] }
+
+// Depth returns the current zoom depth (0 = root).
+func (t *Tree) Depth() int { return len(t.path) - 1 }
+
+// ZoomIn expands the focus's child with the given label and moves the
+// focus into it. Children are materialized on demand: social re-grouping
+// at a tighter threshold for odd depths, structural faceting for even
+// ones, so successive zooms alternate criteria the way a faceted UI would.
+func (t *Tree) ZoomIn(label string) error {
+	focus := t.Focus()
+	if err := t.expand(focus); err != nil {
+		return err
+	}
+	for _, child := range focus.Children {
+		if child.Group.Label == label {
+			if err := t.expand(child); err != nil {
+				return err
+			}
+			t.path = append(t.path, child)
+			return nil
+		}
+	}
+	return fmt.Errorf("presentation: no group %q at depth %d", label, focus.Depth)
+}
+
+// ZoomOut moves the focus one level up; it is a no-op at the root.
+func (t *Tree) ZoomOut() {
+	if len(t.path) > 1 {
+		t.path = t.path[:len(t.path)-1]
+	}
+}
+
+// expand materializes a node's children if not already done. Singleton
+// groups stay leaves.
+func (t *Tree) expand(n *TreeNode) error {
+	if n.expanded {
+		return nil
+	}
+	n.expanded = true
+	if len(n.Group.Items) <= 1 {
+		return nil
+	}
+	criterion := "social"
+	if n.Depth%2 == 0 {
+		criterion = "structural"
+	}
+	sub, err := Zoom(t.g, n.Group, t.scores, t.cfg, criterion)
+	if err != nil {
+		return err
+	}
+	// A zoom that fails to subdivide (one group equal to the parent)
+	// leaves the node a leaf rather than an infinite ladder.
+	if len(sub.Groups) == 1 && sub.Groups[0].Size() == n.Group.Size() {
+		return nil
+	}
+	for _, grp := range sub.Groups {
+		n.Children = append(n.Children, &TreeNode{Group: grp, Depth: n.Depth + 1})
+	}
+	return nil
+}
+
+// Render draws the hierarchy from the root down to expanded nodes, marking
+// the focus, for terminal UIs and tests.
+func (t *Tree) Render() string {
+	var sb strings.Builder
+	var rec func(n *TreeNode, indent string)
+	rec = func(n *TreeNode, indent string) {
+		marker := ""
+		if n == t.Focus() {
+			marker = " ← focus"
+		}
+		fmt.Fprintf(&sb, "%s[%s] %d item(s)%s\n", indent, n.Group.Label, n.Group.Size(), marker)
+		for _, c := range n.Children {
+			rec(c, indent+"  ")
+		}
+	}
+	rec(t.Root, "")
+	return sb.String()
+}
+
+// Diversify re-ranks a scored result list with maximal marginal relevance:
+// each pick maximizes λ·score − (1−λ)·max-similarity-to-picked, where
+// similarity is content Jaccard. The paper's Section 7.2 cites
+// diversification [30] as the companion concern to explanations; this is
+// the Result Selector hook for it. λ=1 reduces to pure relevance order.
+func Diversify(g *graph.Graph, items []graph.NodeID, scores map[graph.NodeID]float64, lambda float64, k int) []graph.NodeID {
+	if lambda < 0 {
+		lambda = 0
+	}
+	if lambda > 1 {
+		lambda = 1
+	}
+	if k <= 0 || k > len(items) {
+		k = len(items)
+	}
+	remaining := append([]graph.NodeID(nil), sortedIDs(items)...)
+	var picked []graph.NodeID
+	for len(picked) < k && len(remaining) > 0 {
+		bestIdx, bestVal := -1, 0.0
+		for i, cand := range remaining {
+			maxSim := 0.0
+			for _, p := range picked {
+				if s := itemSim(g, cand, p); s > maxSim {
+					maxSim = s
+				}
+			}
+			val := lambda*scores[cand] - (1-lambda)*maxSim
+			if bestIdx < 0 || val > bestVal {
+				bestIdx, bestVal = i, val
+			}
+		}
+		picked = append(picked, remaining[bestIdx])
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+	}
+	return picked
+}

@@ -1,0 +1,105 @@
+package presentation
+
+import (
+	"strings"
+	"testing"
+
+	"socialscope/internal/graph"
+)
+
+func TestBuildTreeAndZoom(t *testing.T) {
+	f := buildAlexia(t)
+	tree, err := BuildTree(f.g, f.items, f.scores, OrganizeConfig{MaxGroups: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Depth() != 0 || tree.Focus() != tree.Root {
+		t.Fatal("fresh tree should focus the root")
+	}
+	if len(tree.Root.Children) == 0 {
+		t.Fatal("root has no groups")
+	}
+	// Zoom into the first group.
+	first := tree.Root.Children[0].Group.Label
+	if err := tree.ZoomIn(first); err != nil {
+		t.Fatal(err)
+	}
+	if tree.Depth() != 1 || tree.Focus().Group.Label != first {
+		t.Errorf("focus after zoom = %q at depth %d", tree.Focus().Group.Label, tree.Depth())
+	}
+	// Zoom out returns to the root; at root it is a no-op.
+	tree.ZoomOut()
+	if tree.Depth() != 0 {
+		t.Error("zoom out did not return to root")
+	}
+	tree.ZoomOut()
+	if tree.Depth() != 0 {
+		t.Error("zoom out at root should be a no-op")
+	}
+	// Unknown label.
+	if err := tree.ZoomIn("no-such-group"); err == nil {
+		t.Error("zoom into unknown group accepted")
+	}
+	out := tree.Render()
+	if !strings.Contains(out, "all results") || !strings.Contains(out, "focus") {
+		t.Errorf("render = %q", out)
+	}
+}
+
+func TestTreeLeavesStayLeaves(t *testing.T) {
+	// A single-item group must not expand into a ladder of itself.
+	b := graph.NewBuilder()
+	u := b.Node([]string{graph.TypeUser})
+	it := b.Node([]string{graph.TypeItem}, "name", "only", "city", "c")
+	b.Link(u, it, []string{graph.TypeAct, graph.SubtypeVisit})
+	scores := map[graph.NodeID]float64{it: 1}
+	tree, err := BuildTree(b.Graph(), []graph.NodeID{it}, scores, OrganizeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	label := tree.Root.Children[0].Group.Label
+	if err := tree.ZoomIn(label); err != nil {
+		t.Fatal(err)
+	}
+	if len(tree.Focus().Children) != 0 {
+		t.Errorf("singleton group expanded: %v", tree.Focus().Children)
+	}
+}
+
+func TestDiversify(t *testing.T) {
+	// Three near-duplicate items and one distinct; with λ=0.5 the distinct
+	// item must displace a duplicate despite a lower score.
+	b := graph.NewBuilder()
+	a1 := b.Node([]string{graph.TypeItem}, "keywords", "baseball stadium denver")
+	a2 := b.Node([]string{graph.TypeItem}, "keywords", "baseball stadium denver")
+	a3 := b.Node([]string{graph.TypeItem}, "keywords", "baseball stadium denver")
+	d := b.Node([]string{graph.TypeItem}, "keywords", "opera house vienna")
+	g := b.Graph()
+	items := []graph.NodeID{a1, a2, a3, d}
+	scores := map[graph.NodeID]float64{a1: 1.0, a2: 0.9, a3: 0.8, d: 0.5}
+
+	pure := Diversify(g, items, scores, 1, 3)
+	if pure[0] != a1 || pure[1] != a2 || pure[2] != a3 {
+		t.Errorf("λ=1 should be pure relevance order: %v", pure)
+	}
+	div := Diversify(g, items, scores, 0.5, 3)
+	foundDistinct := false
+	for _, it := range div {
+		if it == d {
+			foundDistinct = true
+		}
+	}
+	if !foundDistinct {
+		t.Errorf("λ=0.5 failed to diversify: %v", div)
+	}
+	if div[0] != a1 {
+		t.Errorf("top result should stay the best item: %v", div)
+	}
+	// k capping and λ clamping.
+	if got := Diversify(g, items, scores, 2.0, 2); len(got) != 2 {
+		t.Errorf("k=2 gave %v", got)
+	}
+	if got := Diversify(g, items, scores, -1, 0); len(got) != len(items) {
+		t.Errorf("k=0 should return all: %v", got)
+	}
+}

@@ -1,0 +1,36 @@
+package queryclass
+
+import (
+	"testing"
+
+	"socialscope/internal/workload"
+)
+
+func BenchmarkClassify(b *testing.B) {
+	log, err := workload.QueryLog(1000, workload.PaperMixture(), 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := Default()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := log[i%len(log)]
+		c.Classify(q.Text)
+	}
+}
+
+func BenchmarkSummarize(b *testing.B) {
+	log, err := workload.QueryLog(5000, workload.PaperMixture(), 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	texts := make([]string, len(log))
+	for i, q := range log {
+		texts[i] = q.Text
+	}
+	c := Default()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Summarize(texts)
+	}
+}

@@ -1,0 +1,219 @@
+// Package queryclass implements the query analysis behind the paper's
+// Table 1: detecting location terms through a gazetteer and classifying
+// each query as general, categorical or specific ("By leveraging the
+// domain knowledge we have about geographical locations and travel
+// destinations, we detect location terms in queries and classify each
+// query into three classes"). Aggregating a classified log regenerates the
+// table.
+package queryclass
+
+import (
+	"fmt"
+	"strings"
+
+	"socialscope/internal/scoring"
+	"socialscope/internal/workload"
+)
+
+// Classifier classifies travel queries against a gazetteer of locations,
+// a list of named destinations, category terms and general-intent terms.
+type Classifier struct {
+	locations    map[string]struct{} // single-token location markers
+	locPhrases   []string            // multi-token locations ("san francisco")
+	destinations []string            // named destinations (phrase match)
+	categories   map[string]struct{}
+	general      map[string]struct{} // single general tokens
+	generalPhr   []string            // multi-token general phrases
+}
+
+// NewClassifier builds a classifier from explicit vocabularies.
+func NewClassifier(locations, destinations, categories, general []string) *Classifier {
+	c := &Classifier{
+		locations:  make(map[string]struct{}),
+		categories: make(map[string]struct{}),
+		general:    make(map[string]struct{}),
+	}
+	for _, l := range locations {
+		l = strings.ToLower(l)
+		if strings.Contains(l, " ") {
+			c.locPhrases = append(c.locPhrases, l)
+			continue
+		}
+		c.locations[l] = struct{}{}
+	}
+	for _, d := range destinations {
+		c.destinations = append(c.destinations, strings.ToLower(d))
+	}
+	for _, cat := range categories {
+		for _, tok := range scoring.Tokenize(cat) {
+			c.categories[tok] = struct{}{}
+		}
+	}
+	for _, g := range general {
+		g = strings.ToLower(g)
+		if strings.Contains(g, " ") {
+			c.generalPhr = append(c.generalPhr, g)
+			continue
+		}
+		c.general[g] = struct{}{}
+	}
+	return c
+}
+
+// Default returns the classifier wired to the shared workload gazetteers —
+// the configuration the Table 1 experiment uses.
+func Default() *Classifier {
+	return NewClassifier(workload.Cities, workload.SpecificDestinations,
+		workload.Categories, workload.GeneralTerms)
+}
+
+// Classify assigns the query a class and detects location terms. The
+// precedence mirrors the paper's taxonomy: a named destination is
+// specific; otherwise category terms make it categorical; otherwise
+// general terms — or a bare location — make it general; anything else is
+// unclassifiable.
+func (c *Classifier) Classify(query string) (workload.QueryClass, bool) {
+	lower := strings.ToLower(query)
+	toks := scoring.Tokenize(lower)
+	hasLoc := c.hasLocation(lower, toks)
+
+	for _, d := range c.destinations {
+		if containsPhrase(lower, d) {
+			return workload.Specific, true
+		}
+	}
+	for _, t := range toks {
+		if _, ok := c.categories[t]; ok {
+			return workload.Categorical, hasLoc
+		}
+	}
+	for _, g := range c.generalPhr {
+		if containsPhrase(lower, g) {
+			return workload.General, hasLoc
+		}
+	}
+	generalHit := false
+	nonGeneralTokens := 0
+	for _, t := range toks {
+		if _, ok := c.general[t]; ok {
+			generalHit = true
+			continue
+		}
+		if !c.isLocationToken(t) {
+			nonGeneralTokens++
+		}
+	}
+	if generalHit {
+		return workload.General, hasLoc
+	}
+	// A location by itself is a general query (paper: "or just a location
+	// by itself").
+	if hasLoc && nonGeneralTokens == 0 {
+		return workload.General, true
+	}
+	return workload.Unclassifiable, hasLoc
+}
+
+func (c *Classifier) hasLocation(lower string, toks []string) bool {
+	for _, t := range toks {
+		if _, ok := c.locations[t]; ok {
+			return true
+		}
+	}
+	for _, p := range c.locPhrases {
+		if containsPhrase(lower, p) {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Classifier) isLocationToken(t string) bool {
+	if _, ok := c.locations[t]; ok {
+		return true
+	}
+	for _, p := range c.locPhrases {
+		for _, pt := range strings.Fields(p) {
+			if pt == t {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// containsPhrase reports a token-boundary phrase match.
+func containsPhrase(haystack, phrase string) bool {
+	idx := 0
+	for {
+		i := strings.Index(haystack[idx:], phrase)
+		if i < 0 {
+			return false
+		}
+		start := idx + i
+		end := start + len(phrase)
+		okLeft := start == 0 || !isWordChar(haystack[start-1])
+		okRight := end == len(haystack) || !isWordChar(haystack[end])
+		if okLeft && okRight {
+			return true
+		}
+		idx = start + 1
+	}
+}
+
+func isWordChar(b byte) bool {
+	return b >= 'a' && b <= 'z' || b >= '0' && b <= '9'
+}
+
+// Table1 is the regenerated statistics table: percentages per (location ×
+// class) cell, matching the paper's layout, plus the unclassifiable rate.
+type Table1 struct {
+	Total int
+	// Cells[loc][class] in percent; loc 0 = with locations, 1 = without.
+	Cells          [2][3]float64
+	Unclassifiable float64
+}
+
+// Summarize classifies a log and aggregates Table 1.
+func (c *Classifier) Summarize(queries []string) Table1 {
+	t := Table1{Total: len(queries)}
+	if len(queries) == 0 {
+		return t
+	}
+	counts := [2][3]int{}
+	unclass := 0
+	for _, q := range queries {
+		class, hasLoc := c.Classify(q)
+		if class == workload.Unclassifiable {
+			unclass++
+			continue
+		}
+		row := 1
+		if hasLoc {
+			row = 0
+		}
+		counts[row][int(class)]++
+	}
+	n := float64(len(queries))
+	for r := 0; r < 2; r++ {
+		for cl := 0; cl < 3; cl++ {
+			t.Cells[r][cl] = 100 * float64(counts[r][cl]) / n
+		}
+	}
+	t.Unclassifiable = 100 * float64(unclass) / n
+	return t
+}
+
+// String renders the table in the paper's layout.
+func (t Table1) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-16s %-10s %-12s %-10s\n", "", "general", "categorical", "specific")
+	fmt.Fprintf(&sb, "%-16s %-10s %-12s %-10s\n", "with locations",
+		pct(t.Cells[0][0]), pct(t.Cells[0][1]), pct(t.Cells[0][2]))
+	fmt.Fprintf(&sb, "%-16s %-10s %-12s %-10s\n", "w/o locations",
+		pct(t.Cells[1][0]), pct(t.Cells[1][1]), pct(t.Cells[1][2]))
+	fmt.Fprintf(&sb, "unclassifiable: %s (paper: ~10%%)\n", pct(t.Unclassifiable))
+	return sb.String()
+}
+
+func pct(v float64) string { return fmt.Sprintf("%.2f%%", v) }

@@ -1,0 +1,133 @@
+package queryclass
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"socialscope/internal/workload"
+)
+
+func TestClassifyPaperExamples(t *testing.T) {
+	c := Default()
+	cases := []struct {
+		q     string
+		class workload.QueryClass
+		loc   bool
+	}{
+		// The paper's own examples.
+		{"denver attractions", workload.General, true},
+		{"things to do", workload.General, false},
+		{"denver", workload.General, true}, // "just a location by itself"
+		{"barcelona hotel", workload.Categorical, true},
+		{"family", workload.Categorical, false},
+		{"historic", workload.Categorical, false},
+		{"disneyland", workload.Specific, true},
+		{"yosemite park", workload.Specific, true},
+		{"zzyx blorp", workload.Unclassifiable, false},
+		// Location phrases.
+		{"san francisco sightseeing", workload.General, true},
+		{"new york hotel", workload.Categorical, true},
+		// Specific beats categorical when both match.
+		{"coors field baseball", workload.Specific, true},
+	}
+	for _, tc := range cases {
+		class, loc := c.Classify(tc.q)
+		if class != tc.class || loc != tc.loc {
+			t.Errorf("Classify(%q) = (%v, %v), want (%v, %v)", tc.q, class, loc, tc.class, tc.loc)
+		}
+	}
+}
+
+func TestPhraseBoundaries(t *testing.T) {
+	c := Default()
+	// "romeo" must not match location "rome".
+	if _, loc := c.Classify("romeo juliet"); loc {
+		t.Error("substring matched across word boundary")
+	}
+	if !containsPhrase("visit rome now", "rome") {
+		t.Error("exact phrase missed")
+	}
+	if containsPhrase("romeo", "rome") {
+		t.Error("phrase matched inside a word")
+	}
+	if !containsPhrase("rome", "rome") {
+		t.Error("whole-string phrase missed")
+	}
+}
+
+// TestTable1Regeneration is experiment E1: generate a query log from the
+// published mixture and verify the classifier recovers Table 1's cells
+// within 1.5 percentage points.
+func TestTable1Regeneration(t *testing.T) {
+	log, err := workload.QueryLog(50000, workload.PaperMixture(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	texts := make([]string, len(log))
+	for i, q := range log {
+		texts[i] = q.Text
+	}
+	table := Default().Summarize(texts)
+
+	paper := [2][3]float64{
+		{32.36, 22.52, 8.37},
+		{21.38, 5.34, 0},
+	}
+	for r := 0; r < 2; r++ {
+		for cl := 0; cl < 3; cl++ {
+			if math.Abs(table.Cells[r][cl]-paper[r][cl]) > 1.5 {
+				t.Errorf("cell[%d][%d] = %.2f%%, paper %.2f%%", r, cl, table.Cells[r][cl], paper[r][cl])
+			}
+		}
+	}
+	if math.Abs(table.Unclassifiable-10.03) > 1.5 {
+		t.Errorf("unclassifiable = %.2f%%, paper ≈10%%", table.Unclassifiable)
+	}
+	out := table.String()
+	for _, want := range []string{"with locations", "w/o locations", "general", "categorical", "specific"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table rendering missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestClassifierAccuracy checks per-query agreement with the generator's
+// ground truth — classification, not just aggregate rates.
+func TestClassifierAccuracy(t *testing.T) {
+	log, err := workload.QueryLog(5000, workload.PaperMixture(), 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Default()
+	agree := 0
+	for _, q := range log {
+		class, _ := c.Classify(q.Text)
+		if class == q.Class {
+			agree++
+		}
+	}
+	if rate := float64(agree) / float64(len(log)); rate < 0.97 {
+		t.Errorf("classifier agreement = %.3f, want ≥ 0.97", rate)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	table := Default().Summarize(nil)
+	if table.Total != 0 || table.Unclassifiable != 0 {
+		t.Errorf("empty summary = %+v", table)
+	}
+}
+
+func TestCustomClassifier(t *testing.T) {
+	c := NewClassifier([]string{"oz"}, []string{"emerald city"}, []string{"witch"}, []string{"wizard quest"})
+	if class, loc := c.Classify("oz witch"); class != workload.Categorical || !loc {
+		t.Errorf("custom categorical = %v, %v", class, loc)
+	}
+	if class, _ := c.Classify("emerald city"); class != workload.Specific {
+		t.Errorf("custom specific = %v", class)
+	}
+	if class, _ := c.Classify("wizard quest"); class != workload.General {
+		t.Errorf("custom general phrase = %v", class)
+	}
+}

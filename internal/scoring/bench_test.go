@@ -1,0 +1,29 @@
+package scoring
+
+import "testing"
+
+func BenchmarkTokenize(b *testing.B) {
+	const s = "Barcelona family trip with babies and things to do near the Parc"
+	for i := 0; i < b.N; i++ {
+		Tokenize(s)
+	}
+}
+
+func BenchmarkBM25(b *testing.B) {
+	c := buildCorpus()
+	q := Tokenize("denver baseball attractions")
+	const doc = "denver ballpark museum baseball attractions stadium field"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.BM25(q, doc)
+	}
+}
+
+func BenchmarkJaccard(b *testing.B) {
+	x := NewSet(1, 2, 3, 4, 5, 6, 7, 8)
+	y := NewSet(5, 6, 7, 8, 9, 10, 11, 12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Jaccard(x, y)
+	}
+}

@@ -1,0 +1,154 @@
+package scoring
+
+import (
+	"math"
+
+	"socialscope/internal/graph"
+)
+
+// Corpus holds document statistics over a set of texts (typically the
+// searchable text of every node of a given type in a social content graph).
+// It supports tf-idf and BM25 scoring of keyword queries against documents,
+// providing the paper's "semantic relevance" leg.
+type Corpus struct {
+	docCount  int
+	docFreq   map[string]int
+	totalLen  int
+	avgDocLen float64
+}
+
+// NewCorpus returns an empty corpus.
+func NewCorpus() *Corpus {
+	return &Corpus{docFreq: make(map[string]int)}
+}
+
+// AddDoc folds one document's text into the corpus statistics.
+func (c *Corpus) AddDoc(text string) {
+	toks := Tokenize(text)
+	c.docCount++
+	c.totalLen += len(toks)
+	seen := make(map[string]struct{}, len(toks))
+	for _, t := range toks {
+		if _, ok := seen[t]; ok {
+			continue
+		}
+		seen[t] = struct{}{}
+		c.docFreq[t]++
+	}
+	c.avgDocLen = float64(c.totalLen) / float64(c.docCount)
+}
+
+// CorpusFromGraph builds a corpus from the searchable text of every node in
+// g that carries nodeType ("" means every node).
+func CorpusFromGraph(g *graph.Graph, nodeType string) *Corpus {
+	c := NewCorpus()
+	for _, n := range g.Nodes() {
+		if nodeType != "" && !n.HasType(nodeType) {
+			return nil
+		}
+		c.AddDoc(n.Text())
+	}
+	return c
+}
+
+// NodeCorpus builds a corpus from nodes of the given type only, skipping
+// others (unlike CorpusFromGraph, which requires homogeneity).
+func NodeCorpus(g *graph.Graph, nodeType string) *Corpus {
+	c := NewCorpus()
+	for _, n := range g.Nodes() {
+		if nodeType == "" || n.HasType(nodeType) {
+			c.AddDoc(n.Text())
+		}
+	}
+	return c
+}
+
+// DocCount returns the number of documents folded in.
+func (c *Corpus) DocCount() int { return c.docCount }
+
+// DocFreq returns in how many documents the term occurs.
+func (c *Corpus) DocFreq(term string) int { return c.docFreq[term] }
+
+// IDF returns the smoothed inverse document frequency of the term:
+// ln(1 + (N - df + 0.5)/(df + 0.5)), the BM25+ formulation, which stays
+// positive for terms present in every document.
+func (c *Corpus) IDF(term string) float64 {
+	df := float64(c.docFreq[term])
+	n := float64(c.docCount)
+	return math.Log(1 + (n-df+0.5)/(df+0.5))
+}
+
+// TFIDF scores a document's text against query keywords: sum over query
+// terms of tf * idf, normalized by document length. Zero when nothing
+// matches.
+func (c *Corpus) TFIDF(query []string, docText string) float64 {
+	if len(query) == 0 {
+		return 0
+	}
+	tf := TermFreq(docText)
+	docLen := 0
+	for _, n := range tf {
+		docLen += n
+	}
+	if docLen == 0 {
+		return 0
+	}
+	var score float64
+	for _, q := range query {
+		if f := tf[q]; f > 0 {
+			score += (float64(f) / float64(docLen)) * c.IDF(q)
+		}
+	}
+	return score
+}
+
+// BM25 parameters. k1 saturates term frequency; b controls length
+// normalization. Defaults follow the standard Robertson settings.
+const (
+	bm25K1 = 1.2
+	bm25B  = 0.75
+)
+
+// BM25 scores a document's text against query keywords with Okapi BM25.
+func (c *Corpus) BM25(query []string, docText string) float64 {
+	if len(query) == 0 {
+		return 0
+	}
+	tf := TermFreq(docText)
+	docLen := 0
+	for _, n := range tf {
+		docLen += n
+	}
+	norm := 1.0
+	if c.avgDocLen > 0 {
+		norm = 1 - bm25B + bm25B*float64(docLen)/c.avgDocLen
+	}
+	var score float64
+	for _, q := range query {
+		f := float64(tf[q])
+		if f == 0 {
+			continue
+		}
+		score += c.IDF(q) * (f * (bm25K1 + 1)) / (f + bm25K1*norm)
+	}
+	return score
+}
+
+// DefaultScorer is the scoring function selections fall back to when the
+// paper's optional S parameter is omitted but the condition carries
+// keywords (Section 5.1). It needs no corpus: the score is the fraction of
+// query terms present in the document, a simple containment measure that is
+// deterministic and corpus-free.
+func DefaultScorer(query []string, docText string) float64 {
+	if len(query) == 0 {
+		return 0
+	}
+	doc := TokenSet(docText)
+	hit := 0
+	for _, q := range query {
+		if _, ok := doc[q]; ok {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(query))
+}

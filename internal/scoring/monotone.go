@@ -1,0 +1,72 @@
+package scoring
+
+import "math"
+
+// Section 6.2 defines the network-aware scoring framework used by the
+// activity-driven indexes:
+//
+//	score_k(i, u) = f(network(u) ∩ taggers(i, k))
+//	score(i, u)   = g(score_k1(i,u), ..., score_kn(i,u))
+//
+// where f is a monotone function of a user set and g a monotone aggregate.
+// The paper fixes f = count and g = sum "for ease of exposition" while
+// keeping the framework general; we do the same, exposing both as values of
+// monotone function types so the index layer stays generic.
+
+// UserSetFn is the class of f: a monotone function from a set of users
+// (represented by its cardinality — every f the framework admits depends on
+// the set only through monotone set containment, and count-style functions
+// depend only on size) to a score. Monotonicity (S ⊆ T ⇒ f(S) ≤ f(T)) is
+// what makes cluster-level max upper bounds admissible for top-k pruning.
+type UserSetFn func(users int) float64
+
+// AggregateFn is the class of g: a monotone aggregate over per-keyword
+// scores.
+type AggregateFn func(scores []float64) float64
+
+// CountF is the paper's f = count: the score of an item for (user, tag) is
+// the number of the user's network members who tagged the item with the tag.
+func CountF(users int) float64 { return float64(users) }
+
+// LogCountF is a dampened alternative: ln(1+count). Still monotone.
+func LogCountF(users int) float64 {
+	if users <= 0 {
+		return 0
+	}
+	return math.Log1p(float64(users))
+}
+
+// SumG is the paper's g = sum.
+func SumG(scores []float64) float64 {
+	var s float64
+	for _, v := range scores {
+		s += v
+	}
+	return s
+}
+
+// MaxG is a monotone alternative aggregate.
+func MaxG(scores []float64) float64 {
+	var m float64
+	for _, v := range scores {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// MinPositiveG is a conjunctive-flavored aggregate: the minimum of the
+// scores (0 if any keyword contributes nothing). Monotone in each argument.
+func MinPositiveG(scores []float64) float64 {
+	if len(scores) == 0 {
+		return 0
+	}
+	m := scores[0]
+	for _, v := range scores[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}

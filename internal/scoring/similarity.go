@@ -1,0 +1,116 @@
+package scoring
+
+import (
+	"math"
+	"sort"
+)
+
+// Set is a set of comparable scalar values (node ids, items, tags) used by
+// the similarity measures that drive clustering (Definitions 11-13), social
+// grouping (Definition 14) and collaborative filtering (Example 5).
+type Set[T comparable] map[T]struct{}
+
+// NewSet builds a set from the given members.
+func NewSet[T comparable](members ...T) Set[T] {
+	s := make(Set[T], len(members))
+	for _, m := range members {
+		s[m] = struct{}{}
+	}
+	return s
+}
+
+// Add inserts a member.
+func (s Set[T]) Add(m T) { s[m] = struct{}{} }
+
+// Has reports membership.
+func (s Set[T]) Has(m T) bool { _, ok := s[m]; return ok }
+
+// Len returns the cardinality.
+func (s Set[T]) Len() int { return len(s) }
+
+// IntersectionSize returns |s ∩ t| without materializing the intersection.
+func IntersectionSize[T comparable](s, t Set[T]) int {
+	if len(t) < len(s) {
+		s, t = t, s
+	}
+	n := 0
+	for m := range s {
+		if _, ok := t[m]; ok {
+			n++
+		}
+	}
+	return n
+}
+
+// UnionSize returns |s ∪ t|.
+func UnionSize[T comparable](s, t Set[T]) int {
+	return len(s) + len(t) - IntersectionSize(s, t)
+}
+
+// Jaccard returns |s∩t| / |s∪t|; 0 when both sets are empty. This is the
+// predicate kernel of Definitions 11 (network-based), 12 (behavior-based),
+// 13 (hybrid) and 14 (social grouping) as well as the CF user similarity in
+// Example 5 step 5.
+func Jaccard[T comparable](s, t Set[T]) float64 {
+	u := UnionSize(s, t)
+	if u == 0 {
+		return 0
+	}
+	return float64(IntersectionSize(s, t)) / float64(u)
+}
+
+// Dice returns 2|s∩t| / (|s|+|t|); 0 when both sets are empty.
+func Dice[T comparable](s, t Set[T]) float64 {
+	d := len(s) + len(t)
+	if d == 0 {
+		return 0
+	}
+	return 2 * float64(IntersectionSize(s, t)) / float64(d)
+}
+
+// Overlap returns |s∩t| / min(|s|,|t|); 0 when either set is empty.
+func Overlap[T comparable](s, t Set[T]) float64 {
+	m := len(s)
+	if len(t) < m {
+		m = len(t)
+	}
+	if m == 0 {
+		return 0
+	}
+	return float64(IntersectionSize(s, t)) / float64(m)
+}
+
+// Cosine returns the cosine similarity between two sparse vectors.
+func Cosine[T comparable](a, b map[T]float64) float64 {
+	var dot, na, nb float64
+	for k, v := range a {
+		na += v * v
+		if w, ok := b[k]; ok {
+			dot += v * w
+		}
+	}
+	for _, w := range b {
+		nb += w * w
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+}
+
+// Members returns the set's members in an unspecified order.
+func (s Set[T]) Members() []T {
+	out := make([]T, 0, len(s))
+	for m := range s {
+		out = append(out, m)
+	}
+	return out
+}
+
+// SortedInts is a helper that returns sorted members for integer-like sets,
+// giving deterministic output in reports and tests.
+func SortedInts[T ~int | ~int64](s Set[T]) []T {
+	out := s.Members()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,63 @@
+// Package scoring implements the relevance machinery SocialScope layers on
+// its algebra: semantic relevance of nodes and links to keyword queries
+// (tf-idf and BM25 over attribute text), set and vector similarities used by
+// clustering and collaborative filtering (Jaccard, cosine, Dice, overlap),
+// and the monotone score-composition framework of Section 6.2
+// (score_k(i,u) = f(network(u) ∩ taggers(i,k)), score(i,u) = g(...)).
+package scoring
+
+import (
+	"strings"
+	"unicode"
+)
+
+// stopwords are dropped during tokenization. The list is deliberately small:
+// query terms such as "things to do" must survive classification upstream,
+// so only bare glue words appear here.
+var stopwords = map[string]struct{}{
+	"a": {}, "an": {}, "and": {}, "are": {}, "as": {}, "at": {}, "be": {},
+	"by": {}, "for": {}, "from": {}, "in": {}, "is": {}, "it": {}, "of": {},
+	"on": {}, "or": {}, "the": {}, "to": {}, "with": {},
+}
+
+// Tokenize lowercases the input and splits it into alphanumeric terms,
+// dropping stopwords. It is the single tokenizer shared by scoring, the
+// query model, and the query classifier, so that a term matches itself
+// across layers.
+func Tokenize(s string) []string {
+	fields := strings.FieldsFunc(strings.ToLower(s), func(r rune) bool {
+		return !unicode.IsLetter(r) && !unicode.IsDigit(r)
+	})
+	out := fields[:0]
+	for _, f := range fields {
+		if _, stop := stopwords[f]; stop {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// TokenSet returns the distinct tokens of s.
+func TokenSet(s string) map[string]struct{} {
+	set := make(map[string]struct{})
+	for _, t := range Tokenize(s) {
+		set[t] = struct{}{}
+	}
+	return set
+}
+
+// TermFreq returns token → occurrence count for s.
+func TermFreq(s string) map[string]int {
+	tf := make(map[string]int)
+	for _, t := range Tokenize(s) {
+		tf[t]++
+	}
+	return tf
+}
+
+// IsStopword reports whether the (lowercase) term is in the stopword list.
+func IsStopword(term string) bool {
+	_, ok := stopwords[term]
+	return ok
+}

@@ -1,0 +1,66 @@
+package store
+
+import (
+	"testing"
+
+	"socialscope/internal/graph"
+)
+
+func BenchmarkPutNode(b *testing.B) {
+	s, err := Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.PutNode(graph.NewNode(graph.NodeID(i+1), graph.TypeUser)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSnapshot(b *testing.B) {
+	s, err := Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 500; i++ {
+		if err := s.PutNode(graph.NewNode(graph.NodeID(i+1), graph.TypeUser)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Snapshot(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRecovery(b *testing.B) {
+	dir := b.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if err := s.PutNode(graph.NewNode(graph.NodeID(i+1), graph.TypeUser)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s2, err := Open(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s2.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

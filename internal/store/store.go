@@ -1,0 +1,327 @@
+// Package store implements the Data Manager's storage role (Section 6,
+// Figure 1): durable, concurrency-safe maintenance of the social content
+// graph behind the logical model, so the physical implementation is
+// abstracted away from the layers above.
+//
+// The design is a classic snapshot + write-ahead log pair: mutations append
+// JSON records to wal.jsonl before applying to the in-memory graph;
+// Snapshot writes the full graph to snapshot.json and truncates the log;
+// Open recovers by loading the snapshot and replaying the log, tolerating
+// a torn final record (the crash case).
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"socialscope/internal/graph"
+)
+
+const (
+	snapshotName = "snapshot.json"
+	walName      = "wal.jsonl"
+)
+
+// ErrClosed is returned by operations on a closed store.
+var ErrClosed = errors.New("store: closed")
+
+// Store is a durable social content graph. Reads run under a shared lock;
+// mutations serialize and hit the log before the graph.
+type Store struct {
+	mu     sync.RWMutex
+	dir    string
+	g      *graph.Graph
+	wal    *os.File
+	walW   *bufio.Writer
+	closed bool
+	// appliedRecords counts log records since the last snapshot; exposed
+	// for compaction policies.
+	appliedRecords int
+}
+
+// record is one WAL entry. Exactly one of the payload fields is set.
+type record struct {
+	Op   string    `json:"op"` // putnode | putlink | delnode | dellink
+	Node *nodeJSON `json:"node,omitempty"`
+	Link *linkJSON `json:"link,omitempty"`
+	ID   int64     `json:"id,omitempty"`
+}
+
+type nodeJSON struct {
+	ID    graph.NodeID        `json:"id"`
+	Types []string            `json:"types"`
+	Attrs map[string][]string `json:"attrs,omitempty"`
+}
+
+type linkJSON struct {
+	ID    graph.LinkID        `json:"id"`
+	Src   graph.NodeID        `json:"src"`
+	Tgt   graph.NodeID        `json:"tgt"`
+	Types []string            `json:"types"`
+	Attrs map[string][]string `json:"attrs,omitempty"`
+}
+
+// Open loads (or initializes) a store in dir: snapshot first, then WAL
+// replay. A torn trailing WAL record — the crash signature — is discarded;
+// any earlier corruption is an error.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	g := graph.New()
+	snapPath := filepath.Join(dir, snapshotName)
+	if f, err := os.Open(snapPath); err == nil {
+		loaded, derr := graph.Decode(f)
+		cerr := f.Close()
+		if derr != nil {
+			return nil, fmt.Errorf("store: snapshot corrupt: %w", derr)
+		}
+		if cerr != nil {
+			return nil, cerr
+		}
+		g = loaded
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+
+	walPath := filepath.Join(dir, walName)
+	replayed, err := replay(walPath, g)
+	if err != nil {
+		return nil, err
+	}
+	wal, err := os.OpenFile(walPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return &Store{
+		dir: dir, g: g, wal: wal, walW: bufio.NewWriter(wal),
+		appliedRecords: replayed,
+	}, nil
+}
+
+// replay applies WAL records to g. It returns the number applied. A
+// decode error on the final record truncates the log to the last good
+// prefix; a decode error earlier is fatal. Application errors (e.g. a link
+// whose endpoint never existed) are fatal: they indicate a corrupt log,
+// not a crash.
+func replay(path string, g *graph.Graph) (int, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+
+	applied := 0
+	var goodBytes int64
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	for sc.Scan() {
+		line := sc.Bytes()
+		var rec record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			// Torn tail: only acceptable if nothing follows.
+			if sc.Scan() {
+				return 0, fmt.Errorf("store: wal corrupt mid-stream: %w", err)
+			}
+			if terr := os.Truncate(path, goodBytes); terr != nil {
+				return 0, fmt.Errorf("store: truncating torn wal: %w", terr)
+			}
+			return applied, nil
+		}
+		if err := apply(g, rec); err != nil {
+			return 0, fmt.Errorf("store: wal replay: %w", err)
+		}
+		goodBytes += int64(len(line)) + 1
+		applied++
+	}
+	if err := sc.Err(); err != nil {
+		return 0, fmt.Errorf("store: reading wal: %w", err)
+	}
+	return applied, nil
+}
+
+func apply(g *graph.Graph, rec record) error {
+	switch rec.Op {
+	case "putnode":
+		if rec.Node == nil {
+			return fmt.Errorf("putnode without node")
+		}
+		n := graph.NewNode(rec.Node.ID, rec.Node.Types...)
+		if rec.Node.Attrs != nil {
+			n.Attrs = graph.Attrs(rec.Node.Attrs)
+		}
+		g.PutNode(n)
+		return nil
+	case "putlink":
+		if rec.Link == nil {
+			return fmt.Errorf("putlink without link")
+		}
+		l := graph.NewLink(rec.Link.ID, rec.Link.Src, rec.Link.Tgt, rec.Link.Types...)
+		if rec.Link.Attrs != nil {
+			l.Attrs = graph.Attrs(rec.Link.Attrs)
+		}
+		return g.PutLink(l)
+	case "delnode":
+		g.RemoveNode(graph.NodeID(rec.ID))
+		return nil
+	case "dellink":
+		g.RemoveLink(graph.LinkID(rec.ID))
+		return nil
+	}
+	return fmt.Errorf("unknown op %q", rec.Op)
+}
+
+// append writes a record to the WAL and flushes it, then applies it.
+func (s *Store) append(rec record) error {
+	if s.closed {
+		return ErrClosed
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := s.walW.Write(append(data, '\n')); err != nil {
+		return fmt.Errorf("store: wal write: %w", err)
+	}
+	if err := s.walW.Flush(); err != nil {
+		return fmt.Errorf("store: wal flush: %w", err)
+	}
+	if err := apply(s.g, rec); err != nil {
+		return err
+	}
+	s.appliedRecords++
+	return nil
+}
+
+// PutNode durably inserts or consolidates a node.
+func (s *Store) PutNode(n *graph.Node) error {
+	if n == nil {
+		return graph.ErrNilElement
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.append(record{Op: "putnode", Node: &nodeJSON{ID: n.ID, Types: n.Types, Attrs: n.Attrs}})
+}
+
+// PutLink durably inserts or consolidates a link; endpoints must exist.
+func (s *Store) PutLink(l *graph.Link) error {
+	if l == nil {
+		return graph.ErrNilElement
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.g.HasNode(l.Src) || !s.g.HasNode(l.Tgt) {
+		return fmt.Errorf("%w: link %d (%d->%d)", graph.ErrMissingEnd, l.ID, l.Src, l.Tgt)
+	}
+	return s.append(record{Op: "putlink", Link: &linkJSON{
+		ID: l.ID, Src: l.Src, Tgt: l.Tgt, Types: l.Types, Attrs: l.Attrs,
+	}})
+}
+
+// RemoveNode durably removes a node and its incident links.
+func (s *Store) RemoveNode(id graph.NodeID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.append(record{Op: "delnode", ID: int64(id)})
+}
+
+// RemoveLink durably removes a link.
+func (s *Store) RemoveLink(id graph.LinkID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.append(record{Op: "dellink", ID: int64(id)})
+}
+
+// View runs fn with shared read access to the graph. The graph must not be
+// mutated or retained past fn.
+func (s *Store) View(fn func(*graph.Graph)) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return ErrClosed
+	}
+	fn(s.g)
+	return nil
+}
+
+// Graph returns an isolated deep copy of the current graph for long-lived
+// analysis (the Content Analyzer's input).
+func (s *Store) Graph() (*graph.Graph, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	return s.g.Clone(), nil
+}
+
+// PendingRecords reports WAL records since the last snapshot.
+func (s *Store) PendingRecords() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.appliedRecords
+}
+
+// Snapshot writes the full graph to snapshot.json (atomically via rename)
+// and truncates the WAL — log compaction.
+func (s *Store) Snapshot() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	tmp := filepath.Join(s.dir, snapshotName+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := s.g.Encode(f); err != nil {
+		f.Close()
+		return fmt.Errorf("store: snapshot encode: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, snapshotName)); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	// Truncate the log now that the snapshot covers it.
+	if err := s.wal.Truncate(0); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := s.wal.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	s.walW.Reset(s.wal)
+	s.appliedRecords = 0
+	return nil
+}
+
+// Close flushes and closes the WAL. Further operations fail with
+// ErrClosed.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if err := s.walW.Flush(); err != nil {
+		s.wal.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	return s.wal.Close()
+}

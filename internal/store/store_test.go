@@ -1,0 +1,322 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"socialscope/internal/graph"
+)
+
+func openStore(t *testing.T, dir string) *Store {
+	t.Helper()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func mustPutNode(t *testing.T, s *Store, id graph.NodeID, types ...string) {
+	t.Helper()
+	n := graph.NewNode(id, types...)
+	n.Attrs.Set("name", "n")
+	if err := s.PutNode(n); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustPutLink(t *testing.T, s *Store, id graph.LinkID, src, tgt graph.NodeID) {
+	t.Helper()
+	if err := s.PutLink(graph.NewLink(id, src, tgt, graph.TypeConnect)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBasicDurability(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir)
+	mustPutNode(t, s, 1, graph.TypeUser)
+	mustPutNode(t, s, 2, graph.TypeItem)
+	mustPutLink(t, s, 1, 1, 2)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: everything replayed from the WAL.
+	s2 := openStore(t, dir)
+	defer s2.Close()
+	var nodes, links int
+	if err := s2.View(func(g *graph.Graph) {
+		nodes, links = g.NumNodes(), g.NumLinks()
+		if err := g.Validate(); err != nil {
+			t.Error(err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if nodes != 2 || links != 1 {
+		t.Errorf("recovered %d nodes %d links", nodes, links)
+	}
+	if s2.PendingRecords() != 3 {
+		t.Errorf("pending = %d, want 3", s2.PendingRecords())
+	}
+}
+
+func TestSnapshotCompactsLog(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir)
+	mustPutNode(t, s, 1, graph.TypeUser)
+	mustPutNode(t, s, 2, graph.TypeUser)
+	if err := s.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if s.PendingRecords() != 0 {
+		t.Error("snapshot did not reset pending count")
+	}
+	mustPutLink(t, s, 1, 1, 2)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// WAL holds only the post-snapshot record.
+	data, err := os.ReadFile(filepath.Join(dir, walName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(string(data), "\n"); got != 1 {
+		t.Errorf("wal records after snapshot = %d, want 1", got)
+	}
+	s2 := openStore(t, dir)
+	defer s2.Close()
+	if err := s2.View(func(g *graph.Graph) {
+		if g.NumNodes() != 2 || g.NumLinks() != 1 {
+			t.Errorf("recovered graph = %v", g)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTornTailRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir)
+	mustPutNode(t, s, 1, graph.TypeUser)
+	mustPutNode(t, s, 2, graph.TypeUser)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-append: garbage tail without newline.
+	walPath := filepath.Join(dir, walName)
+	f, err := os.OpenFile(walPath, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"op":"putnode","node":{"id":3`); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openStore(t, dir)
+	if err := s2.View(func(g *graph.Graph) {
+		if g.NumNodes() != 2 {
+			t.Errorf("recovered %d nodes, want 2 (torn record dropped)", g.NumNodes())
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// The torn bytes were truncated away; new appends work.
+	mustPutNode(t, s2, 3, graph.TypeUser)
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s3 := openStore(t, dir)
+	defer s3.Close()
+	if err := s3.View(func(g *graph.Graph) {
+		if g.NumNodes() != 3 {
+			t.Errorf("after repair: %d nodes, want 3", g.NumNodes())
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMidStreamCorruptionRejected(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir)
+	mustPutNode(t, s, 1, graph.TypeUser)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	walPath := filepath.Join(dir, walName)
+	good, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt record with a valid record after it: not a crash signature.
+	bad := append([]byte("{garbage}\n"), good...)
+	if err := os.WriteFile(walPath, append(append([]byte{}, good...), bad...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Error("mid-stream corruption accepted")
+	}
+}
+
+func TestRemoveOps(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir)
+	mustPutNode(t, s, 1, graph.TypeUser)
+	mustPutNode(t, s, 2, graph.TypeUser)
+	mustPutLink(t, s, 1, 1, 2)
+	if err := s.RemoveLink(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RemoveNode(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := openStore(t, dir)
+	defer s2.Close()
+	if err := s2.View(func(g *graph.Graph) {
+		if g.NumNodes() != 1 || g.NumLinks() != 0 {
+			t.Errorf("after removes: %v", g)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPutLinkValidatesEndpoints(t *testing.T) {
+	s := openStore(t, t.TempDir())
+	defer s.Close()
+	if err := s.PutLink(graph.NewLink(1, 1, 2, graph.TypeConnect)); !errors.Is(err, graph.ErrMissingEnd) {
+		t.Errorf("dangling link error = %v", err)
+	}
+	if err := s.PutNode(nil); !errors.Is(err, graph.ErrNilElement) {
+		t.Errorf("nil node error = %v", err)
+	}
+	if err := s.PutLink(nil); !errors.Is(err, graph.ErrNilElement) {
+		t.Errorf("nil link error = %v", err)
+	}
+}
+
+func TestClosedStore(t *testing.T) {
+	s := openStore(t, t.TempDir())
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Error("double close should be nil")
+	}
+	if err := s.PutNode(graph.NewNode(1, graph.TypeUser)); !errors.Is(err, ErrClosed) {
+		t.Errorf("put after close = %v", err)
+	}
+	if err := s.View(func(*graph.Graph) {}); !errors.Is(err, ErrClosed) {
+		t.Errorf("view after close = %v", err)
+	}
+	if _, err := s.Graph(); !errors.Is(err, ErrClosed) {
+		t.Errorf("graph after close = %v", err)
+	}
+	if err := s.Snapshot(); !errors.Is(err, ErrClosed) {
+		t.Errorf("snapshot after close = %v", err)
+	}
+}
+
+func TestGraphReturnsIsolatedCopy(t *testing.T) {
+	s := openStore(t, t.TempDir())
+	defer s.Close()
+	mustPutNode(t, s, 1, graph.TypeUser)
+	g, err := s.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Node(1).Attrs.Set("name", "mutated")
+	if err := s.View(func(live *graph.Graph) {
+		if live.Node(1).Attrs.Get("name") == "mutated" {
+			t.Error("Graph() aliases live state")
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentReadersAndWriters(t *testing.T) {
+	s := openStore(t, t.TempDir())
+	defer s.Close()
+	mustPutNode(t, s, 1, graph.TypeUser)
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				id := graph.NodeID(100 + w*100 + i)
+				n := graph.NewNode(id, graph.TypeUser)
+				if err := s.PutNode(n); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if err := s.View(func(g *graph.Graph) { _ = g.NumNodes() }); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if err := s.View(func(g *graph.Graph) {
+		if g.NumNodes() != 101 {
+			t.Errorf("nodes = %d, want 101", g.NumNodes())
+		}
+		if err := g.Validate(); err != nil {
+			t.Error(err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotSurvivesReopenCycle(t *testing.T) {
+	dir := t.TempDir()
+	for cycle := 0; cycle < 3; cycle++ {
+		s := openStore(t, dir)
+		mustPutNode(t, s, graph.NodeID(cycle+1), graph.TypeUser)
+		if cycle%2 == 0 {
+			if err := s.Snapshot(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := openStore(t, dir)
+	defer s.Close()
+	if err := s.View(func(g *graph.Graph) {
+		if g.NumNodes() != 3 {
+			t.Errorf("after cycles: %d nodes, want 3", g.NumNodes())
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,40 @@
+package workload
+
+import (
+	"testing"
+
+	"socialscope/internal/graph"
+)
+
+func BenchmarkTravelGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Travel(TravelConfig{Users: 100, Destinations: 50, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTaggingGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Tagging(TaggingConfig{Users: 100, Items: 200, Tags: 15, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQueryLogGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := QueryLog(10000, PaperMixture(), int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSmallWorld(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bld := graph.NewBuilder()
+		if _, err := SmallWorld(bld, SmallWorldConfig{Users: 200, K: 6, Rewire: 0.1, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// QueryClass is the Table 1 taxonomy.
+type QueryClass uint8
+
+const (
+	// General queries carry terms like "things to do" or just a location.
+	General QueryClass = iota
+	// Categorical queries carry category terms like "hotel" or "family".
+	Categorical
+	// Specific queries name a particular destination.
+	Specific
+	// Unclassifiable queries defeat the taxonomy (~10% in the paper).
+	Unclassifiable
+)
+
+func (c QueryClass) String() string {
+	switch c {
+	case General:
+		return "general"
+	case Categorical:
+		return "categorical"
+	case Specific:
+		return "specific"
+	case Unclassifiable:
+		return "unclassifiable"
+	}
+	return "unknown"
+}
+
+// LabeledQuery is one generated query with its ground truth.
+type LabeledQuery struct {
+	Text        string
+	Class       QueryClass
+	HasLocation bool
+}
+
+// Table1Mixture is the published distribution of the paper's Table 1:
+// cell probabilities for (class × location) plus the unclassifiable
+// residue mentioned in footnote 4.
+type Table1Mixture struct {
+	GeneralWithLoc     float64 // 0.3236
+	GeneralNoLoc       float64 // 0.2138
+	CategoricalWithLoc float64 // 0.2252
+	CategoricalNoLoc   float64 // 0.0534
+	SpecificWithLoc    float64 // 0.0837
+	Unclassifiable     float64 // 0.1003
+}
+
+// PaperMixture returns Table 1's published cell values.
+func PaperMixture() Table1Mixture {
+	return Table1Mixture{
+		GeneralWithLoc:     0.3236,
+		GeneralNoLoc:       0.2138,
+		CategoricalWithLoc: 0.2252,
+		CategoricalNoLoc:   0.0534,
+		SpecificWithLoc:    0.0837,
+		Unclassifiable:     0.1003,
+	}
+}
+
+// junkTerms defeat every classifier list (the ~10% residue).
+var junkTerms = []string{
+	"asdf", "zzyx", "qwerty", "lorem", "foo123", "xyzzy", "blorp", "wibble",
+}
+
+// QueryLog generates n labeled queries drawn from the mixture,
+// deterministic per seed. Generated text uses the shared gazetteers, so
+// internal/queryclass can recover the mixture.
+func QueryLog(n int, mix Table1Mixture, seed int64) ([]LabeledQuery, error) {
+	total := mix.GeneralWithLoc + mix.GeneralNoLoc + mix.CategoricalWithLoc +
+		mix.CategoricalNoLoc + mix.SpecificWithLoc + mix.Unclassifiable
+	if total < 0.999 || total > 1.001 {
+		return nil, fmt.Errorf("workload: mixture sums to %f, want 1", total)
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("workload: query log size must be positive")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]LabeledQuery, 0, n)
+	cum := []struct {
+		p     float64
+		class QueryClass
+		loc   bool
+	}{
+		{mix.GeneralWithLoc, General, true},
+		{mix.GeneralNoLoc, General, false},
+		{mix.CategoricalWithLoc, Categorical, true},
+		{mix.CategoricalNoLoc, Categorical, false},
+		{mix.SpecificWithLoc, Specific, true},
+		{mix.Unclassifiable, Unclassifiable, false},
+	}
+	for i := 0; i < n; i++ {
+		u := rng.Float64() * total
+		acc := 0.0
+		choice := cum[len(cum)-1]
+		for _, c := range cum {
+			acc += c.p
+			if u < acc {
+				choice = c
+				break
+			}
+		}
+		out = append(out, generate(rng, choice.class, choice.loc))
+	}
+	return out, nil
+}
+
+func generate(rng *rand.Rand, class QueryClass, withLoc bool) LabeledQuery {
+	loc := Cities[rng.Intn(len(Cities))]
+	var text string
+	switch class {
+	case General:
+		term := GeneralTerms[rng.Intn(len(GeneralTerms))]
+		switch {
+		case withLoc && rng.Float64() < 0.3:
+			text = loc // a bare location is a general query per the paper
+		case withLoc:
+			text = loc + " " + term
+		default:
+			text = term
+		}
+	case Categorical:
+		cat := Categories[rng.Intn(len(Categories))]
+		if withLoc {
+			text = loc + " " + cat
+			if rng.Float64() < 0.3 {
+				text += " " + Categories[rng.Intn(len(Categories))]
+			}
+		} else {
+			text = cat
+			if rng.Float64() < 0.3 {
+				text += " " + Categories[rng.Intn(len(Categories))]
+			}
+		}
+	case Specific:
+		text = SpecificDestinations[rng.Intn(len(SpecificDestinations))]
+		if rng.Float64() < 0.3 {
+			text += " tickets"
+		}
+		withLoc = true // named destinations imply a location (Table 1 shape)
+	case Unclassifiable:
+		k := 1 + rng.Intn(3)
+		terms := make([]string, k)
+		for i := range terms {
+			terms[i] = junkTerms[rng.Intn(len(junkTerms))]
+		}
+		text = strings.Join(terms, " ")
+		withLoc = false
+	}
+	return LabeledQuery{Text: text, Class: class, HasLocation: withLoc}
+}

@@ -1,0 +1,219 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"socialscope/internal/graph"
+)
+
+func TestSmallWorld(t *testing.T) {
+	b := graph.NewBuilder()
+	users, err := SmallWorld(b, SmallWorldConfig{Users: 20, K: 4, Rewire: 0.1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := b.Graph()
+	if len(users) != 20 || g.CountNodes(graph.TypeUser) != 20 {
+		t.Fatalf("users = %d", len(users))
+	}
+	// Ring lattice with K=4 has ~2 links per node (dedup may drop rewired
+	// duplicates).
+	if links := g.NumLinks(); links < 30 || links > 40 {
+		t.Errorf("links = %d, want ≈40", links)
+	}
+	if err := g.Validate(); err != nil {
+		t.Error(err)
+	}
+	// Determinism.
+	b2 := graph.NewBuilder()
+	if _, err := SmallWorld(b2, SmallWorldConfig{Users: 20, K: 4, Rewire: 0.1, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if !b.Graph().Equal(b2.Graph()) {
+		t.Error("same seed produced different graphs")
+	}
+}
+
+func TestSmallWorldErrors(t *testing.T) {
+	b := graph.NewBuilder()
+	if _, err := SmallWorld(b, SmallWorldConfig{Users: 2}); err == nil {
+		t.Error("too few users accepted")
+	}
+	if _, err := SmallWorld(b, SmallWorldConfig{Users: 5, K: 10}); err == nil {
+		t.Error("K ≥ Users accepted")
+	}
+	if _, err := SmallWorld(b, SmallWorldConfig{Users: 5, K: 2, Rewire: 1.5}); err == nil {
+		t.Error("invalid rewire accepted")
+	}
+}
+
+func TestPreferentialAttachment(t *testing.T) {
+	b := graph.NewBuilder()
+	users, err := PreferentialAttachment(b, 50, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := b.Graph()
+	if len(users) != 50 {
+		t.Fatalf("users = %d", len(users))
+	}
+	// Power-law shape: max degree well above the mean.
+	stats := g.ComputeStats()
+	maxDeg := 0
+	for d := range g.DegreeHistogram() {
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	if float64(maxDeg) < 2*stats.AvgOutDegree {
+		t.Errorf("max degree %d vs avg %.1f: no hub formed", maxDeg, stats.AvgOutDegree)
+	}
+	if _, err := PreferentialAttachment(b, 1, 1, 7); err == nil {
+		t.Error("too few users accepted")
+	}
+}
+
+func TestTravelCorpus(t *testing.T) {
+	c, err := Travel(TravelConfig{Users: 30, Destinations: 20, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := c.Graph
+	if g.CountNodes(graph.TypeUser) != 30 || g.CountNodes("destination") != 20 {
+		t.Fatalf("corpus shape wrong: %v", g.ComputeStats())
+	}
+	if g.CountLinks(graph.SubtypeVisit) == 0 || g.CountLinks(graph.SubtypeTag) == 0 {
+		t.Error("no activity generated")
+	}
+	if err := g.Validate(); err != nil {
+		t.Error(err)
+	}
+	// Every destination has a city from the shared gazetteer.
+	for _, d := range c.Destinations {
+		city := g.Node(d).Attrs.Get("city")
+		found := false
+		for _, known := range Cities {
+			if city == known {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("destination %d has unknown city %q", d, city)
+		}
+	}
+	// Zipf skew: the most-visited destination gets far more than the mean.
+	maxIn, total := 0, 0
+	for _, d := range c.Destinations {
+		in := g.InDegree(d)
+		total += in
+		if in > maxIn {
+			maxIn = in
+		}
+	}
+	mean := float64(total) / float64(len(c.Destinations))
+	if float64(maxIn) < 2*mean {
+		t.Errorf("no popularity skew: max %d vs mean %.1f", maxIn, mean)
+	}
+	if _, err := Travel(TravelConfig{Users: 1}); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestTaggingCorpus(t *testing.T) {
+	c, err := Tagging(TaggingConfig{Users: 25, Items: 40, Tags: 8, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Graph.CountLinks(graph.SubtypeTag) == 0 {
+		t.Fatal("no tagging activity")
+	}
+	if len(c.Tags) != 8 {
+		t.Errorf("tags = %v", c.Tags)
+	}
+	if err := c.Graph.Validate(); err != nil {
+		t.Error(err)
+	}
+	if _, err := Tagging(TaggingConfig{Users: 1}); err == nil {
+		t.Error("invalid config accepted")
+	}
+	// Single-tag corpora avoid the Zipf generator's s>1 requirement.
+	one, err := Tagging(TaggingConfig{Users: 5, Items: 5, Tags: 1, Seed: 3})
+	if err != nil || one.Graph.CountLinks(graph.SubtypeTag) == 0 {
+		t.Error("single-tag corpus failed")
+	}
+}
+
+func TestQueryLogMixture(t *testing.T) {
+	mix := PaperMixture()
+	log, err := QueryLog(20000, mix, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[QueryClass]int{}
+	locCount := 0
+	for _, q := range log {
+		counts[q.Class]++
+		if q.HasLocation {
+			locCount++
+		}
+		if q.Text == "" {
+			t.Fatal("empty query generated")
+		}
+	}
+	n := float64(len(log))
+	wantClass := map[QueryClass]float64{
+		General:        mix.GeneralWithLoc + mix.GeneralNoLoc,
+		Categorical:    mix.CategoricalWithLoc + mix.CategoricalNoLoc,
+		Specific:       mix.SpecificWithLoc,
+		Unclassifiable: mix.Unclassifiable,
+	}
+	for class, want := range wantClass {
+		got := float64(counts[class]) / n
+		if math.Abs(got-want) > 0.02 {
+			t.Errorf("class %v rate = %.4f, want ≈%.4f", class, got, want)
+		}
+	}
+	wantLoc := mix.GeneralWithLoc + mix.CategoricalWithLoc + mix.SpecificWithLoc
+	if got := float64(locCount) / n; math.Abs(got-wantLoc) > 0.02 {
+		t.Errorf("location rate = %.4f, want ≈%.4f", got, wantLoc)
+	}
+}
+
+func TestQueryLogDeterministic(t *testing.T) {
+	a, err := QueryLog(100, PaperMixture(), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := QueryLog(100, PaperMixture(), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different logs")
+		}
+	}
+}
+
+func TestQueryLogErrors(t *testing.T) {
+	if _, err := QueryLog(0, PaperMixture(), 1); err == nil {
+		t.Error("n=0 accepted")
+	}
+	bad := PaperMixture()
+	bad.GeneralWithLoc = 0.9
+	if _, err := QueryLog(10, bad, 1); err == nil {
+		t.Error("non-normalized mixture accepted")
+	}
+}
+
+func TestQueryClassString(t *testing.T) {
+	for _, c := range []QueryClass{General, Categorical, Specific, Unclassifiable} {
+		if c.String() == "" || c.String() == "unknown" {
+			t.Errorf("class %d String broken", c)
+		}
+	}
+	if QueryClass(9).String() != "unknown" {
+		t.Error("unknown class String broken")
+	}
+}

@@ -1,0 +1,227 @@
+// Package socialscope is the public facade of the SocialScope
+// reproduction (Amer-Yahia, Lakshmanan, Yu: "SocialScope: Enabling
+// Information Discovery on Social Content Sites", CIDR 2009).
+//
+// It wires the paper's three layers end-to-end (Figure 1):
+//
+//   - Content Management (internal/federation, internal/graph) keeps the
+//     social content graph;
+//   - Information Discovery (internal/core — the algebra, internal/analyzer,
+//     internal/discovery) derives topics off-line and answers queries with
+//     semantically and socially relevant results (the MSG);
+//   - Information Presentation (internal/presentation) groups, ranks, and
+//     explains the results.
+//
+// The Engine type is the integration point a downstream application uses:
+//
+//	corpus, _ := workload.Travel(workload.TravelConfig{Users: 100, Destinations: 50, Seed: 1})
+//	eng, _ := socialscope.New(corpus.Graph, socialscope.Config{})
+//	_ = eng.Analyze()
+//	resp, _ := eng.Search(corpus.Users[0], "denver attractions")
+//
+// Commonly needed graph types are re-exported so simple applications need
+// only this package.
+package socialscope
+
+import (
+	"fmt"
+
+	"socialscope/internal/analyzer"
+	"socialscope/internal/discovery"
+	"socialscope/internal/graph"
+	"socialscope/internal/presentation"
+)
+
+// Re-exported graph vocabulary so applications can construct and address
+// social content graphs through the facade alone.
+type (
+	// Graph is the social content graph (Section 4's data model).
+	Graph = graph.Graph
+	// Builder constructs site graphs fluently.
+	Builder = graph.Builder
+	// NodeID addresses a node.
+	NodeID = graph.NodeID
+	// LinkID addresses a link.
+	LinkID = graph.LinkID
+	// Node is an entity: user, item, topic or group.
+	Node = graph.Node
+	// Link is a connection or activity.
+	Link = graph.Link
+)
+
+// NewGraph returns an empty social content graph.
+func NewGraph() *Graph { return graph.New() }
+
+// NewBuilder returns a fluent graph builder.
+func NewBuilder() *Builder { return graph.NewBuilder() }
+
+// Basic node and link types of the paper's catalog.
+const (
+	TypeUser    = graph.TypeUser
+	TypeItem    = graph.TypeItem
+	TypeTopic   = graph.TypeTopic
+	TypeGroup   = graph.TypeGroup
+	TypeConnect = graph.TypeConnect
+	TypeAct     = graph.TypeAct
+	TypeMatch   = graph.TypeMatch
+	TypeBelong  = graph.TypeBelong
+
+	SubtypeFriend = graph.SubtypeFriend
+	SubtypeTag    = graph.SubtypeTag
+	SubtypeVisit  = graph.SubtypeVisit
+	SubtypeReview = graph.SubtypeReview
+)
+
+// Config parameterizes an Engine.
+type Config struct {
+	// ItemType scopes which nodes are search candidates (default "item").
+	ItemType string
+	// Topics is the LDA topic count used by Analyze (default 4).
+	Topics int
+	// MatchThreshold is the Jaccard threshold for derived match links
+	// (default 0.5, the paper's Example 5 value).
+	MatchThreshold float64
+	// Seed drives the analyzer's sampler (default 1).
+	Seed int64
+	// MaxGroups bounds the presentation (default 6).
+	MaxGroups int
+	// FacetAttr is the structural-grouping attribute (default "city").
+	FacetAttr string
+}
+
+func (c *Config) fill() {
+	if c.ItemType == "" {
+		c.ItemType = graph.TypeItem
+	}
+	if c.Topics <= 0 {
+		c.Topics = 4
+	}
+	if c.MatchThreshold <= 0 {
+		c.MatchThreshold = 0.5
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.MaxGroups <= 0 {
+		c.MaxGroups = 6
+	}
+	if c.FacetAttr == "" {
+		c.FacetAttr = "city"
+	}
+}
+
+// Engine is the end-to-end SocialScope system over one social content
+// graph.
+type Engine struct {
+	cfg      Config
+	g        *Graph
+	analyzed *Graph // graph enriched by Analyze; nil until then
+	disc     *discovery.Discoverer
+}
+
+// New builds an engine over the graph. The graph is used as-is (not
+// copied); Analyze produces an enriched copy and re-targets discovery at
+// it.
+func New(g *Graph, cfg Config) (*Engine, error) {
+	if g == nil {
+		return nil, fmt.Errorf("socialscope: nil graph")
+	}
+	cfg.fill()
+	return &Engine{
+		cfg:  cfg,
+		g:    g,
+		disc: discovery.NewDiscoverer(g, cfg.ItemType),
+	}, nil
+}
+
+// Graph returns the graph queries currently run against (the enriched one
+// after Analyze).
+func (e *Engine) Graph() *Graph {
+	if e.analyzed != nil {
+		return e.analyzed
+	}
+	return e.g
+}
+
+// Analyze runs the Content Analyzer: LDA topic derivation over the item
+// nodes and Jaccard match derivation between users. The engine then serves
+// queries from the enriched graph. Idempotent: re-running re-derives from
+// the original graph.
+func (e *Engine) Analyze() error {
+	withTopics, _, err := analyzer.DeriveTopics(e.g, e.cfg.ItemType, analyzer.LDAConfig{
+		Topics: e.cfg.Topics, Seed: e.cfg.Seed, Alpha: 0.1,
+	})
+	if err != nil {
+		return fmt.Errorf("socialscope: topic derivation: %w", err)
+	}
+	enriched := analyzer.DeriveMatches(withTopics, e.cfg.MatchThreshold)
+	e.analyzed = enriched
+	e.disc = discovery.NewDiscoverer(enriched, e.cfg.ItemType)
+	return nil
+}
+
+// Response is a complete answer: the MSG from the discovery layer and the
+// organized presentation with per-item explanations.
+type Response struct {
+	MSG          *discovery.MSG
+	Presentation presentation.Presentation
+	// Explanations maps each result item to its CF explanation.
+	Explanations map[NodeID]presentation.Explanation
+	// Related holds Example 3's onward exploration: topics and users
+	// adjacent to the result set.
+	Related discovery.Related
+}
+
+// Results returns the ranked discovery results.
+func (r *Response) Results() []discovery.Result { return r.MSG.Results }
+
+// Search parses and answers a query for the user: discovery followed by
+// presentation. An empty query string yields pure social recommendations
+// (the paper's empty-query semantics).
+func (e *Engine) Search(user NodeID, query string) (*Response, error) {
+	q, err := discovery.ParseQuery(query)
+	if err != nil {
+		return nil, err
+	}
+	return e.Query(user, q)
+}
+
+// Query answers a parsed query.
+func (e *Engine) Query(user NodeID, q discovery.Query) (*Response, error) {
+	msg, err := e.disc.Discover(user, q)
+	if err != nil {
+		return nil, err
+	}
+	resp := &Response{MSG: msg, Explanations: make(map[NodeID]presentation.Explanation)}
+	if len(msg.Results) == 0 {
+		return resp, nil
+	}
+	items := make([]NodeID, len(msg.Results))
+	scores := make(map[NodeID]float64, len(msg.Results))
+	for i, r := range msg.Results {
+		items[i] = r.Item
+		scores[r.Item] = r.Score
+	}
+	pres, err := presentation.Organize(e.Graph(), items, scores, presentation.OrganizeConfig{
+		MaxGroups: e.cfg.MaxGroups,
+		FacetAttr: e.cfg.FacetAttr,
+	})
+	if err != nil {
+		return nil, err
+	}
+	resp.Presentation = pres
+	for _, it := range items {
+		resp.Explanations[it] = presentation.ExplainCF(e.Graph(), user, it)
+	}
+	resp.Related = discovery.RelatedEntities(e.Graph(), msg, 2, 5)
+	return resp, nil
+}
+
+// Recommend runs pure collaborative filtering (Example 5) for the user.
+func (e *Engine) Recommend(user NodeID, variant discovery.CFVariant) ([]discovery.Recommendation, error) {
+	return discovery.CollaborativeFiltering(e.Graph(), user, discovery.CFConfig{
+		SimThreshold: e.cfg.MatchThreshold,
+		Variant:      variant,
+		ItemType:     e.cfg.ItemType,
+	})
+}

@@ -1,0 +1,218 @@
+package socialscope
+
+import (
+	"strings"
+	"testing"
+
+	"socialscope/internal/discovery"
+	"socialscope/internal/graph"
+	"socialscope/internal/workload"
+)
+
+// buildCorpus generates a small deterministic travel site for the
+// end-to-end tests.
+func buildCorpus(t testing.TB) *workload.TravelCorpus {
+	t.Helper()
+	c, err := workload.Travel(workload.TravelConfig{Users: 40, Destinations: 25, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestEngineEndToEnd(t *testing.T) {
+	corpus := buildCorpus(t)
+	eng, err := New(corpus.Graph, Config{ItemType: "destination"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Analyze(); err != nil {
+		t.Fatal(err)
+	}
+	// Analysis derived topics and matches.
+	g := eng.Graph()
+	if g.CountNodes(TypeTopic) == 0 {
+		t.Error("Analyze derived no topics")
+	}
+	if g.CountLinks(TypeBelong) == 0 {
+		t.Error("Analyze derived no belong links")
+	}
+
+	resp, err := eng.Search(corpus.Users[0], "denver attractions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results()) == 0 {
+		t.Fatal("no results for a generic query on a populated corpus")
+	}
+	for _, r := range resp.Results() {
+		if r.Score <= 0 {
+			t.Errorf("non-positive score for %d", r.Item)
+		}
+		// Scoped to destinations.
+		if !g.Node(r.Item).HasType("destination") {
+			t.Errorf("result %d is not a destination", r.Item)
+		}
+	}
+	if len(resp.Presentation.Chosen.Groups) == 0 {
+		t.Error("no presentation groups")
+	}
+	if len(resp.Explanations) != len(resp.Results()) {
+		t.Error("missing explanations")
+	}
+	if err := resp.MSG.Graph.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEngineWithoutAnalyze(t *testing.T) {
+	corpus := buildCorpus(t)
+	eng, err := New(corpus.Graph, Config{ItemType: "destination"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Queries work pre-analysis (no topical grouping available).
+	resp, err := eng.Search(corpus.Users[1], "museum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp
+	if eng.Graph() != corpus.Graph {
+		t.Error("pre-analysis graph should be the original")
+	}
+}
+
+func TestEngineEmptyQuery(t *testing.T) {
+	corpus := buildCorpus(t)
+	eng, err := New(corpus.Graph, Config{ItemType: "destination"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := eng.Search(corpus.Users[2], "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Empty query: pure social recommendations (friends' endorsements).
+	for _, r := range resp.Results() {
+		if r.Semantic != 0 {
+			t.Error("empty query produced semantic relevance")
+		}
+	}
+}
+
+func TestEngineRecommendVariantsAgree(t *testing.T) {
+	corpus := buildCorpus(t)
+	eng, err := New(corpus.Graph, Config{ItemType: "destination", MatchThreshold: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	user := corpus.Users[3]
+	step, err := eng.Recommend(user, discovery.CFStepwise)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pat, err := eng.Recommend(user, discovery.CFPattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(step) != len(pat) {
+		t.Fatalf("variant recommendation counts differ: %d vs %d", len(step), len(pat))
+	}
+	for i := range step {
+		if step[i].Item != pat[i].Item {
+			t.Errorf("variant order differs at %d: %v vs %v", i, step[i], pat[i])
+		}
+	}
+}
+
+func TestEngineErrors(t *testing.T) {
+	if _, err := New(nil, Config{}); err == nil {
+		t.Error("nil graph accepted")
+	}
+	corpus := buildCorpus(t)
+	eng, err := New(corpus.Graph, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Search(999999, "x"); err == nil {
+		t.Error("unknown user accepted")
+	}
+	if _, err := eng.Search(corpus.Users[0], "rating>="); err == nil {
+		t.Error("malformed query accepted")
+	}
+}
+
+func TestFacadeReExports(t *testing.T) {
+	b := NewBuilder()
+	u := b.Node([]string{TypeUser}, "name", "u")
+	i := b.Node([]string{TypeItem}, "name", "i")
+	b.Link(u, i, []string{TypeAct, SubtypeVisit})
+	g := b.Graph()
+	if g.NumNodes() != 2 || g.NumLinks() != 1 {
+		t.Error("facade builder broken")
+	}
+	if NewGraph().NumNodes() != 0 {
+		t.Error("NewGraph broken")
+	}
+	// Type aliases interoperate with internal packages.
+	var id NodeID = u
+	if !g.HasNode(graph.NodeID(id)) {
+		t.Error("NodeID alias broken")
+	}
+	for _, s := range []string{TypeUser, TypeItem, TypeTopic, TypeGroup, TypeConnect,
+		TypeAct, TypeMatch, TypeBelong, SubtypeFriend, SubtypeTag, SubtypeVisit, SubtypeReview} {
+		if strings.TrimSpace(s) == "" {
+			t.Error("empty type constant")
+		}
+	}
+}
+
+func TestEngineStructuredQuery(t *testing.T) {
+	corpus := buildCorpus(t)
+	eng, err := New(corpus.Graph, Config{ItemType: "destination"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := eng.Search(corpus.Users[0], "city:denver rating>=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := eng.Graph()
+	for _, r := range resp.Results() {
+		n := g.Node(r.Item)
+		if n.Attrs.Get("city") != "denver" {
+			t.Errorf("result %d outside the structural scope", r.Item)
+		}
+		if v, _ := n.Attrs.Float("rating"); v < 0.5 {
+			t.Errorf("result %d violates rating predicate", r.Item)
+		}
+	}
+}
+
+func TestEngineRelatedEntities(t *testing.T) {
+	corpus := buildCorpus(t)
+	eng, err := New(corpus.Graph, Config{ItemType: "destination"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Analyze(); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := eng.Search(corpus.Users[0], "attractions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results()) == 0 {
+		t.Skip("no results to relate")
+	}
+	// After Analyze every destination belongs to a topic, so a non-empty
+	// result set must surface related topics.
+	if len(resp.Related.Topics) == 0 {
+		t.Error("no related topics after analysis")
+	}
+	for _, rt := range resp.Related.Topics {
+		if !eng.Graph().Node(rt.Topic).HasType(TypeTopic) {
+			t.Errorf("related topic %d is not a topic node", rt.Topic)
+		}
+	}
+}
