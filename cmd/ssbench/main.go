@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	ssbench [-exp all|table1|table2|example4|figure2|index|sync|presentation|analyzer|pipeline] [-scale N]
+//	ssbench [-exp all|table1|table2|example4|figure2|index|topk|sync|presentation|analyzer|pipeline] [-scale N]
 package main
 
 import (
@@ -25,6 +25,7 @@ import (
 	"socialscope/internal/index"
 	"socialscope/internal/queryclass"
 	"socialscope/internal/scoring"
+	"socialscope/internal/topk"
 	"socialscope/internal/workload"
 )
 
@@ -40,6 +41,7 @@ func main() {
 		"example4":     runExample4,
 		"figure2":      runFigure2,
 		"index":        runIndex,
+		"topk":         runTopK,
 		"sync":         runSync,
 		"presentation": runPresentation,
 		"analyzer":     runAnalyzer,
@@ -47,7 +49,7 @@ func main() {
 		"fusion":       runFusion,
 	}
 	order := []string{"table1", "table2", "example4", "figure2", "index",
-		"sync", "presentation", "analyzer", "pipeline", "fusion"}
+		"topk", "sync", "presentation", "analyzer", "pipeline", "fusion"}
 
 	run := func(name string) {
 		fmt.Printf("\n===== %s =====\n", name)
@@ -299,6 +301,83 @@ func runIndex(scale int, seed int64) error {
 	// the paper's visibility assumptions; × 10 B/entry ≈ 1 TB.
 	fmt.Printf("  10^5 users × 10^6 items × 10 B ≈ %.1f TB (paper: ~1 TB)\n",
 		float64(100000)*float64(1000000)*10/1e12)
+	return nil
+}
+
+// runTopK compares the early-terminating query processors against the
+// exhaustive baseline: postings scanned (sorted accesses), exact rescores
+// (random accesses), early-termination counts and wall time, per strategy
+// and clustering. This is the experiment docs/benchmark.md walks through.
+func runTopK(scale int, seed int64) error {
+	corpus, err := workload.Tagging(workload.TaggingConfig{
+		Users: 150 * scale, Items: 300 * scale, Tags: 20, Seed: seed, TagsPerUser: 15,
+	})
+	if err != nil {
+		return err
+	}
+	data := index.Extract(corpus.Graph)
+	queryTags := data.Tags
+	if len(queryTags) > 3 {
+		queryTags = queryTags[:3]
+	}
+	users := data.Users
+	if len(users) > 50 {
+		users = users[:50]
+	}
+	fmt.Printf("Top-k query processing — TA/NRA early termination vs. exhaustive\n")
+	fmt.Printf("(users=%d items=%d tags=%d, query=%v, k=10, %d queries per row)\n\n",
+		len(data.Users), len(data.Items), len(data.Tags), queryTags, len(users))
+	fmt.Printf("%-10s %-12s %-12s %-12s %-12s %-10s %-10s\n",
+		"cluster", "strategy", "postings/q", "rescores/q", "cands/q", "early", "time/q")
+
+	for _, cc := range []struct {
+		s     cluster.Strategy
+		theta float64
+	}{{cluster.PerUser, 0}, {cluster.NetworkBased, 0.3}, {cluster.Global, 0}} {
+		cl, err := cluster.Build(corpus.Graph, cc.s, cc.theta)
+		if err != nil {
+			return err
+		}
+		buildStart := time.Now()
+		ix, err := index.Build(data, cl, scoring.CountF)
+		if err != nil {
+			return err
+		}
+		buildTime := time.Since(buildStart)
+		proc, err := topk.New(ix, scoring.SumG)
+		if err != nil {
+			return err
+		}
+		for _, strat := range []topk.Strategy{topk.Exhaustive, topk.TA, topk.NRA} {
+			var agg topk.Stats
+			early := 0
+			start := time.Now()
+			for _, u := range users {
+				_, st, err := proc.TopK(u, queryTags, 10, strat)
+				if err != nil {
+					return err
+				}
+				agg.Add(st)
+				if st.EarlyTerminated {
+					early++
+				}
+			}
+			perQ := time.Since(start) / time.Duration(len(users))
+			n := float64(len(users))
+			fmt.Printf("%-10s %-12s %-12.1f %-12.1f %-12.1f %-10s %-10v\n",
+				cc.s, strat,
+				float64(agg.PostingsScanned)/n,
+				float64(agg.ExactScores)/n,
+				float64(agg.Candidates)/n,
+				fmt.Sprintf("%d/%d", early, len(users)), perQ)
+		}
+		fmt.Printf("%-10s (index: %d entries, built in %v — sharded by tag across workers)\n\n",
+			"", ix.EntryCount(), buildTime)
+	}
+	fmt.Println("postings/q: sorted accesses into the per-(cluster,tag) lists;")
+	fmt.Println("rescores/q: exact score_k computations (random accesses);")
+	fmt.Println("early: queries that stopped before draining their lists.")
+	fmt.Println("exhaustive postings/q counts the (item,tag) cells the full scan computes.")
 	return nil
 }
 

@@ -1,0 +1,3 @@
+module socialscope
+
+go 1.24

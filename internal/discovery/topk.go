@@ -1,0 +1,96 @@
+package discovery
+
+import (
+	"fmt"
+	"strings"
+
+	"socialscope/internal/graph"
+	"socialscope/internal/topk"
+)
+
+// DiscoverTagged answers a keyword-only query through the Section 6.2
+// activity-driven index instead of the BM25 + social-basis fusion path:
+// the query keywords are interpreted as tags, the processor evaluates
+// score(i, u) = g(f(network(u) ∩ taggers(i, k1)), ...) with the requested
+// early-termination strategy, and the ranked items are assembled into the
+// same MSG shape Discover produces — endorsers are the user's network
+// members whose tagging produced the score, so presentation-layer
+// explanations keep working. The returned Stats expose the postings
+// scanned and random accesses the evaluation cost.
+func (d *Discoverer) DiscoverTagged(user graph.NodeID, q Query, proc *topk.Processor,
+	strategy topk.Strategy) (*MSG, topk.Stats, error) {
+	if proc == nil {
+		return nil, topk.Stats{}, fmt.Errorf("discovery: nil top-k processor")
+	}
+	if !d.g.HasNode(user) {
+		return nil, topk.Stats{}, fmt.Errorf("discovery: unknown user %d", user)
+	}
+	if q.K <= 0 {
+		q.K = 10
+	}
+	if len(q.Keywords) == 0 {
+		return nil, topk.Stats{}, fmt.Errorf("discovery: tagged discovery needs keywords")
+	}
+	// Query keywords arrive tokenized (lowercased) while tags are indexed
+	// verbatim from the graph; resolve case-insensitively so "Museum" in
+	// the corpus is reachable from a search box. Multi-word tags are not
+	// addressable through a space-separated query — an inherent limit of
+	// the keyword syntax, not of the index.
+	data := proc.Index().Data()
+	tags := make([]string, len(q.Keywords))
+	for i, kw := range q.Keywords {
+		tags[i] = kw
+		if _, ok := data.Taggers[kw]; ok {
+			continue
+		}
+		// Lexicographically smallest match keeps resolution deterministic
+		// when several stored tags fold to the same keyword.
+		for t := range data.Taggers {
+			if strings.EqualFold(t, kw) && (tags[i] == kw || t < tags[i]) {
+				tags[i] = t
+			}
+		}
+	}
+	ranked, stats, err := proc.TopK(user, tags, q.K, strategy)
+	if err != nil {
+		return nil, stats, err
+	}
+
+	// Scores are raw counts under the paper's f = count, g = sum; normalize
+	// the Social leg to [0,1] by the maximum so downstream presentation
+	// sees the same scale the fusion path produces.
+	maxScore := 0.0
+	for _, r := range ranked {
+		if r.Score > maxScore {
+			maxScore = r.Score
+		}
+	}
+	net := data.Network[user]
+	results := make([]Result, 0, len(ranked))
+	for _, r := range ranked {
+		res := Result{Item: r.Item, Score: r.Score, Social: r.Score}
+		if maxScore > 0 {
+			res.Social = r.Score / maxScore
+		}
+		// Provenance: network members who tagged the item with a query tag.
+		var endorsers []graph.NodeID
+		for _, tag := range tags {
+			byItem, ok := data.Taggers[tag]
+			if !ok {
+				continue
+			}
+			for tg := range byItem[r.Item] {
+				if net.Has(tg) && !contains(endorsers, tg) {
+					endorsers = append(endorsers, tg)
+				}
+			}
+		}
+		res.Endorsers = endorsers
+		results = append(results, res)
+	}
+	msgGraph, err := d.assemble(user, results)
+	if err != nil {
+		return nil, stats, err
+	}
+	return &MSG{User: user, Query: q, Results: results, Graph: msgGraph}, stats, nil
+}

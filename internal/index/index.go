@@ -2,7 +2,9 @@ package index
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 
 	"socialscope/internal/cluster"
 	"socialscope/internal/graph"
@@ -42,57 +44,103 @@ type Index struct {
 // Build materializes the posting lists. For every tag and item it computes
 // per-user exact scores by walking the taggers' reverse networks (touching
 // only users who can score > 0), folds them into per-cluster maxima, and
-// sorts each list by descending score.
+// sorts each list by descending score. Tags are independent, so the build
+// is sharded by tag across a worker pool sized to the machine; the result
+// is deterministic regardless of worker count.
 func Build(data *Data, clustering *cluster.Clustering, f scoring.UserSetFn) (*Index, error) {
+	return BuildWithWorkers(data, clustering, f, 0)
+}
+
+// BuildWithWorkers is Build with an explicit worker-pool size. workers <= 0
+// means GOMAXPROCS. workers == 1 is the sequential reference build.
+func BuildWithWorkers(data *Data, clustering *cluster.Clustering, f scoring.UserSetFn,
+	workers int) (*Index, error) {
 	if data == nil || clustering == nil {
 		return nil, fmt.Errorf("index: nil data or clustering")
 	}
 	if f == nil {
 		f = scoring.CountF
 	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(data.Tags) && len(data.Tags) > 0 {
+		workers = len(data.Tags)
+	}
 	ix := &Index{data: data, clustering: clustering, f: f, lists: make(map[listKey][]Entry)}
 
-	// Reverse network: who has u in their network (symmetric, so identical
-	// to Network, but keep the access pattern explicit).
-	for _, tag := range data.Tags {
-		byItem := data.Taggers[tag]
-		items := make([]graph.NodeID, 0, len(byItem))
-		for item := range byItem {
-			items = append(items, item)
+	// Shard by tag: each worker builds the complete, sorted per-cluster
+	// lists of its tags. Shards write into disjoint slots of a per-tag
+	// result slice, so the merge below needs no locking and the final map
+	// contents do not depend on scheduling.
+	shards := make([]map[int][]Entry, len(data.Tags))
+	var wg sync.WaitGroup
+	tagCh := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ti := range tagCh {
+				shards[ti] = buildTagLists(data, clustering, f, data.Tags[ti])
+			}
+		}()
+	}
+	for ti := range data.Tags {
+		tagCh <- ti
+	}
+	close(tagCh)
+	wg.Wait()
+
+	for ti, tag := range data.Tags {
+		for cid, l := range shards[ti] {
+			ix.lists[listKey{cid, tag}] = l
+			ix.entries += len(l)
 		}
-		sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
-		for _, item := range items {
-			taggers := byItem[item]
-			// Count taggers within each potential querier's network.
-			counts := make(map[graph.NodeID]int)
-			for tg := range taggers {
-				for u := range data.Network[tg] {
-					counts[u]++
-				}
+	}
+	return ix, nil
+}
+
+// buildTagLists computes the sorted posting lists of one tag, keyed by
+// cluster id.
+func buildTagLists(data *Data, clustering *cluster.Clustering, f scoring.UserSetFn,
+	tag string) map[int][]Entry {
+	byItem := data.Taggers[tag]
+	items := make([]graph.NodeID, 0, len(byItem))
+	for item := range byItem {
+		items = append(items, item)
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
+	lists := make(map[int][]Entry)
+	for _, item := range items {
+		taggers := byItem[item]
+		// Count taggers within each potential querier's network (the
+		// reverse network: who has the tagger in their network; symmetric,
+		// so identical to Network, but keep the access pattern explicit).
+		counts := make(map[graph.NodeID]int)
+		for tg := range taggers {
+			for u := range data.Network[tg] {
+				counts[u]++
 			}
-			// Fold into per-cluster maxima of f(count).
-			maxima := make(map[int]float64)
-			for u, c := range counts {
-				cid := clustering.Of(u)
-				if cid < 0 {
-					continue
-				}
-				if s := f(c); s > maxima[cid] {
-					maxima[cid] = s
-				}
+		}
+		// Fold into per-cluster maxima of f(count).
+		maxima := make(map[int]float64)
+		for u, c := range counts {
+			cid := clustering.Of(u)
+			if cid < 0 {
+				continue
 			}
-			for cid, ub := range maxima {
-				if ub <= 0 {
-					continue
-				}
-				k := listKey{cid, tag}
-				ix.lists[k] = append(ix.lists[k], Entry{item, ub})
-				ix.entries++
+			if s := f(c); s > maxima[cid] {
+				maxima[cid] = s
+			}
+		}
+		for cid, ub := range maxima {
+			if ub > 0 {
+				lists[cid] = append(lists[cid], Entry{item, ub})
 			}
 		}
 	}
-	for k := range ix.lists {
-		l := ix.lists[k]
+	for cid := range lists {
+		l := lists[cid]
 		sort.Slice(l, func(i, j int) bool {
 			if l[i].Score != l[j].Score {
 				return l[i].Score > l[j].Score
@@ -100,11 +148,22 @@ func Build(data *Data, clustering *cluster.Clustering, f scoring.UserSetFn) (*In
 			return l[i].Item < l[j].Item
 		})
 	}
-	return ix, nil
+	return lists
 }
 
 // Strategy returns the clustering strategy the index was built with.
 func (ix *Index) Strategy() cluster.Strategy { return ix.clustering.Strategy }
+
+// Data returns the tagging substrate the index was built over; query
+// processors use it for exact rescoring (random access).
+func (ix *Index) Data() *Data { return ix.data }
+
+// UserFn returns the monotone per-keyword scoring function f the stored
+// upper bounds were computed with.
+func (ix *Index) UserFn() scoring.UserSetFn { return ix.f }
+
+// Clustering returns the user partition backing the lists.
+func (ix *Index) Clustering() *cluster.Clustering { return ix.clustering }
 
 // EntryCount returns the number of postings stored.
 func (ix *Index) EntryCount() int { return ix.entries }
@@ -139,7 +198,13 @@ type QueryStats struct {
 // each new item exactly, and stop when the k-th exact score reaches the
 // upper-bound threshold g(heads). Monotonicity of f and g plus the max
 // upper bound make early termination safe; singleton clusters never
-// rescore wastefully because stored scores are exact.
+// rescore wastefully because rescored scores equal the stored ones.
+//
+// This is the single-shot §6.2 study API. The query-processor layer,
+// internal/topk, carries the canonical TA loop (plus NRA and the
+// exhaustive baseline) with richer work counters; it cannot be delegated
+// to from here without an import cycle, so behavioral changes to the TA
+// termination rule must be mirrored in topk.(*Processor).ta.
 func (ix *Index) TopK(user graph.NodeID, tags []string, k int,
 	g scoring.AggregateFn) ([]Result, QueryStats, error) {
 	var stats QueryStats

@@ -25,11 +25,15 @@ package socialscope
 
 import (
 	"fmt"
+	"sync"
 
 	"socialscope/internal/analyzer"
+	"socialscope/internal/cluster"
 	"socialscope/internal/discovery"
 	"socialscope/internal/graph"
+	"socialscope/internal/index"
 	"socialscope/internal/presentation"
+	"socialscope/internal/topk"
 )
 
 // Re-exported graph vocabulary so applications can construct and address
@@ -72,6 +76,57 @@ const (
 	SubtypeReview = graph.SubtypeReview
 )
 
+// TopKStrategy selects how keyword-only queries are evaluated: through the
+// fusion path (off) or through the Section 6.2 activity-driven index with
+// one of the internal/topk processors.
+type TopKStrategy uint8
+
+const (
+	// TopKOff keeps the default BM25 + social-basis fusion path.
+	TopKOff TopKStrategy = iota
+	// TopKExhaustive scores every item through the index substrate — the
+	// ground-truth baseline.
+	TopKExhaustive
+	// TopKTA runs the threshold algorithm with immediate random access.
+	TopKTA
+	// TopKNRA runs the deferred-random-access flavor.
+	TopKNRA
+)
+
+func (s TopKStrategy) String() string {
+	switch s {
+	case TopKOff:
+		return "off"
+	case TopKExhaustive:
+		return "exhaustive"
+	case TopKTA:
+		return "ta"
+	case TopKNRA:
+		return "nra"
+	}
+	return "unknown"
+}
+
+func (s TopKStrategy) internal() topk.Strategy {
+	switch s {
+	case TopKTA:
+		return topk.TA
+	case TopKNRA:
+		return topk.NRA
+	}
+	return topk.Exhaustive
+}
+
+// SearchStats is the query-work report of an index-backed search: the
+// currency in which Section 6.2 prices index designs.
+type SearchStats struct {
+	Strategy        TopKStrategy
+	PostingsScanned int  // sorted accesses into the posting lists
+	ExactScores     int  // exact rescoring computations (random accesses)
+	Candidates      int  // distinct items considered
+	EarlyTerminated bool // the processor stopped before draining its lists
+}
+
 // Config parameterizes an Engine.
 type Config struct {
 	// ItemType scopes which nodes are search candidates (default "item").
@@ -87,6 +142,17 @@ type Config struct {
 	MaxGroups int
 	// FacetAttr is the structural-grouping attribute (default "city").
 	FacetAttr string
+	// TopK routes keyword-only queries through the activity-driven index
+	// with the selected early-termination strategy (default TopKOff: the
+	// fusion path).
+	TopK TopKStrategy
+	// ClusterStrategy names the user clustering the index is built with:
+	// peruser, network, behavior, hybrid or global (default "peruser",
+	// whose stored scores are exact).
+	ClusterStrategy string
+	// ClusterTheta is the clustering similarity threshold θ in [0,1]
+	// (ignored by peruser and global).
+	ClusterTheta float64
 }
 
 func (c *Config) fill() {
@@ -108,6 +174,9 @@ func (c *Config) fill() {
 	if c.FacetAttr == "" {
 		c.FacetAttr = "city"
 	}
+	if c.ClusterStrategy == "" {
+		c.ClusterStrategy = cluster.PerUser.String()
+	}
 }
 
 // Engine is the end-to-end SocialScope system over one social content
@@ -117,6 +186,13 @@ type Engine struct {
 	g        *Graph
 	analyzed *Graph // graph enriched by Analyze; nil until then
 	disc     *discovery.Discoverer
+	// mu guards the lazily built processor and the last-query stats, the
+	// only Engine state Query mutates — queries stay safe to serve from
+	// multiple goroutines.
+	mu       sync.Mutex
+	proc     *topk.Processor // lazily built index processor; nil until first tagged query
+	stats    SearchStats     // work report of the last index-backed query
+	hasStats bool
 }
 
 // New builds an engine over the graph. The graph is used as-is (not
@@ -157,7 +233,46 @@ func (e *Engine) Analyze() error {
 	enriched := analyzer.DeriveMatches(withTopics, e.cfg.MatchThreshold)
 	e.analyzed = enriched
 	e.disc = discovery.NewDiscoverer(enriched, e.cfg.ItemType)
+	e.mu.Lock()
+	e.proc = nil // the index must be rebuilt over the enriched graph
+	e.mu.Unlock()
 	return nil
+}
+
+// ensureProcessor lazily builds the activity-driven index over the current
+// graph and wraps it in a top-k processor.
+func (e *Engine) ensureProcessor() (*topk.Processor, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.proc != nil {
+		return e.proc, nil
+	}
+	strat, err := cluster.ParseStrategy(e.cfg.ClusterStrategy)
+	if err != nil {
+		return nil, fmt.Errorf("socialscope: %w", err)
+	}
+	cl, err := cluster.Build(e.Graph(), strat, e.cfg.ClusterTheta)
+	if err != nil {
+		return nil, fmt.Errorf("socialscope: clustering: %w", err)
+	}
+	ix, err := index.Build(index.Extract(e.Graph()), cl, nil)
+	if err != nil {
+		return nil, fmt.Errorf("socialscope: index build: %w", err)
+	}
+	proc, err := topk.New(ix, nil)
+	if err != nil {
+		return nil, fmt.Errorf("socialscope: %w", err)
+	}
+	e.proc = proc
+	return proc, nil
+}
+
+// LastSearchStats reports the work of the most recent index-backed query
+// (false while no tagged query ran yet or TopK is off).
+func (e *Engine) LastSearchStats() (SearchStats, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats, e.hasStats
 }
 
 // Response is a complete answer: the MSG from the discovery layer and the
@@ -186,9 +301,36 @@ func (e *Engine) Search(user NodeID, query string) (*Response, error) {
 	return e.Query(user, q)
 }
 
-// Query answers a parsed query.
+// Query answers a parsed query. Keyword-only queries go through the
+// activity-driven index when Config.TopK selects a strategy; everything
+// else (structural predicates, empty queries) uses the fusion path.
 func (e *Engine) Query(user NodeID, q discovery.Query) (*Response, error) {
-	msg, err := e.disc.Discover(user, q)
+	var msg *discovery.MSG
+	var err error
+	if e.cfg.TopK != TopKOff && len(q.Keywords) > 0 && len(q.Structural) == 0 {
+		var proc *topk.Processor
+		proc, err = e.ensureProcessor()
+		if err != nil {
+			return nil, err
+		}
+		var st topk.Stats
+		msg, st, err = e.disc.DiscoverTagged(user, q, proc, e.cfg.TopK.internal())
+		if err != nil {
+			return nil, err
+		}
+		e.mu.Lock()
+		e.stats = SearchStats{
+			Strategy:        e.cfg.TopK,
+			PostingsScanned: st.PostingsScanned,
+			ExactScores:     st.ExactScores,
+			Candidates:      st.Candidates,
+			EarlyTerminated: st.EarlyTerminated,
+		}
+		e.hasStats = true
+		e.mu.Unlock()
+	} else {
+		msg, err = e.disc.Discover(user, q)
+	}
 	if err != nil {
 		return nil, err
 	}
