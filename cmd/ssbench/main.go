@@ -10,6 +10,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"sort"
 	"strings"
@@ -47,9 +48,11 @@ func main() {
 		"analyzer":     runAnalyzer,
 		"pipeline":     runPipeline,
 		"fusion":       runFusion,
+		"liveupdate":   runLiveUpdate,
 	}
 	order := []string{"table1", "table2", "example4", "figure2", "index",
-		"topk", "sync", "presentation", "analyzer", "pipeline", "fusion"}
+		"topk", "sync", "presentation", "analyzer", "pipeline", "fusion",
+		"liveupdate"}
 
 	run := func(name string) {
 		fmt.Printf("\n===== %s =====\n", name)
@@ -540,6 +543,174 @@ func runPipeline(scale int, seed int64) error {
 	fmt.Printf("  50 queries (discover + present + explain): %v (%v/query, %d results)\n",
 		queryTime, queryTime/50, n)
 	return nil
+}
+
+// runLiveUpdate measures the maintenance problem the paper defers ("index
+// maintenance upon updates"): a live travel site absorbing a stream of new
+// tagging actions while queries keep arriving. Incremental maintenance
+// (index.ApplyDelta copy-on-write snapshots) is compared against the
+// rebuild-per-update baseline (full index.Build after every action); both
+// serve an interleaved TA query per update, and the final indexes are
+// cross-checked for byte-identity. A second phase drives the same stream
+// through the Engine.Apply facade path with concurrent-read-safe RCU
+// snapshots.
+func runLiveUpdate(scale int, seed int64) error {
+	corpus, err := workload.Travel(workload.TravelConfig{
+		Users: 200 * scale, Destinations: 80 * scale, Seed: seed,
+		VisitsPerUser: 8, TagFraction: 0.8,
+	})
+	if err != nil {
+		return err
+	}
+	g := corpus.Graph
+	cl, err := cluster.Build(g, cluster.NetworkBased, 0.3)
+	if err != nil {
+		return err
+	}
+	data := index.Extract(g)
+	steps := 200 * scale
+	rng := rand.New(rand.NewSource(seed))
+	muts := make([]graph.Mutation, steps)
+	nextLink := g.MaxLinkID()
+	for i := range muts {
+		nextLink++
+		u := data.Users[rng.Intn(len(data.Users))]
+		d := corpus.Destinations[rng.Intn(len(corpus.Destinations))]
+		tag := data.Tags[rng.Intn(len(data.Tags))]
+		l := graph.NewLink(nextLink, u, d, graph.TypeAct, graph.SubtypeTag)
+		l.Attrs.Add("tags", tag)
+		muts[i] = graph.Mutation{Kind: graph.MutAddLink, Link: l}
+	}
+	queryTags := data.Tags
+	if len(queryTags) > 3 {
+		queryTags = queryTags[:3]
+	}
+	query := func(ix *index.Index, i int) error {
+		proc, err := topk.New(ix, scoring.SumG)
+		if err != nil {
+			return err
+		}
+		_, _, err = proc.TopK(data.Users[i%len(data.Users)], queryTags, 10, topk.TA)
+		return err
+	}
+
+	fmt.Printf("Live updates — travel workload (users=%d destinations=%d), %d tagging\n",
+		len(data.Users), len(corpus.Destinations), steps)
+	fmt.Printf("actions applied one at a time, one TA query (k=10, %v) after each\n\n", queryTags)
+	fmt.Printf("%-22s %-13s %-13s %-13s %-12s\n",
+		"mode", "maintenance", "per update", "queries", "wall total")
+
+	// Incremental: copy-on-write snapshot per update.
+	ix, err := index.Build(data, cl, scoring.CountF)
+	if err != nil {
+		return err
+	}
+	var incUpd, incQ time.Duration
+	for i := range muts {
+		start := time.Now()
+		ix = ix.ApplyDelta(muts[i : i+1])
+		incUpd += time.Since(start)
+		start = time.Now()
+		if err := query(ix, i); err != nil {
+			return err
+		}
+		incQ += time.Since(start)
+	}
+	fmt.Printf("%-22s %-13v %-13v %-13v %-12v\n", "incremental",
+		incUpd, incUpd/time.Duration(steps), incQ, incUpd+incQ)
+
+	// Baseline: fold the action into the substrate, then rebuild the whole
+	// index (what a batch-built Section 6.2 index has to do today).
+	dataR := index.Extract(g)
+	ixR, err := index.Build(dataR, cl, scoring.CountF)
+	if err != nil {
+		return err
+	}
+	var rebUpd, rebQ time.Duration
+	for i, m := range muts {
+		l := m.Link
+		start := time.Now()
+		dataR.AddTagging(l.Src, l.Tgt, l.Attrs.All("tags")[0])
+		ixR, err = index.Build(dataR, cl, scoring.CountF)
+		if err != nil {
+			return err
+		}
+		rebUpd += time.Since(start)
+		start = time.Now()
+		if err := query(ixR, i); err != nil {
+			return err
+		}
+		rebQ += time.Since(start)
+	}
+	fmt.Printf("%-22s %-13v %-13v %-13v %-12v\n", "rebuild-per-update",
+		rebUpd, rebUpd/time.Duration(steps), rebQ, rebUpd+rebQ)
+	fmt.Printf("\nmaintenance speedup: %.1f× (wall %.1f×; snapshot version %d, %d entries",
+		rebUpd.Seconds()/incUpd.Seconds(),
+		(rebUpd + rebQ).Seconds()/(incUpd + incQ).Seconds(),
+		ix.Version(), ix.EntryCount())
+	fmt.Printf("; final indexes identical: %v)\n", sameLists(ix, ixR))
+
+	// Facade path: batches through Engine.Apply, RCU snapshots underneath.
+	eng, err := socialscope.New(g, socialscope.Config{
+		ItemType: "destination", TopK: socialscope.TopKTA, ClusterStrategy: "network",
+		ClusterTheta: 0.3,
+	})
+	if err != nil {
+		return err
+	}
+	if _, err := eng.Search(corpus.Users[0], workload.Categories[0]); err != nil {
+		return err
+	}
+	const batch = 10
+	start := time.Now()
+	for i := 0; i < len(muts); i += batch {
+		end := i + batch
+		if end > len(muts) {
+			end = len(muts)
+		}
+		if err := eng.Apply(muts[i:end]); err != nil {
+			return err
+		}
+		if _, err := eng.Search(corpus.Users[i%len(corpus.Users)], workload.Categories[0]); err != nil {
+			return err
+		}
+	}
+	engTime := time.Since(start)
+	stats, _ := eng.LastSearchStats()
+	fmt.Printf("engine: %d mutations in batches of %d via Engine.Apply in %v "+
+		"(version %d, last query read snapshot %d)\n",
+		len(muts), batch, engTime, eng.Version(), stats.SnapshotVersion)
+	return nil
+}
+
+// sameLists reports whether two indexes hold identical posting lists.
+func sameLists(a, b *index.Index) bool {
+	if a.EntryCount() != b.EntryCount() || a.NumLists() != b.NumLists() {
+		return false
+	}
+	type key struct {
+		cluster int
+		tag     string
+	}
+	lists := make(map[key][]index.Entry, a.NumLists())
+	a.ForEachList(func(cl int, tag string, l []index.Entry) {
+		lists[key{cl, tag}] = append([]index.Entry(nil), l...)
+	})
+	same := true
+	b.ForEachList(func(cl int, tag string, l []index.Entry) {
+		w, ok := lists[key{cl, tag}]
+		if !ok || len(w) != len(l) {
+			same = false
+			return
+		}
+		for i := range l {
+			if l[i] != w[i] {
+				same = false
+				return
+			}
+		}
+	})
+	return same
 }
 
 // runFusion measures the paper's central integration thesis: for general

@@ -98,6 +98,35 @@ func (c *Clustering) Members(id int) []graph.NodeID {
 // NumClusters returns the number of clusters.
 func (c *Clustering) NumClusters() int { return len(c.Clusters) }
 
+// WithUser returns a clustering extended with a user who arrived after the
+// partition was built, leaving the receiver untouched (copy-on-write, so
+// index snapshots sharing the old partition stay consistent). Placement is
+// the cheapest sound policy per strategy: Global joins the one cluster,
+// every other strategy founds a singleton — exact for PerUser, and for the
+// leader-based strategies the conservative choice until the Data Manager's
+// next re-clustering (Section 6.2 separates index maintenance from cluster
+// maintenance). Known users return the receiver unchanged.
+func (c *Clustering) WithUser(u graph.NodeID) *Clustering {
+	if _, ok := c.byUser[u]; ok {
+		return c
+	}
+	n := &Clustering{Strategy: c.Strategy, Theta: c.Theta, byUser: make(map[graph.NodeID]int, len(c.byUser)+1)}
+	for k, v := range c.byUser {
+		n.byUser[k] = v
+	}
+	n.Clusters = append([]Cluster(nil), c.Clusters...)
+	if c.Strategy == Global && len(n.Clusters) > 0 {
+		cl := &n.Clusters[0]
+		cl.Members = append(append([]graph.NodeID(nil), cl.Members...), u)
+		n.byUser[u] = 0
+		return n
+	}
+	id := len(n.Clusters)
+	n.Clusters = append(n.Clusters, Cluster{ID: id, Leader: u, Members: []graph.NodeID{u}})
+	n.byUser[u] = id
+	return n
+}
+
 // Stats summarizes the partition.
 type Stats struct {
 	Strategy   Strategy

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzParse feeds the algebra parser arbitrary input. The parser fronts
+// the ssalgebra REPL and any stored query text, so it must never panic or
+// hang — errors are the only acceptable failure mode. For inputs it does
+// accept, the parse must be deterministic and the resulting plan must
+// render (String is part of the Expr contract and walks the whole tree,
+// so it smokes out malformed nodes).
+//
+// Seeds mirror the hand-written parse_test cases: every accepted syntax
+// form plus the documented rejection cases, so fuzzing explores mutations
+// of both sides of the grammar.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		// accepted forms
+		"G",
+		"selectN{type=destination; rating>=0.5}(G)",
+		"selectN{type=destination; 'near Denver'}(G)",
+		"selectN{type=user,traveler}(G)",
+		"selectL{type=friend}(semijoin(src,src)(G, selectN{id=101}(G)))",
+		"selectN{type=user}(G) union selectN{type=item}(G)",
+		"G minus selectN{type=user}(G) union selectN{type=user}(G)",
+		"(G intersect G) lminus selectL{type=friend}(G)",
+		"selectL{type=visit}(G) intersect selectL{type=act}(G)",
+		"(selectN{type=user}(G))",
+		"selectN{a!=1; b<2; c<=3; d>4; e>=5; f=6,7,8}(G)",
+		// rejected forms
+		"",
+		"selectN{type=user}(G",
+		"selectN{type=user(G)",
+		"selectN{type=}(G)",
+		"selectN{type user}(G)",
+		"selectN{'unterminated}(G)",
+		"semijoin(up,down)(G, G)",
+		"semijoin(src,src)(G G)",
+		"G union",
+		"union G",
+		"G extra",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		if len(input) > 1<<16 {
+			return // bound recursion depth; real query text is short
+		}
+		e1, err1 := Parse(input)
+		e2, err2 := Parse(input)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("nondeterministic accept/reject for %q: %v vs %v", input, err1, err2)
+		}
+		if err1 != nil {
+			if !strings.HasPrefix(err1.Error(), "core: parse") {
+				t.Fatalf("error without package prefix for %q: %v", input, err1)
+			}
+			return
+		}
+		s1, s2 := e1.String(), e2.String()
+		if s1 != s2 {
+			t.Fatalf("nondeterministic plan for %q: %q vs %q", input, s1, s2)
+		}
+		if utf8.ValidString(input) && !utf8.ValidString(s1) {
+			t.Fatalf("plan rendering corrupted UTF-8 for %q: %q", input, s1)
+		}
+	})
+}

@@ -2,6 +2,7 @@ package discovery
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"socialscope/internal/graph"
@@ -16,7 +17,14 @@ import (
 // same MSG shape Discover produces — endorsers are the user's network
 // members whose tagging produced the score, so presentation-layer
 // explanations keep working. The returned Stats expose the postings
-// scanned and random accesses the evaluation cost.
+// scanned and random accesses the evaluation cost, plus the index
+// snapshot version that was read.
+//
+// The processor wraps one immutable index snapshot, so the evaluation is
+// consistent even while a live engine applies mutation batches: results,
+// endorsers and scores all come from the snapshot's substrate, and a
+// processor over a newer snapshot (index.ApplyDelta) simply sees the
+// newer world.
 func (d *Discoverer) DiscoverTagged(user graph.NodeID, q Query, proc *topk.Processor,
 	strategy topk.Strategy) (*MSG, topk.Stats, error) {
 	if proc == nil {
@@ -85,6 +93,8 @@ func (d *Discoverer) DiscoverTagged(user graph.NodeID, q Query, proc *topk.Proce
 				}
 			}
 		}
+		// Sorted for determinism: tagger sets iterate in map order.
+		sort.Slice(endorsers, func(i, j int) bool { return endorsers[i] < endorsers[j] })
 		res.Endorsers = endorsers
 		results = append(results, res)
 	}

@@ -26,6 +26,10 @@ type Graph struct {
 	links map[LinkID]*Link
 	out   map[NodeID][]LinkID
 	in    map[NodeID][]LinkID
+	// recorder, when set via SetRecorder, observes every successful write
+	// operation as a Mutation. Clones (Clone, ShallowClone, induced
+	// subgraphs) start with no recorder.
+	recorder func(Mutation)
 }
 
 // New returns an empty graph.
@@ -65,6 +69,7 @@ func (g *Graph) AddNode(n *Node) error {
 		return fmt.Errorf("%w: %d", ErrDuplicateNode, n.ID)
 	}
 	g.nodes[n.ID] = n
+	g.emitNode(MutAddNode, n)
 	return nil
 }
 
@@ -76,9 +81,11 @@ func (g *Graph) PutNode(n *Node) {
 	}
 	if ex, ok := g.nodes[n.ID]; ok {
 		ex.Merge(n)
+		g.emitNode(MutPutNode, ex)
 		return
 	}
 	g.nodes[n.ID] = n
+	g.emitNode(MutAddNode, n)
 }
 
 // AddLink inserts a link. Both endpoints must already be present; this keeps
@@ -99,6 +106,7 @@ func (g *Graph) AddLink(l *Link) error {
 	g.links[l.ID] = l
 	g.out[l.Src] = append(g.out[l.Src], l.ID)
 	g.in[l.Tgt] = append(g.in[l.Tgt], l.ID)
+	g.emitLink(MutAddLink, l)
 	return nil
 }
 
@@ -113,7 +121,14 @@ func (g *Graph) PutLink(l *Link) error {
 		if ex.Src != l.Src || ex.Tgt != l.Tgt {
 			return fmt.Errorf("%w: link %d", ErrEndpointChange, l.ID)
 		}
+		var prev *Link
+		if g.recorder != nil {
+			prev = ex.Clone()
+		}
 		ex.Merge(l)
+		if g.recorder != nil {
+			g.recorder(Mutation{Kind: MutPutLink, Link: ex.Clone(), Prev: prev})
+		}
 		return nil
 	}
 	return g.AddLink(l)
@@ -128,11 +143,13 @@ func (g *Graph) RemoveLink(id LinkID) {
 	delete(g.links, id)
 	g.out[l.Src] = removeLinkID(g.out[l.Src], id)
 	g.in[l.Tgt] = removeLinkID(g.in[l.Tgt], id)
+	g.emitLink(MutRemoveLink, l)
 }
 
 // RemoveNode deletes a node and every link incident on it.
 func (g *Graph) RemoveNode(id NodeID) {
-	if _, ok := g.nodes[id]; !ok {
+	n, ok := g.nodes[id]
+	if !ok {
 		return
 	}
 	for _, lid := range append(append([]LinkID(nil), g.out[id]...), g.in[id]...) {
@@ -141,6 +158,7 @@ func (g *Graph) RemoveNode(id NodeID) {
 	delete(g.nodes, id)
 	delete(g.out, id)
 	delete(g.in, id)
+	g.emitNode(MutRemoveNode, n)
 }
 
 func removeLinkID(ids []LinkID, id LinkID) []LinkID {

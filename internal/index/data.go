@@ -39,6 +39,74 @@ type Data struct {
 	// ItemsOf[user] = items the user tagged (for behavior clustering and
 	// content-based explanations).
 	ItemsOf map[graph.NodeID]scoring.Set[graph.NodeID]
+
+	// tagsOf[user] = distinct tags the user has used. Maintained alongside
+	// ItemsOf so incremental maintenance of a connection mutation visits
+	// only the (tag, item) pairs the other endpoint actually tagged
+	// instead of scanning the whole tag vocabulary. Nil per-user entries
+	// (hand-built Data) make the delta code fall back to the full scan.
+	tagsOf map[graph.NodeID]scoring.Set[string]
+
+	// sharedInner is set once this Data has been through a copy-on-write
+	// snapshot (ApplyDelta), meaning inner sets and maps may be shared
+	// with other versions: the in-place write APIs must then replace
+	// rather than mutate them. Sole-owner Data (fresh Extract, never
+	// snapshotted) keeps the cheap in-place path.
+	sharedInner bool
+
+	// tagDups and connDups count duplicate source records beyond the first:
+	// two distinct links asserting the same (user, item, tag) action or the
+	// same undirected connection. The sets above are deduplicated, so
+	// removing one of several parallel links must decrement a refcount
+	// instead of retracting the fact — otherwise incremental maintenance
+	// would diverge from a from-scratch Extract of the surviving links.
+	tagDups  map[taggingKey]int
+	connDups map[edgeKey]int
+}
+
+// taggingKey identifies one (tag, item, user) assertion.
+type taggingKey struct {
+	tag  string
+	item graph.NodeID
+	user graph.NodeID
+}
+
+// edgeKey identifies one undirected connection, normalized a <= b.
+type edgeKey struct {
+	a, b graph.NodeID
+}
+
+func edgeOf(u, v graph.NodeID) edgeKey {
+	if u > v {
+		u, v = v, u
+	}
+	return edgeKey{u, v}
+}
+
+func (d *Data) noteTagDup(k taggingKey, delta int) int {
+	if d.tagDups == nil {
+		d.tagDups = make(map[taggingKey]int)
+	}
+	n := d.tagDups[k] + delta
+	if n <= 0 {
+		delete(d.tagDups, k)
+		return 0
+	}
+	d.tagDups[k] = n
+	return n
+}
+
+func (d *Data) noteConnDup(k edgeKey, delta int) int {
+	if d.connDups == nil {
+		d.connDups = make(map[edgeKey]int)
+	}
+	n := d.connDups[k] + delta
+	if n <= 0 {
+		delete(d.connDups, k)
+		return 0
+	}
+	d.connDups[k] = n
+	return n
 }
 
 // Extract walks the graph once and builds the tagging substrate. Tag
@@ -49,6 +117,7 @@ func Extract(g *graph.Graph) *Data {
 		Taggers: make(map[string]map[graph.NodeID]scoring.Set[graph.NodeID]),
 		Network: make(map[graph.NodeID]scoring.Set[graph.NodeID]),
 		ItemsOf: make(map[graph.NodeID]scoring.Set[graph.NodeID]),
+		tagsOf:  make(map[graph.NodeID]scoring.Set[string]),
 	}
 	userSet := make(map[graph.NodeID]struct{})
 	itemSet := make(map[graph.NodeID]struct{})
@@ -56,6 +125,7 @@ func Extract(g *graph.Graph) *Data {
 		userSet[n.ID] = struct{}{}
 		d.Network[n.ID] = scoring.NewSet[graph.NodeID]()
 		d.ItemsOf[n.ID] = scoring.NewSet[graph.NodeID]()
+		d.tagsOf[n.ID] = scoring.NewSet[string]()
 	}
 	for _, l := range g.Links() {
 		switch {
@@ -64,6 +134,10 @@ func Extract(g *graph.Graph) *Data {
 				continue
 			}
 			if _, ok := userSet[l.Tgt]; !ok {
+				continue
+			}
+			if d.Network[l.Src].Has(l.Tgt) {
+				d.noteConnDup(edgeOf(l.Src, l.Tgt), 1)
 				continue
 			}
 			d.Network[l.Src].Add(l.Tgt)
@@ -78,6 +152,9 @@ func Extract(g *graph.Graph) *Data {
 				s.Add(l.Tgt)
 			}
 			for _, tag := range tags {
+				if s, ok := d.tagsOf[l.Src]; ok {
+					s.Add(tag)
+				}
 				byItem, ok := d.Taggers[tag]
 				if !ok {
 					byItem = make(map[graph.NodeID]scoring.Set[graph.NodeID])
@@ -87,6 +164,10 @@ func Extract(g *graph.Graph) *Data {
 				if !ok {
 					set = scoring.NewSet[graph.NodeID]()
 					byItem[l.Tgt] = set
+				}
+				if set.Has(l.Src) {
+					d.noteTagDup(taggingKey{tag, l.Tgt, l.Src}, 1)
+					continue
 				}
 				set.Add(l.Src)
 			}

@@ -1,0 +1,422 @@
+package index
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"socialscope/internal/cluster"
+	"socialscope/internal/graph"
+	"socialscope/internal/scoring"
+)
+
+// The differential harness: a live graph absorbs a random mutation stream
+// while ApplyDelta maintains the index incrementally; after every batch
+// the maintained index must be byte-identical — same lists, same order,
+// same scores — to a from-scratch Build over the mutated graph. This is
+// the executable statement of the maintenance contract: incremental ≡
+// rebuild.
+
+// diffCorpus is the mutable state of one differential run.
+type diffCorpus struct {
+	g     *graph.Graph
+	users []graph.NodeID
+	items []graph.NodeID
+	tags  []string
+	// present source links, by kind, for removal picks.
+	tagLinks  []*graph.Link
+	connLinks []*graph.Link
+	nextLink  graph.LinkID
+	nextNode  graph.NodeID
+}
+
+func newDiffCorpus(t *testing.T, rng *rand.Rand, users, items, tags int) *diffCorpus {
+	t.Helper()
+	c := &diffCorpus{g: graph.New()}
+	for i := 0; i < users; i++ {
+		c.nextNode++
+		if err := c.g.AddNode(graph.NewNode(c.nextNode, graph.TypeUser)); err != nil {
+			t.Fatal(err)
+		}
+		c.users = append(c.users, c.nextNode)
+	}
+	for i := 0; i < items; i++ {
+		c.nextNode++
+		if err := c.g.AddNode(graph.NewNode(c.nextNode, graph.TypeItem)); err != nil {
+			t.Fatal(err)
+		}
+		c.items = append(c.items, c.nextNode)
+	}
+	for i := 0; i < tags; i++ {
+		c.tags = append(c.tags, fmt.Sprintf("tag%02d", i))
+	}
+	// Seed activity so the initial Build is non-trivial.
+	for i := 0; i < users*2; i++ {
+		c.g.ApplyAll([]graph.Mutation{c.randConnect(rng)})
+	}
+	for i := 0; i < users*3; i++ {
+		c.g.ApplyAll([]graph.Mutation{c.randTagging(rng)})
+	}
+	return c
+}
+
+func (c *diffCorpus) newTagLink(src, tgt graph.NodeID, tags ...string) *graph.Link {
+	c.nextLink++
+	l := graph.NewLink(c.nextLink, src, tgt, graph.TypeAct, graph.SubtypeTag)
+	for _, tag := range tags {
+		l.Attrs.Add("tags", tag)
+	}
+	c.tagLinks = append(c.tagLinks, l)
+	return l
+}
+
+func (c *diffCorpus) randTagging(rng *rand.Rand) graph.Mutation {
+	u := c.users[rng.Intn(len(c.users))]
+	i := c.items[rng.Intn(len(c.items))]
+	n := 1 + rng.Intn(2) // multi-tag links exercise the per-tag path
+	tags := make([]string, 0, n)
+	for len(tags) < n {
+		tags = append(tags, c.tags[rng.Intn(len(c.tags))])
+	}
+	return graph.Mutation{Kind: graph.MutAddLink, Link: c.newTagLink(u, i, tags...)}
+}
+
+func (c *diffCorpus) randConnect(rng *rand.Rand) graph.Mutation {
+	u := c.users[rng.Intn(len(c.users))]
+	v := c.users[rng.Intn(len(c.users))]
+	c.nextLink++
+	l := graph.NewLink(c.nextLink, u, v, graph.TypeConnect, graph.SubtypeFriend)
+	c.connLinks = append(c.connLinks, l)
+	return graph.Mutation{Kind: graph.MutAddLink, Link: l}
+}
+
+// randMutation draws one mutation: mostly new taggings and connections
+// (including deliberate parallel duplicates), with a steady stream of
+// retractions and occasionally a brand-new item joining the site.
+func (c *diffCorpus) randMutation(rng *rand.Rand) graph.Mutation {
+	switch p := rng.Float64(); {
+	case p < 0.40:
+		return c.randTagging(rng)
+	case p < 0.55:
+		return c.randConnect(rng)
+	case p < 0.60: // brand-new item, immediately tagged
+		c.nextNode++
+		c.items = append(c.items, c.nextNode)
+		return graph.Mutation{Kind: graph.MutAddNode,
+			Node: graph.NewNode(c.nextNode, graph.TypeItem)}
+	case p < 0.65: // brand-new tag vocabulary entry
+		tag := fmt.Sprintf("tag%02d", len(c.tags))
+		c.tags = append(c.tags, tag)
+		u := c.users[rng.Intn(len(c.users))]
+		i := c.items[rng.Intn(len(c.items))]
+		return graph.Mutation{Kind: graph.MutAddLink, Link: c.newTagLink(u, i, tag)}
+	case p < 0.85 && len(c.tagLinks) > 0: // retract a tagging action
+		i := rng.Intn(len(c.tagLinks))
+		l := c.tagLinks[i]
+		c.tagLinks = append(c.tagLinks[:i], c.tagLinks[i+1:]...)
+		return graph.Mutation{Kind: graph.MutRemoveLink, Link: l.Clone()}
+	case len(c.connLinks) > 0: // retract a connection
+		i := rng.Intn(len(c.connLinks))
+		l := c.connLinks[i]
+		c.connLinks = append(c.connLinks[:i], c.connLinks[i+1:]...)
+		return graph.Mutation{Kind: graph.MutRemoveLink, Link: l.Clone()}
+	default:
+		return c.randTagging(rng)
+	}
+}
+
+// assertSameLists fails unless the two indexes hold byte-identical posting
+// lists: same (cluster, tag) keys, same entries in the same order with the
+// same scores.
+func assertSameLists(t *testing.T, got, want *Index, ctx string) {
+	t.Helper()
+	if got.EntryCount() != want.EntryCount() {
+		t.Fatalf("%s: entry count %d, want %d", ctx, got.EntryCount(), want.EntryCount())
+	}
+	if got.NumLists() != want.NumLists() {
+		t.Fatalf("%s: list count %d, want %d", ctx, got.NumLists(), want.NumLists())
+	}
+	type key struct {
+		cluster int
+		tag     string
+	}
+	wantLists := make(map[key][]Entry, want.NumLists())
+	want.ForEachList(func(cl int, tag string, l []Entry) {
+		wantLists[key{cl, tag}] = l
+	})
+	got.ForEachList(func(cl int, tag string, l []Entry) {
+		w, ok := wantLists[key{cl, tag}]
+		if !ok {
+			t.Fatalf("%s: maintained index has list (%d,%q) the rebuild lacks", ctx, cl, tag)
+		}
+		if len(w) != len(l) {
+			t.Fatalf("%s: list (%d,%q) has %d entries, want %d\n got %v\nwant %v",
+				ctx, cl, tag, len(l), len(w), l, w)
+		}
+		for i := range l {
+			if l[i] != w[i] {
+				t.Fatalf("%s: list (%d,%q) entry %d = %+v, want %+v",
+					ctx, cl, tag, i, l[i], w[i])
+			}
+		}
+	})
+}
+
+func assertSorted(t *testing.T, ix *Index, ctx string) {
+	t.Helper()
+	ix.ForEachList(func(cl int, tag string, l []Entry) {
+		for i := 1; i < len(l); i++ {
+			if less(l[i-1], l[i]) {
+				t.Fatalf("%s: list (%d,%q) out of order at %d: %+v before %+v",
+					ctx, cl, tag, i, l[i-1], l[i])
+			}
+			if l[i].Score <= 0 {
+				t.Fatalf("%s: list (%d,%q) stores non-positive score %+v", ctx, cl, tag, l[i])
+			}
+		}
+	})
+}
+
+// TestDifferentialIncrementalVsRebuild drives > 1000 random mutations per
+// clustering strategy through ApplyDelta and cross-checks against a full
+// rebuild after every batch.
+func TestDifferentialIncrementalVsRebuild(t *testing.T) {
+	const (
+		batches   = 26
+		batchSize = 8
+		seeds     = 5
+	)
+	strategies := []struct {
+		s     cluster.Strategy
+		theta float64
+	}{
+		{cluster.PerUser, 0},
+		{cluster.Global, 0},
+		{cluster.NetworkBased, 0.25},
+		{cluster.BehaviorBased, 0.4},
+	}
+	for _, sc := range strategies {
+		sc := sc
+		t.Run(sc.s.String(), func(t *testing.T) {
+			for seed := int64(0); seed < seeds; seed++ {
+				rng := rand.New(rand.NewSource(seed*7919 + 17))
+				c := newDiffCorpus(t, rng, 14, 20, 5)
+				cl, err := cluster.Build(c.g, sc.s, sc.theta)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ix, err := Build(Extract(c.g), cl, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for batch := 0; batch < batches; batch++ {
+					muts := make([]graph.Mutation, batchSize)
+					for i := range muts {
+						muts[i] = c.randMutation(rng)
+					}
+					if err := c.g.ApplyAll(muts); err != nil {
+						t.Fatalf("seed %d batch %d: %v", seed, batch, err)
+					}
+					ix = ix.ApplyDelta(muts)
+					ctx := fmt.Sprintf("%s seed %d batch %d", sc.s, seed, batch)
+					assertSorted(t, ix, ctx)
+					rebuilt, err := Build(Extract(c.g), ix.Clustering(), nil)
+					if err != nil {
+						t.Fatal(err)
+					}
+					assertSameLists(t, ix, rebuilt, ctx)
+				}
+				if got, want := ix.Version(), uint64(batches); got != want {
+					t.Errorf("seed %d: version %d, want %d", seed, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialRecordedChangelog drives the same contract through the
+// recorder: mutations are performed directly on the graph, the changelog
+// is drained, and replaying it through ApplyDelta must match a rebuild.
+// This covers consolidation (PutLink re-asserting and extending tag sets)
+// and cascading node removal, which hand-built mutations above do not.
+func TestDifferentialRecordedChangelog(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	c := newDiffCorpus(t, rng, 12, 16, 4)
+	cl, err := cluster.Build(c.g, cluster.NetworkBased, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := Build(Extract(c.g), cl, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := graph.RecordInto(c.g)
+
+	step := func(ctx string, mutate func()) {
+		t.Helper()
+		mutate()
+		ix = ix.ApplyDelta(log.Drain())
+		rebuilt, err := Build(Extract(c.g), ix.Clustering(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameLists(t, ix, rebuilt, ctx)
+	}
+
+	// Consolidate an existing tag link: re-assert its tag and add one.
+	target := c.tagLinks[0]
+	step("putlink extends tags", func() {
+		ext := target.Clone()
+		ext.Attrs = graph.NewAttrs("tags", ext.Attrs.All("tags")[0], "tags", "brandnew")
+		if err := c.g.PutLink(ext); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Remove the consolidated link: both its tags must retract.
+	step("remove consolidated link", func() {
+		c.g.RemoveLink(target.ID)
+	})
+	// A new user arrives, connects, and tags.
+	var newcomer graph.NodeID
+	step("new user joins", func() {
+		c.nextNode++
+		newcomer = c.nextNode
+		if err := c.g.AddNode(graph.NewNode(newcomer, graph.TypeUser)); err != nil {
+			t.Fatal(err)
+		}
+		c.nextLink++
+		if err := c.g.AddLink(graph.NewLink(c.nextLink, newcomer, c.users[0], graph.TypeConnect)); err != nil {
+			t.Fatal(err)
+		}
+		l := c.newTagLink(newcomer, c.items[0], c.tags[0])
+		if err := c.g.AddLink(l); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// A heavy user quits: cascading removal of every incident link.
+	step("user quits", func() {
+		c.g.RemoveNode(c.users[1])
+	})
+	if ix.Version() != 4 {
+		t.Errorf("version %d after 4 batches, want 4", ix.Version())
+	}
+}
+
+// TestDifferentialHandBuiltItemRemoval covers the mutation shape a
+// recorder never produces: a bare MutRemoveNode for a tagged item with no
+// preceding link removals. ApplyDelta must retract the item's postings
+// itself so the index never serves an item the graph no longer holds.
+func TestDifferentialHandBuiltItemRemoval(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	c := newDiffCorpus(t, rng, 12, 15, 4)
+	cl, err := cluster.Build(c.g, cluster.NetworkBased, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := Build(Extract(c.g), cl, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pick an item that actually has postings.
+	var victim graph.NodeID = -1
+	ix.ForEachList(func(cl int, tag string, l []Entry) {
+		if victim < 0 && len(l) > 0 {
+			victim = l[0].Item
+		}
+	})
+	if victim < 0 {
+		t.Fatal("corpus has no postings")
+	}
+	muts := []graph.Mutation{{Kind: graph.MutRemoveNode, Node: graph.NewNode(victim, graph.TypeItem)}}
+	if err := c.g.ApplyAll(muts); err != nil {
+		t.Fatal(err)
+	}
+	ix = ix.ApplyDelta(muts)
+	rebuilt, err := Build(Extract(c.g), ix.Clustering(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameLists(t, ix, rebuilt, "hand-built item removal")
+	ix.ForEachList(func(cl int, tag string, l []Entry) {
+		for _, e := range l {
+			if e.Item == victim {
+				t.Fatalf("ghost posting for removed item %d in (%d,%q)", victim, cl, tag)
+			}
+		}
+	})
+	for _, it := range ix.Data().Items {
+		if it == victim {
+			t.Errorf("removed item %d still in Items universe", victim)
+		}
+	}
+
+	// Roles compose: a user node can itself be a tagged target. Removing
+	// such a node must retract both its activity and its postings.
+	guru := c.users[0]
+	tagged := c.newTagLink(c.users[1], guru, c.tags[0])
+	muts = []graph.Mutation{{Kind: graph.MutAddLink, Link: tagged}}
+	if err := c.g.ApplyAll(muts); err != nil {
+		t.Fatal(err)
+	}
+	ix = ix.ApplyDelta(muts)
+	muts = []graph.Mutation{{Kind: graph.MutRemoveNode, Node: graph.NewNode(guru, graph.TypeUser)}}
+	if err := c.g.ApplyAll(muts); err != nil {
+		t.Fatal(err)
+	}
+	ix = ix.ApplyDelta(muts)
+	rebuilt, err = Build(Extract(c.g), ix.Clustering(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameLists(t, ix, rebuilt, "hand-built tagged-user removal")
+}
+
+// TestApplyDeltaIsCopyOnWrite pins the RCU contract: a snapshot taken
+// before ApplyDelta must remain byte-identical afterwards, and answer
+// queries from the old substrate.
+func TestApplyDeltaIsCopyOnWrite(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	c := newDiffCorpus(t, rng, 10, 12, 4)
+	cl, err := cluster.Build(c.g, cluster.PerUser, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old, err := Build(Extract(c.g), cl, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deep-freeze the old version's observable state.
+	frozen, err := Build(Extract(c.g.Clone()), cl, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cur := old
+	for i := 0; i < 20; i++ {
+		muts := []graph.Mutation{c.randMutation(rng)}
+		if err := c.g.ApplyAll(muts); err != nil {
+			t.Fatal(err)
+		}
+		cur = cur.ApplyDelta(muts)
+	}
+	assertSameLists(t, old, frozen, "pre-delta snapshot")
+	if old.Version() != 0 || cur.Version() != 20 {
+		t.Errorf("versions old=%d cur=%d, want 0 and 20", old.Version(), cur.Version())
+	}
+	// The old snapshot still answers queries from its frozen substrate.
+	for _, u := range c.users[:3] {
+		gotOld, _, err := old.TopK(u, c.tags[:2], 5, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := frozen.Data().ExactTopK(u, c.tags[:2], 5, frozen.UserFn(), scoring.SumG)
+		if len(gotOld) != len(want) {
+			t.Fatalf("user %d: old snapshot returned %d results, want %d", u, len(gotOld), len(want))
+		}
+		for i := range want {
+			if gotOld[i] != want[i] {
+				t.Errorf("user %d rank %d: %+v, want %+v", u, i, gotOld[i], want[i])
+			}
+		}
+	}
+}

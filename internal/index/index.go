@@ -33,12 +33,26 @@ type listKey struct {
 // reproduces the paper's IL^u_k exact index; Global clustering reproduces
 // classic IR lists; intermediate clusterings realize the space/time
 // trade-off of [5].
+//
+// Lists are sharded by tag — tag → cluster → postings — mirroring the
+// build's work split and letting ApplyDelta clone only the tag shards a
+// mutation batch touches.
 type Index struct {
 	data       *Data
 	clustering *cluster.Clustering
 	f          scoring.UserSetFn
-	lists      map[listKey][]Entry
+	lists      map[string]map[int][]Entry
 	entries    int
+	// version counts the ApplyDelta snapshots this index descends from:
+	// Build produces version 0 and every ApplyDelta batch returns a new
+	// index at version+1. Query processors stamp it into their Stats so a
+	// live system can tell which snapshot answered a query.
+	version uint64
+	// shared is set once this index has been through ApplyDelta (as
+	// parent or child): inner shard maps and posting slices may then be
+	// shared across versions, so in-place maintenance (ApplyTagging) must
+	// replace rather than mutate them.
+	shared bool
 }
 
 // Build materializes the posting lists. For every tag and item it computes
@@ -67,7 +81,8 @@ func BuildWithWorkers(data *Data, clustering *cluster.Clustering, f scoring.User
 	if workers > len(data.Tags) && len(data.Tags) > 0 {
 		workers = len(data.Tags)
 	}
-	ix := &Index{data: data, clustering: clustering, f: f, lists: make(map[listKey][]Entry)}
+	ix := &Index{data: data, clustering: clustering, f: f,
+		lists: make(map[string]map[int][]Entry)}
 
 	// Shard by tag: each worker builds the complete, sorted per-cluster
 	// lists of its tags. Shards write into disjoint slots of a per-tag
@@ -92,8 +107,11 @@ func BuildWithWorkers(data *Data, clustering *cluster.Clustering, f scoring.User
 	wg.Wait()
 
 	for ti, tag := range data.Tags {
-		for cid, l := range shards[ti] {
-			ix.lists[listKey{cid, tag}] = l
+		if len(shards[ti]) == 0 {
+			continue
+		}
+		ix.lists[tag] = shards[ti]
+		for _, l := range shards[ti] {
 			ix.entries += len(l)
 		}
 	}
@@ -172,7 +190,48 @@ func (ix *Index) EntryCount() int { return ix.entries }
 func (ix *Index) SizeBytes() int64 { return int64(ix.entries) * EntryBytes }
 
 // NumLists returns the number of non-empty posting lists.
-func (ix *Index) NumLists() int { return len(ix.lists) }
+func (ix *Index) NumLists() int {
+	n := 0
+	for _, byCluster := range ix.lists {
+		n += len(byCluster)
+	}
+	return n
+}
+
+// Version returns the snapshot version: 0 for a fresh Build, incremented
+// by every ApplyDelta batch.
+func (ix *Index) Version() uint64 { return ix.version }
+
+// AtVersion sets the snapshot version and returns the receiver. It is for
+// build-time seeding only — a live engine rebuilding its index mid-stream
+// aligns the fresh index with its own state version so the
+// SnapshotVersion reported by queries never regresses. Never call it on
+// an index that has been published to readers.
+func (ix *Index) AtVersion(v uint64) *Index {
+	ix.version = v
+	return ix
+}
+
+// ForEachList visits every posting list in deterministic order (ascending
+// tag, then cluster id). The callback must not retain or mutate the slice.
+func (ix *Index) ForEachList(fn func(cluster int, tag string, l []Entry)) {
+	tags := make([]string, 0, len(ix.lists))
+	for tag := range ix.lists {
+		tags = append(tags, tag)
+	}
+	sort.Strings(tags)
+	for _, tag := range tags {
+		byCluster := ix.lists[tag]
+		cids := make([]int, 0, len(byCluster))
+		for cid := range byCluster {
+			cids = append(cids, cid)
+		}
+		sort.Ints(cids)
+		for _, cid := range cids {
+			fn(cid, tag, byCluster[cid])
+		}
+	}
+}
 
 // List exposes the posting list for a (user, tag) pair — the list of the
 // user's cluster. Nil when the user is unknown or the tag unindexed.
@@ -181,7 +240,7 @@ func (ix *Index) List(user graph.NodeID, tag string) []Entry {
 	if cid < 0 {
 		return nil
 	}
-	return ix.lists[listKey{cid, tag}]
+	return ix.lists[tag][cid]
 }
 
 // QueryStats reports the work a top-k evaluation performed, the currency in
@@ -221,7 +280,7 @@ func (ix *Index) TopK(user graph.NodeID, tags []string, k int,
 	lists := make([][]Entry, len(tags))
 	pos := make([]int, len(tags))
 	for i, tag := range tags {
-		lists[i] = ix.lists[listKey{cid, tag}]
+		lists[i] = ix.lists[tag][cid]
 	}
 
 	seen := make(map[graph.NodeID]struct{})

@@ -1,0 +1,712 @@
+// Incremental index maintenance: the live-update answer to the problem
+// Section 6.2 defers ("index maintenance upon updates"). ApplyDelta folds
+// a graph-mutation changelog into the posting lists without a rebuild,
+// returning a new copy-on-write snapshot: the receiver — and every list,
+// tagger set and network set it holds — is never modified, so in-flight
+// queries keep reading a consistent version while writers advance.
+//
+// Maintenance preserves the two structural invariants Build establishes:
+// every (cluster, tag) list stays sorted by descending stored score
+// (ascending item id on ties), and every stored score equals the Equation
+// 1 upper bound max_{u∈C} score_k(i, u) over the current substrate — which
+// for additive mutations (new taggings, new connections) only grows, so
+// entries are raised in place, while retractions recompute the exact
+// cluster maximum for the affected (cluster, tag, item) cells.
+//
+// The clustering is treated as fixed: re-clustering cadence is the Data
+// Manager's policy decision, mirroring the paper's separation of index
+// maintenance from cluster maintenance. Users who arrive after the
+// partition was built are placed by cluster.Clustering.WithUser.
+package index
+
+import (
+	"maps"
+	"sort"
+
+	"socialscope/internal/graph"
+	"socialscope/internal/scoring"
+)
+
+// ApplyDelta returns a new index snapshot with the mutation batch applied,
+// leaving the receiver untouched (RCU-style copy-on-write: untouched lists
+// and substrate sets are shared between versions, touched ones are copied
+// before the first write). Mutations that do not concern the tagging
+// substrate — item nodes, match/belong links, unknown endpoints — are
+// ignored, exactly as Extract ignores them. The returned index has
+// Version() one higher than the receiver.
+//
+// Changelogs produced by graph.RecordInto replay exactly: removing a node
+// arrives as its incident link removals followed by the node removal, and
+// link consolidations carry their pre-merge state so re-asserted
+// activities are not double counted.
+func (ix *Index) ApplyDelta(muts []graph.Mutation) *Index {
+	ix.shared = true
+	d := &delta{
+		ix: &Index{
+			data:       ix.data.cowClone(),
+			clustering: ix.clustering,
+			f:          ix.f,
+			lists:      maps.Clone(ix.lists),
+			entries:    ix.entries,
+			version:    ix.version + 1,
+			shared:     true,
+		},
+		ownedLists:   make(map[listKey]bool),
+		ownedShards:  make(map[string]bool),
+		ownedTaggers: make(map[string]bool),
+		ownedTagSets: make(map[string]map[graph.NodeID]bool),
+		ownedNets:    make(map[graph.NodeID]bool),
+		ownedItems:   make(map[graph.NodeID]bool),
+		ownedTags:    make(map[graph.NodeID]bool),
+	}
+	if d.ix.lists == nil {
+		d.ix.lists = make(map[string]map[int][]Entry)
+	}
+	for _, m := range muts {
+		d.apply(m)
+	}
+	return d.ix
+}
+
+// cowClone returns a Data whose top-level maps and slices are independent
+// copies while the inner tagger/network/item sets stay shared with the
+// receiver; delta handlers copy an inner set before its first write. Both
+// versions are marked as sharing inner structures so the in-place write
+// APIs (Data.AddTagging) switch to their replace-not-mutate path.
+func (d *Data) cowClone() *Data {
+	d.sharedInner = true
+	c := &Data{
+		sharedInner: true,
+		Users:       append([]graph.NodeID(nil), d.Users...),
+		Items:       append([]graph.NodeID(nil), d.Items...),
+		Tags:        append([]string(nil), d.Tags...),
+		Taggers:     maps.Clone(d.Taggers),
+		Network:     maps.Clone(d.Network),
+		ItemsOf:     maps.Clone(d.ItemsOf),
+		tagsOf:      maps.Clone(d.tagsOf),
+	}
+	if c.Taggers == nil {
+		c.Taggers = make(map[string]map[graph.NodeID]scoring.Set[graph.NodeID])
+	}
+	if c.Network == nil {
+		c.Network = make(map[graph.NodeID]scoring.Set[graph.NodeID])
+	}
+	if c.ItemsOf == nil {
+		c.ItemsOf = make(map[graph.NodeID]scoring.Set[graph.NodeID])
+	}
+	if c.tagsOf == nil {
+		c.tagsOf = make(map[graph.NodeID]scoring.Set[string])
+	}
+	if len(d.tagDups) > 0 {
+		c.tagDups = maps.Clone(d.tagDups)
+	}
+	if len(d.connDups) > 0 {
+		c.connDups = maps.Clone(d.connDups)
+	}
+	return c
+}
+
+// delta tracks which shared structures the new snapshot already owns, so
+// each is copied at most once per batch regardless of how many mutations
+// touch it.
+type delta struct {
+	ix           *Index
+	ownedLists   map[listKey]bool                 // individual posting slice owned
+	ownedShards  map[string]bool                  // lists[tag] inner map owned
+	ownedTaggers map[string]bool                  // Taggers[tag] inner map owned
+	ownedTagSets map[string]map[graph.NodeID]bool // Taggers[tag][item] set owned
+	ownedNets    map[graph.NodeID]bool
+	ownedItems   map[graph.NodeID]bool // ItemsOf[user] set owned
+	ownedTags    map[graph.NodeID]bool // tagsOf[user] set owned
+}
+
+func (d *delta) apply(m graph.Mutation) {
+	switch m.Kind {
+	case graph.MutAddNode, graph.MutPutNode:
+		if m.Node != nil && m.Node.HasType(graph.TypeUser) {
+			d.addUser(m.Node.ID)
+		}
+	case graph.MutAddLink:
+		d.applyLinkAdd(m.Link, nil, true)
+	case graph.MutPutLink:
+		// A consolidation re-asserts everything the link already carried;
+		// only the diff against the pre-merge state is new activity. With
+		// no recorded Prev (hand-built mutation), treat the whole link as
+		// an idempotent ensure: existing facts are not re-counted.
+		d.applyLinkAdd(m.Link, m.Prev, m.Prev != nil)
+	case graph.MutRemoveLink:
+		d.applyLinkRemove(m.Link)
+	case graph.MutRemoveNode:
+		if m.Node == nil {
+			return
+		}
+		if m.Node.HasType(graph.TypeUser) {
+			d.removeUser(m.Node.ID)
+		}
+		// Roles are not exclusive: Extract indexes any tag-link target,
+		// so a user node can itself be a tagged item. Retract that role
+		// too.
+		d.removeItem(m.Node.ID)
+	}
+}
+
+func (d *delta) applyLinkAdd(l, prev *graph.Link, countDups bool) {
+	if l == nil {
+		return
+	}
+	if l.HasType(graph.TypeConnect) && (prev == nil || !prev.HasType(graph.TypeConnect)) {
+		d.addConnect(l.Src, l.Tgt, countDups)
+	}
+	if l.HasType(graph.SubtypeTag) {
+		var prevTags []string
+		if prev != nil && prev.HasType(graph.SubtypeTag) {
+			prevTags = prev.Attrs.All("tags")
+		}
+		remaining := make(map[string]int, len(prevTags))
+		for _, t := range prevTags {
+			remaining[t]++
+		}
+		for _, tag := range l.Attrs.All("tags") {
+			if remaining[tag] > 0 {
+				remaining[tag]-- // the link asserted this before the merge
+				continue
+			}
+			d.addTagging(l.Src, l.Tgt, tag, countDups)
+		}
+	}
+}
+
+func (d *delta) applyLinkRemove(l *graph.Link) {
+	if l == nil {
+		return
+	}
+	if l.HasType(graph.TypeConnect) {
+		d.removeConnect(l.Src, l.Tgt)
+	}
+	if l.HasType(graph.SubtypeTag) {
+		for _, tag := range l.Attrs.All("tags") {
+			d.removeTagging(l.Src, l.Tgt, tag)
+		}
+	}
+}
+
+// addTagging folds "user tagged item with tag" into the substrate and
+// raises the affected entries — precisely (cluster(v), tag, item) for
+// every v in the tagger's network, since a monotone f only grows when a
+// tagger is added.
+func (d *delta) addTagging(user, item graph.NodeID, tag string, countDup bool) {
+	data := d.ix.data
+	byItem := d.ownTaggers(tag)
+	set, ok := byItem[item]
+	if !ok {
+		set = scoring.NewSet[graph.NodeID]()
+		byItem[item] = set
+		d.ownedTagSets[tag][item] = true
+		insertID(&data.Items, item)
+	}
+	if set.Has(user) {
+		if countDup {
+			data.noteTagDup(taggingKey{tag, item, user}, 1)
+		}
+		return
+	}
+	set = d.ownTagSet(tag, item)
+	set.Add(user)
+	if _, ok := data.ItemsOf[user]; ok {
+		d.ownItemsOf(user).Add(item)
+	}
+	if _, ok := data.tagsOf[user]; ok {
+		d.ownTagsOf(user).Add(tag)
+	}
+	net := data.Network[user]
+	for v := range net {
+		cid := d.ix.clustering.Of(v)
+		if cid < 0 {
+			continue
+		}
+		if s := data.ScoreTag(item, v, tag, d.ix.f); s > 0 {
+			d.raise(listKey{cid, tag}, item, s)
+		}
+	}
+}
+
+// removeTagging retracts one assertion of "user tagged item with tag".
+// Parallel assertions (other links stating the same fact) only decrement
+// the refcount; retracting the last one shrinks the tagger set, so the
+// affected cluster maxima are recomputed exactly.
+func (d *delta) removeTagging(user, item graph.NodeID, tag string) {
+	data := d.ix.data
+	byItem := data.Taggers[tag]
+	if byItem == nil {
+		return
+	}
+	set := byItem[item]
+	if set == nil || !set.Has(user) {
+		return
+	}
+	key := taggingKey{tag, item, user}
+	if data.tagDups[key] > 0 {
+		data.noteTagDup(key, -1)
+		return
+	}
+	set = d.ownTagSet(tag, item)
+	set.Remove(user)
+	emptied := set.Len() == 0
+	if emptied {
+		byItem = d.ownTaggers(tag)
+		delete(byItem, item)
+		if len(byItem) == 0 {
+			delete(data.Taggers, tag)
+			removeString(&data.Tags, tag)
+		}
+	}
+	if s, ok := data.ItemsOf[user]; ok && s.Has(item) && !d.stillTags(user, item) {
+		d.ownItemsOf(user).Remove(item)
+	}
+	if s, ok := data.tagsOf[user]; ok && s.Has(tag) && !d.stillUsesTag(user, tag) {
+		d.ownTagsOf(user).Remove(tag)
+	}
+	// A non-empty tagger set proves the item is still tagged; the
+	// vocabulary-wide scan is only needed once this (tag, item) cell
+	// drained.
+	if emptied && !d.itemTagged(item) {
+		removeID(&data.Items, item)
+	}
+	for v := range data.Network[user] {
+		cid := d.ix.clustering.Of(v)
+		if cid < 0 {
+			continue
+		}
+		d.recompute(listKey{cid, tag}, item)
+	}
+}
+
+// addConnect folds a new undirected connection between two known users.
+// Each endpoint's scores can only grow — by the other endpoint's taggings
+// — so the affected entries are raised in place.
+func (d *delta) addConnect(u, v graph.NodeID, countDup bool) {
+	data := d.ix.data
+	if data.Network[u] == nil || data.Network[v] == nil {
+		return // mirror Extract: connections only between user nodes
+	}
+	if data.Network[u].Has(v) {
+		if countDup {
+			data.noteConnDup(edgeOf(u, v), 1)
+		}
+		return
+	}
+	d.ownNet(u).Add(v)
+	d.ownNet(v).Add(u)
+	d.raisePair(u, v)
+	if u != v {
+		d.raisePair(v, u)
+	}
+}
+
+// removeConnect retracts one assertion of the connection between u and v.
+func (d *delta) removeConnect(u, v graph.NodeID) {
+	data := d.ix.data
+	if data.Network[u] == nil || !data.Network[u].Has(v) {
+		return
+	}
+	key := edgeOf(u, v)
+	if data.connDups[key] > 0 {
+		data.noteConnDup(key, -1)
+		return
+	}
+	d.ownNet(u).Remove(v)
+	if u != v {
+		d.ownNet(v).Remove(u)
+	}
+	d.recomputePair(u, v)
+	if u != v {
+		d.recomputePair(v, u)
+	}
+}
+
+// tagsUsedBy returns the tags a user's maintenance loops must visit: the
+// user's own tag profile when tracked, the full vocabulary otherwise
+// (hand-built Data without profiles stays correct, just slower).
+func (d *delta) tagsUsedBy(u graph.NodeID) []string {
+	if s, ok := d.ix.data.tagsOf[u]; ok {
+		out := make([]string, 0, s.Len())
+		for tag := range s {
+			out = append(out, tag)
+		}
+		return out
+	}
+	return d.ix.data.Tags
+}
+
+// raisePair raises x's entries for everything other tagged: x just gained
+// other in its network, so score_tag(i, x) grew exactly for other's
+// taggings. The loop visits only other's own tags × items, not the whole
+// vocabulary.
+func (d *delta) raisePair(x, other graph.NodeID) {
+	data := d.ix.data
+	cid := d.ix.clustering.Of(x)
+	if cid < 0 {
+		return
+	}
+	items := data.ItemsOf[other]
+	if items == nil {
+		return
+	}
+	for _, tag := range d.tagsUsedBy(other) {
+		byItem := data.Taggers[tag]
+		for item := range items {
+			if !byItem[item].Has(other) {
+				continue
+			}
+			if s := data.ScoreTag(item, x, tag, d.ix.f); s > 0 {
+				d.raise(listKey{cid, tag}, item, s)
+			}
+		}
+	}
+}
+
+// recomputePair recomputes x's cluster entries for everything other
+// tagged: x just lost other from its network, so those scores may shrink.
+func (d *delta) recomputePair(x, other graph.NodeID) {
+	data := d.ix.data
+	cid := d.ix.clustering.Of(x)
+	if cid < 0 {
+		return
+	}
+	items := data.ItemsOf[other]
+	if items == nil {
+		return
+	}
+	for _, tag := range d.tagsUsedBy(other) {
+		byItem := data.Taggers[tag]
+		for item := range items {
+			if byItem[item].Has(other) {
+				d.recompute(listKey{cid, tag}, item)
+			}
+		}
+	}
+}
+
+// addUser registers a user who arrived after the index was built: empty
+// network and item profile, placed into the (copy-on-write extended)
+// clustering.
+func (d *delta) addUser(u graph.NodeID) {
+	data := d.ix.data
+	if _, ok := data.Network[u]; ok {
+		return
+	}
+	data.Network[u] = scoring.NewSet[graph.NodeID]()
+	data.ItemsOf[u] = scoring.NewSet[graph.NodeID]()
+	data.tagsOf[u] = scoring.NewSet[string]()
+	d.ownedNets[u] = true
+	d.ownedItems[u] = true
+	d.ownedTags[u] = true
+	insertID(&data.Users, u)
+	d.ix.clustering = d.ix.clustering.WithUser(u)
+}
+
+// removeUser retracts a user from the substrate. Changelogs produced by a
+// recorder arrive with the user's incident links already removed; any
+// facts still standing (hand-built streams) are retracted defensively
+// first. The clustering keeps the departed member — a cluster's upper
+// bound over a gone user is simply never the maximum again.
+func (d *delta) removeUser(u graph.NodeID) {
+	data := d.ix.data
+	net := data.Network[u]
+	if net == nil {
+		return
+	}
+	for _, v := range sortedMembers(net) {
+		delete(data.connDups, edgeOf(u, v))
+		d.removeConnect(u, v)
+	}
+	if items := data.ItemsOf[u]; items != nil {
+		tags := append([]string(nil), d.tagsUsedBy(u)...)
+		for _, item := range sortedMembers(items) {
+			for _, tag := range tags {
+				if data.Taggers[tag][item].Has(u) {
+					delete(data.tagDups, taggingKey{tag, item, u})
+					d.removeTagging(u, item, tag)
+				}
+			}
+		}
+	}
+	delete(data.Network, u)
+	delete(data.ItemsOf, u)
+	delete(data.tagsOf, u)
+	removeID(&data.Users, u)
+}
+
+// removeItem retracts every tagging of a removed non-user node. Recorded
+// changelogs arrive with the node's incident tag links already removed
+// (the cascade emits them first), making this a no-op; hand-built
+// MutRemoveNode mutations rely on it so the index never serves postings
+// for an item the graph no longer holds.
+func (d *delta) removeItem(item graph.NodeID) {
+	data := d.ix.data
+	for _, tag := range append([]string(nil), data.Tags...) {
+		set := data.Taggers[tag][item]
+		if set == nil {
+			continue
+		}
+		for _, u := range sortedMembers(set) {
+			delete(data.tagDups, taggingKey{tag, item, u})
+			d.removeTagging(u, item, tag)
+		}
+	}
+}
+
+// recompute re-derives one posting entry exactly as Build would: the
+// maximum of f over the cluster members' intersection counts, present only
+// when positive.
+func (d *delta) recompute(k listKey, item graph.NodeID) {
+	data := d.ix.data
+	taggers := data.Taggers[k.tag][item]
+	best := 0.0
+	for _, m := range d.ix.clustering.Members(k.cluster) {
+		net := data.Network[m]
+		if net == nil {
+			continue
+		}
+		c := scoring.IntersectionSize(net, taggers)
+		if c <= 0 {
+			continue
+		}
+		if s := d.ix.f(c); s > best {
+			best = s
+		}
+	}
+	l, n := setEntry(d.ownList(k), item, best)
+	d.storeList(k, l, n)
+}
+
+func (d *delta) raise(k listKey, item graph.NodeID, score float64) {
+	l, n := raiseEntry(d.ownList(k), item, score)
+	d.storeList(k, l, n)
+}
+
+func (d *delta) storeList(k listKey, l []Entry, entryDelta int) {
+	shard := d.ownShard(k.tag)
+	if len(l) == 0 {
+		delete(shard, k.cluster) // Build never stores empty lists
+		if len(shard) == 0 {
+			delete(d.ix.lists, k.tag)
+		}
+	} else {
+		shard[k.cluster] = l
+	}
+	d.ix.entries += entryDelta
+}
+
+// ownShard returns the tag's cluster→list map, copied from the shared
+// parent version on first write (the only per-delta clone whose size
+// scales with the corpus is the outer by-tag map).
+func (d *delta) ownShard(tag string) map[int][]Entry {
+	byCluster := d.ix.lists[tag]
+	if byCluster == nil {
+		byCluster = make(map[int][]Entry)
+		d.ix.lists[tag] = byCluster
+		d.ownedShards[tag] = true
+		return byCluster
+	}
+	if d.ownedShards[tag] {
+		return byCluster
+	}
+	d.ownedShards[tag] = true
+	c := maps.Clone(byCluster)
+	d.ix.lists[tag] = c
+	return c
+}
+
+// ownList returns the posting list for k, copied from the shared parent
+// version on first write.
+func (d *delta) ownList(k listKey) []Entry {
+	shard := d.ownShard(k.tag)
+	l := shard[k.cluster]
+	if d.ownedLists[k] {
+		return l
+	}
+	d.ownedLists[k] = true
+	if l == nil {
+		return nil
+	}
+	c := make([]Entry, len(l))
+	copy(c, l)
+	shard[k.cluster] = c
+	return c
+}
+
+// ownTaggers returns Taggers[tag] as an owned map, creating tag on demand.
+func (d *delta) ownTaggers(tag string) map[graph.NodeID]scoring.Set[graph.NodeID] {
+	data := d.ix.data
+	byItem, ok := data.Taggers[tag]
+	if !ok {
+		byItem = make(map[graph.NodeID]scoring.Set[graph.NodeID])
+		data.Taggers[tag] = byItem
+		d.ownedTaggers[tag] = true
+		d.ownedTagSets[tag] = make(map[graph.NodeID]bool)
+		insertString(&data.Tags, tag)
+		return byItem
+	}
+	if d.ownedTaggers[tag] {
+		return byItem
+	}
+	c := make(map[graph.NodeID]scoring.Set[graph.NodeID], len(byItem))
+	for i, s := range byItem {
+		c[i] = s
+	}
+	data.Taggers[tag] = c
+	d.ownedTaggers[tag] = true
+	if d.ownedTagSets[tag] == nil {
+		d.ownedTagSets[tag] = make(map[graph.NodeID]bool)
+	}
+	return c
+}
+
+// ownTagSet returns Taggers[tag][item] as an owned set.
+func (d *delta) ownTagSet(tag string, item graph.NodeID) scoring.Set[graph.NodeID] {
+	byItem := d.ownTaggers(tag)
+	set := byItem[item]
+	if d.ownedTagSets[tag][item] {
+		return set
+	}
+	d.ownedTagSets[tag][item] = true
+	if set == nil {
+		set = scoring.NewSet[graph.NodeID]()
+	} else {
+		set = set.Clone()
+	}
+	byItem[item] = set
+	return set
+}
+
+func (d *delta) ownNet(u graph.NodeID) scoring.Set[graph.NodeID] {
+	data := d.ix.data
+	if d.ownedNets[u] {
+		return data.Network[u]
+	}
+	d.ownedNets[u] = true
+	s := data.Network[u]
+	if s == nil {
+		s = scoring.NewSet[graph.NodeID]()
+	} else {
+		s = s.Clone()
+	}
+	data.Network[u] = s
+	return s
+}
+
+func (d *delta) ownItemsOf(u graph.NodeID) scoring.Set[graph.NodeID] {
+	data := d.ix.data
+	if d.ownedItems[u] {
+		return data.ItemsOf[u]
+	}
+	d.ownedItems[u] = true
+	s := data.ItemsOf[u]
+	if s == nil {
+		s = scoring.NewSet[graph.NodeID]()
+	} else {
+		s = s.Clone()
+	}
+	data.ItemsOf[u] = s
+	return s
+}
+
+func (d *delta) ownTagsOf(u graph.NodeID) scoring.Set[string] {
+	data := d.ix.data
+	if d.ownedTags[u] {
+		return data.tagsOf[u]
+	}
+	d.ownedTags[u] = true
+	s := data.tagsOf[u]
+	if s == nil {
+		s = scoring.NewSet[string]()
+	} else {
+		s = s.Clone()
+	}
+	data.tagsOf[u] = s
+	return s
+}
+
+// stillTags reports whether user still tags item under any tag.
+func (d *delta) stillTags(user, item graph.NodeID) bool {
+	for _, tag := range d.tagsUsedBy(user) {
+		if d.ix.data.Taggers[tag][item].Has(user) {
+			return true
+		}
+	}
+	return false
+}
+
+// stillUsesTag reports whether user still tags anything with tag.
+func (d *delta) stillUsesTag(user graph.NodeID, tag string) bool {
+	byItem := d.ix.data.Taggers[tag]
+	if byItem == nil {
+		return false
+	}
+	for item := range d.ix.data.ItemsOf[user] {
+		if byItem[item].Has(user) {
+			return true
+		}
+	}
+	return false
+}
+
+// itemTagged reports whether any tagger remains for item under any tag.
+func (d *delta) itemTagged(item graph.NodeID) bool {
+	for _, byItem := range d.ix.data.Taggers {
+		if s := byItem[item]; s != nil && s.Len() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func sortedMembers(s scoring.Set[graph.NodeID]) []graph.NodeID {
+	out := make([]graph.NodeID, 0, s.Len())
+	for m := range s {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func insertID(ids *[]graph.NodeID, id graph.NodeID) {
+	s := *ids
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= id })
+	if i < len(s) && s[i] == id {
+		return
+	}
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = id
+	*ids = s
+}
+
+func removeID(ids *[]graph.NodeID, id graph.NodeID) {
+	s := *ids
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= id })
+	if i < len(s) && s[i] == id {
+		*ids = append(s[:i], s[i+1:]...)
+	}
+}
+
+func insertString(ss *[]string, v string) {
+	s := *ss
+	i := sort.SearchStrings(s, v)
+	if i < len(s) && s[i] == v {
+		return
+	}
+	s = append(s, "")
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	*ss = s
+}
+
+func removeString(ss *[]string, v string) {
+	s := *ss
+	i := sort.SearchStrings(s, v)
+	if i < len(s) && s[i] == v {
+		*ss = append(s[:i], s[i+1:]...)
+	}
+}

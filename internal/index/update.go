@@ -2,6 +2,7 @@ package index
 
 import (
 	"fmt"
+	"maps"
 	"sort"
 
 	"socialscope/internal/graph"
@@ -12,29 +13,49 @@ import (
 // item with tag. It returns the users whose score for (item, tag) may have
 // changed — precisely the tagger's network — so callers can refresh
 // derived structures incrementally.
+//
+// Once the Data has been through an ApplyDelta snapshot, the write turns
+// copy-on-write at the inner-structure level: the touched tagger map and
+// sets are replaced with copies rather than mutated, so sibling versions
+// sharing them are never modified underneath their readers. A sole-owner
+// Data (never snapshotted) keeps the cheap in-place insert.
 func (d *Data) AddTagging(user, item graph.NodeID, tag string) []graph.NodeID {
 	byItem, ok := d.Taggers[tag]
 	if !ok {
 		byItem = make(map[graph.NodeID]scoring.Set[graph.NodeID])
 		d.Taggers[tag] = byItem
-		d.Tags = append(d.Tags, tag)
-		sort.Strings(d.Tags)
+		insertString(&d.Tags, tag)
+	} else if d.sharedInner {
+		byItem = maps.Clone(byItem)
+		d.Taggers[tag] = byItem
 	}
 	set, ok := byItem[item]
 	if !ok {
 		set = scoring.NewSet[graph.NodeID]()
 		byItem[item] = set
-		if !containsID(d.Items, item) {
-			d.Items = append(d.Items, item)
-			sort.Slice(d.Items, func(i, j int) bool { return d.Items[i] < d.Items[j] })
-		}
+		insertID(&d.Items, item)
+	} else if d.sharedInner {
+		set = set.Clone()
+		byItem[item] = set
 	}
 	if set.Has(user) {
+		d.noteTagDup(taggingKey{tag, item, user}, 1)
 		return nil // duplicate action: scores unchanged
 	}
 	set.Add(user)
 	if s, ok := d.ItemsOf[user]; ok {
+		if d.sharedInner {
+			s = s.Clone()
+			d.ItemsOf[user] = s
+		}
 		s.Add(item)
+	}
+	if s, ok := d.tagsOf[user]; ok {
+		if d.sharedInner {
+			s = s.Clone()
+			d.tagsOf[user] = s
+		}
+		s.Add(tag)
 	}
 	net, ok := d.Network[user]
 	if !ok {
@@ -58,10 +79,19 @@ func (d *Data) AddTagging(user, item graph.NodeID, tag string) []graph.NodeID {
 // The clustering itself is treated as fixed — re-clustering cadence is the
 // Data Manager's policy decision, mirroring Section 6.2's separation of
 // index maintenance from cluster maintenance.
+//
+// Like Data.AddTagging, the update turns copy-on-write below the receiver
+// once the index has been through an ApplyDelta snapshot: the tag's shard
+// map and every touched posting list are then replaced with copies, never
+// mutated, so sibling versions keep their lists intact. (The receiver
+// itself changes in place — this is the single-writer study API; the
+// snapshot-per-batch API is ApplyDelta.)
 func (ix *Index) ApplyTagging(user, item graph.NodeID, tag string, affected []graph.NodeID) error {
 	if ix.data.Taggers[tag] == nil || !ix.data.Taggers[tag][item].Has(user) {
 		return fmt.Errorf("index: ApplyTagging before Data.AddTagging for (%d,%d,%s)", user, item, tag)
 	}
+	var byCluster map[int][]Entry
+	owned := make(map[int]bool)
 	for _, v := range affected {
 		cid := ix.clustering.Of(v)
 		if cid < 0 {
@@ -71,21 +101,39 @@ func (ix *Index) ApplyTagging(user, item graph.NodeID, tag string, affected []gr
 		if score <= 0 {
 			continue
 		}
-		ix.raise(listKey{cid, tag}, item, score)
+		if byCluster == nil {
+			byCluster = ix.lists[tag]
+			switch {
+			case byCluster == nil:
+				byCluster = make(map[int][]Entry)
+			case ix.shared:
+				byCluster = maps.Clone(byCluster)
+			}
+			ix.lists[tag] = byCluster
+		}
+		l := byCluster[cid]
+		if ix.shared && !owned[cid] {
+			l = append([]Entry(nil), l...)
+		}
+		owned[cid] = true
+		l, added := raiseEntry(l, item, score)
+		byCluster[cid] = l
+		ix.entries += added
 	}
 	return nil
 }
 
-// raise sets the entry for item in the list to at least score, inserting
-// if absent, and restores descending-score order around the touched entry.
-func (ix *Index) raise(k listKey, item graph.NodeID, score float64) {
-	l := ix.lists[k]
+// raiseEntry lifts item's entry to at least score (inserting when absent),
+// preserving descending-score, ascending-id order. It returns the list and
+// the entry-count delta (1 on insert, else 0). The slice is mutated in
+// place; callers on the copy-on-write path must own it first.
+func raiseEntry(l []Entry, item graph.NodeID, score float64) ([]Entry, int) {
 	for i := range l {
 		if l[i].Item != item {
 			continue
 		}
 		if l[i].Score >= score {
-			return
+			return l, 0
 		}
 		l[i].Score = score
 		// Bubble the raised entry toward the front to restore order.
@@ -93,17 +141,47 @@ func (ix *Index) raise(k listKey, item graph.NodeID, score float64) {
 			l[i-1], l[i] = l[i], l[i-1]
 			i--
 		}
-		return
+		return l, 0
 	}
-	// New posting: insert in order.
 	l = append(l, Entry{item, score})
 	i := len(l) - 1
 	for i > 0 && less(l[i-1], l[i]) {
 		l[i-1], l[i] = l[i], l[i-1]
 		i--
 	}
-	ix.lists[k] = l
-	ix.entries++
+	return l, 1
+}
+
+// setEntry pins item's entry to exactly score — removing it when score is
+// not positive, matching Build's "entries exist only for positive upper
+// bounds" invariant — and restores order in either direction (scores can
+// fall after a retraction). It returns the list and the entry-count delta.
+func setEntry(l []Entry, item graph.NodeID, score float64) ([]Entry, int) {
+	for i := range l {
+		if l[i].Item != item {
+			continue
+		}
+		if score <= 0 {
+			return append(l[:i], l[i+1:]...), -1
+		}
+		if l[i].Score == score {
+			return l, 0
+		}
+		l[i].Score = score
+		for i > 0 && less(l[i-1], l[i]) {
+			l[i-1], l[i] = l[i], l[i-1]
+			i--
+		}
+		for i+1 < len(l) && less(l[i], l[i+1]) {
+			l[i], l[i+1] = l[i+1], l[i]
+			i++
+		}
+		return l, 0
+	}
+	if score <= 0 {
+		return l, 0
+	}
+	return raiseEntry(l, item, score)
 }
 
 // less reports whether a should sort after b (descending score, ascending
@@ -115,11 +193,3 @@ func less(a, b Entry) bool {
 	return a.Item > b.Item
 }
 
-func containsID(ids []graph.NodeID, id graph.NodeID) bool {
-	for _, v := range ids {
-		if v == id {
-			return true
-		}
-	}
-	return false
-}

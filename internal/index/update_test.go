@@ -3,6 +3,7 @@ package index
 import (
 	"math/rand"
 	"reflect"
+	"slices"
 	"testing"
 	"testing/quick"
 
@@ -22,7 +23,7 @@ func TestAddTaggingUpdatesSubstrate(t *testing.T) {
 	if !d.Taggers["newtag"][13].Has(1) {
 		t.Error("tagger not recorded")
 	}
-	if !containsID(d.Items, 13) {
+	if !slices.Contains(d.Items, 13) {
 		t.Error("item universe not extended")
 	}
 	found := false
@@ -92,6 +93,109 @@ func TestApplyTaggingMatchesRebuild(t *testing.T) {
 		if ix.EntryCount() != rebuilt.EntryCount() {
 			t.Errorf("%s: entry count %d vs rebuild %d", s, ix.EntryCount(), rebuilt.EntryCount())
 		}
+	}
+}
+
+// TestApplyTaggingDoesNotCorruptSnapshots pins the interaction between
+// the legacy single-writer API and the copy-on-write snapshot lineage: a
+// child produced by ApplyDelta shares inner structures with its parent,
+// so an in-place ApplyTagging/AddTagging on the parent must replace the
+// touched structures, never mutate them, or the child's answers change
+// underneath its readers.
+func TestApplyTaggingDoesNotCorruptSnapshots(t *testing.T) {
+	g := tagFixture(t)
+	d := Extract(g)
+	cl, err := cluster.Build(g, cluster.NetworkBased, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parent, err := Build(d, cl, scoring.CountF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	child := parent.ApplyDelta(nil) // shares every list and set with parent
+
+	type frozenList struct {
+		cluster int
+		tag     string
+		entries []Entry
+	}
+	freeze := func(ix *Index) []frozenList {
+		var out []frozenList
+		ix.ForEachList(func(cl int, tag string, l []Entry) {
+			out = append(out, frozenList{cl, tag, append([]Entry(nil), l...)})
+		})
+		return out
+	}
+	want := freeze(child)
+	childScore := child.Data().ScoreTag(13, 2, "go", scoring.CountF)
+
+	// Mutate the parent through the legacy in-place path.
+	for _, a := range []struct {
+		user, item graph.NodeID
+		tag        string
+	}{{1, 13, "go"}, {2, 12, "db"}, {3, 13, "go"}} {
+		affected := d.AddTagging(a.user, a.item, a.tag)
+		if err := parent.ApplyTagging(a.user, a.item, a.tag, affected); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if got := freeze(child); !reflect.DeepEqual(got, want) {
+		t.Fatalf("parent ApplyTagging corrupted the child snapshot\n got %v\nwant %v", got, want)
+	}
+	if got := child.Data().ScoreTag(13, 2, "go", scoring.CountF); got != childScore {
+		t.Errorf("child substrate changed: score %v, was %v", got, childScore)
+	}
+}
+
+// TestApplyDeltaOnHandBuiltData pins the fallback path: Data constructed
+// by hand (no tag profiles) must survive every mutation kind through
+// ApplyDelta — in particular addUser, which populates the lazily created
+// profile maps — with the full-vocabulary scan standing in for missing
+// per-user tag profiles.
+func TestApplyDeltaOnHandBuiltData(t *testing.T) {
+	d := &Data{
+		Users: []graph.NodeID{1, 2},
+		Items: []graph.NodeID{10},
+		Tags:  []string{"go"},
+		Taggers: map[string]map[graph.NodeID]scoring.Set[graph.NodeID]{
+			"go": {10: scoring.NewSet[graph.NodeID](1)},
+		},
+		Network: map[graph.NodeID]scoring.Set[graph.NodeID]{
+			1: scoring.NewSet[graph.NodeID](2),
+			2: scoring.NewSet[graph.NodeID](1),
+		},
+		ItemsOf: map[graph.NodeID]scoring.Set[graph.NodeID]{
+			1: scoring.NewSet[graph.NodeID](10),
+			2: scoring.NewSet[graph.NodeID](),
+		},
+	}
+	cl, err := cluster.BuildFromProfiles(d.Users, nil, cluster.PerUser, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := Build(d, cl, scoring.CountF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newUser := graph.NewNode(3, graph.TypeUser)
+	conn := graph.NewLink(1, 3, 1, graph.TypeConnect)
+	tagLink := graph.NewLink(2, 3, 10, graph.TypeAct, graph.SubtypeTag)
+	tagLink.Attrs.Add("tags", "go")
+	ix = ix.ApplyDelta([]graph.Mutation{
+		{Kind: graph.MutAddNode, Node: newUser},
+		{Kind: graph.MutAddLink, Link: conn},
+		{Kind: graph.MutAddLink, Link: tagLink},
+		{Kind: graph.MutRemoveLink, Link: tagLink.Clone()},
+	})
+	// After add+retract of user 3's tagging, user 1 scores item 10 only
+	// through their own original tagging's visibility.
+	if got := ix.Data().ScoreTag(10, 3, "go", scoring.CountF); got != 1 {
+		t.Errorf("new user's score = %v, want 1 (sees user 1's tagging)", got)
+	}
+	if l := ix.List(3, "go"); len(l) != 1 || l[0].Item != 10 {
+		t.Errorf("new user's list = %v, want one entry for item 10", l)
 	}
 }
 

@@ -25,6 +25,18 @@ func (s Set[T]) Add(m T) { s[m] = struct{}{} }
 // Has reports membership.
 func (s Set[T]) Has(m T) bool { _, ok := s[m]; return ok }
 
+// Remove deletes a member (no-op when absent).
+func (s Set[T]) Remove(m T) { delete(s, m) }
+
+// Clone returns an independent copy of the set.
+func (s Set[T]) Clone() Set[T] {
+	c := make(Set[T], len(s))
+	for m := range s {
+		c[m] = struct{}{}
+	}
+	return c
+}
+
 // Len returns the cardinality.
 func (s Set[T]) Len() int { return len(s) }
 

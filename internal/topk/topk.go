@@ -81,9 +81,14 @@ type Stats struct {
 	Candidates      int  // distinct items met during sorted access
 	Rounds          int  // round-robin sweeps over the lists
 	EarlyTerminated bool // stopped before draining every list
+	// SnapshotVersion is the index snapshot the evaluation read: 0 for a
+	// fresh build, incremented by every index.ApplyDelta batch. On a live
+	// engine it tells which version of the world answered the query.
+	SnapshotVersion uint64
 }
 
 // Add folds another evaluation's counters into s (for aggregate reports).
+// SnapshotVersion keeps the newest version observed.
 func (s *Stats) Add(o Stats) {
 	s.PostingsScanned += o.PostingsScanned
 	s.ExactScores += o.ExactScores
@@ -91,6 +96,9 @@ func (s *Stats) Add(o Stats) {
 	s.Rounds += o.Rounds
 	if o.EarlyTerminated {
 		s.EarlyTerminated = true
+	}
+	if o.SnapshotVersion > s.SnapshotVersion {
+		s.SnapshotVersion = o.SnapshotVersion
 	}
 }
 
@@ -122,7 +130,7 @@ func (p *Processor) Index() *index.Index { return p.ix }
 // identical ranking; they differ only in the Stats.
 func (p *Processor) TopK(user graph.NodeID, tags []string, k int,
 	strategy Strategy) ([]index.Result, Stats, error) {
-	stats := Stats{Strategy: strategy}
+	stats := Stats{Strategy: strategy, SnapshotVersion: p.ix.Version()}
 	if k <= 0 {
 		return nil, stats, fmt.Errorf("topk: k must be positive, got %d", k)
 	}

@@ -26,6 +26,7 @@ package socialscope
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"socialscope/internal/analyzer"
 	"socialscope/internal/cluster"
@@ -51,6 +52,13 @@ type (
 	Node = graph.Node
 	// Link is a connection or activity.
 	Link = graph.Link
+	// Mutation is one changelog entry of a graph write operation; batches
+	// of them drive Engine.Apply.
+	Mutation = graph.Mutation
+	// Changelog accumulates mutations from recorded graph writes (see
+	// graph.RecordInto); drain it into Engine.Apply to keep a live engine
+	// current.
+	Changelog = graph.Changelog
 )
 
 // NewGraph returns an empty social content graph.
@@ -125,6 +133,11 @@ type SearchStats struct {
 	ExactScores     int  // exact rescoring computations (random accesses)
 	Candidates      int  // distinct items considered
 	EarlyTerminated bool // the processor stopped before draining its lists
+	// SnapshotVersion is the engine state version whose index snapshot
+	// answered the query. It tracks Engine.Version(): bumped by every
+	// Apply batch and by Analyze, and monotone across lazy index
+	// rebuilds.
+	SnapshotVersion uint64
 }
 
 // Config parameterizes an Engine.
@@ -179,99 +192,276 @@ func (c *Config) fill() {
 	}
 }
 
+// engineState is one immutable snapshot of everything a query touches:
+// the graphs, the discoverer bound to the serving graph, and the lazily
+// built index processor. Readers load it once per query and never see a
+// torn version; writers (Analyze, Apply, the lazy index build) construct a
+// successor under the writer lock and publish it atomically — the RCU
+// discipline that lets Search run concurrently with Apply.
+type engineState struct {
+	base     *Graph // source graph, receives mutations
+	analyzed *Graph // enriched copy produced by Analyze; nil until then
+	disc     *discovery.Discoverer
+	proc     *topk.Processor // nil until the first tagged query
+	version  uint64          // bumped by Analyze and every Apply batch
+}
+
+// current returns the graph queries run against.
+func (s *engineState) current() *Graph {
+	if s.analyzed != nil {
+		return s.analyzed
+	}
+	return s.base
+}
+
 // Engine is the end-to-end SocialScope system over one social content
 // graph.
 type Engine struct {
-	cfg      Config
-	g        *Graph
-	analyzed *Graph // graph enriched by Analyze; nil until then
-	disc     *discovery.Discoverer
-	// mu guards the lazily built processor and the last-query stats, the
-	// only Engine state Query mutates — queries stay safe to serve from
-	// multiple goroutines.
-	mu       sync.Mutex
-	proc     *topk.Processor // lazily built index processor; nil until first tagged query
-	stats    SearchStats     // work report of the last index-backed query
+	cfg Config
+	// mu serializes writers (Analyze, Apply, processor build); readers go
+	// through the atomic state pointer and never block on it.
+	mu    sync.Mutex
+	state atomic.Pointer[engineState]
+	// statsMu guards the last-query work report, written on the query path
+	// and read by LastSearchStats.
+	statsMu  sync.Mutex
+	stats    SearchStats // work report of the last index-backed query
 	hasStats bool
 }
 
 // New builds an engine over the graph. The graph is used as-is (not
-// copied); Analyze produces an enriched copy and re-targets discovery at
-// it.
+// copied) until the first Apply, which switches the engine onto private
+// copy-on-write versions; Analyze produces an enriched copy and re-targets
+// discovery at it.
 func New(g *Graph, cfg Config) (*Engine, error) {
 	if g == nil {
 		return nil, fmt.Errorf("socialscope: nil graph")
 	}
 	cfg.fill()
-	return &Engine{
-		cfg:  cfg,
-		g:    g,
+	e := &Engine{cfg: cfg}
+	e.state.Store(&engineState{
+		base: g,
 		disc: discovery.NewDiscoverer(g, cfg.ItemType),
-	}, nil
+	})
+	return e, nil
 }
 
 // Graph returns the graph queries currently run against (the enriched one
 // after Analyze).
-func (e *Engine) Graph() *Graph {
-	if e.analyzed != nil {
-		return e.analyzed
-	}
-	return e.g
-}
+func (e *Engine) Graph() *Graph { return e.state.Load().current() }
+
+// Version returns the engine's state version: 0 at construction, bumped
+// by Analyze and by every Apply batch.
+func (e *Engine) Version() uint64 { return e.state.Load().version }
 
 // Analyze runs the Content Analyzer: LDA topic derivation over the item
 // nodes and Jaccard match derivation between users. The engine then serves
 // queries from the enriched graph. Idempotent: re-running re-derives from
-// the original graph.
+// the engine's current base graph (the original plus any applied
+// mutations).
 func (e *Engine) Analyze() error {
-	withTopics, _, err := analyzer.DeriveTopics(e.g, e.cfg.ItemType, analyzer.LDAConfig{
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st := e.state.Load()
+	withTopics, _, err := analyzer.DeriveTopics(st.base, e.cfg.ItemType, analyzer.LDAConfig{
 		Topics: e.cfg.Topics, Seed: e.cfg.Seed, Alpha: 0.1,
 	})
 	if err != nil {
 		return fmt.Errorf("socialscope: topic derivation: %w", err)
 	}
 	enriched := analyzer.DeriveMatches(withTopics, e.cfg.MatchThreshold)
-	e.analyzed = enriched
-	e.disc = discovery.NewDiscoverer(enriched, e.cfg.ItemType)
-	e.mu.Lock()
-	e.proc = nil // the index must be rebuilt over the enriched graph
-	e.mu.Unlock()
+	e.state.Store(&engineState{
+		base:     st.base,
+		analyzed: enriched,
+		disc:     discovery.NewDiscoverer(enriched, e.cfg.ItemType),
+		proc:     nil, // the index must be rebuilt over the enriched graph
+		version:  st.version + 1,
+	})
 	return nil
 }
 
-// ensureProcessor lazily builds the activity-driven index over the current
-// graph and wraps it in a top-k processor.
-func (e *Engine) ensureProcessor() (*topk.Processor, error) {
+// Apply folds a batch of graph mutations — typically drained from a
+// graph.Changelog — into the live engine without a stop-the-world
+// rebuild. The batch is applied atomically: the serving graph is advanced
+// through copy-on-write clones, the activity-driven index absorbs the
+// delta through index.ApplyDelta snapshots, and the new state is published
+// in one atomic store. Queries already in flight keep reading the previous
+// snapshot; queries starting after Apply returns see the whole batch.
+//
+// On error nothing is published and the engine keeps serving the prior
+// state.
+//
+// Mutations must describe changes the engine has not seen: record them on
+// a scratch copy of the site graph (graph.RecordInto over Clone), or
+// construct them directly — never on the engine's own serving graph,
+// which readers may be walking concurrently and whose contents the index
+// may already reflect. Additions already present in the serving graph are
+// rejected with an error rather than silently double-counted.
+//
+// Cost note: posting-list work is proportional to the batch (only
+// touched tag shards and lists are copied), but each batch also pays
+// fixed snapshot overheads that scale with the corpus, not the delta:
+// the substrate clone copies the top-level user/item/tag maps and
+// slices, and the graph snapshot is a ShallowClone — O(nodes+links),
+// twice once Analyze has run. Amortize by batching mutations rather than
+// applying them one at a time; persistent structures that make both
+// snapshots O(delta) are tracked in ROADMAP.md.
+func (e *Engine) Apply(muts []graph.Mutation) error {
+	if len(muts) == 0 {
+		return nil
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.proc != nil {
-		return e.proc, nil
+	st := e.state.Load()
+	// Validate additions against the graphs the batch will land on. IDs
+	// already present — except ones an earlier mutation in this same
+	// batch removes — are rejected loudly: replaying an absorbed change
+	// would double-count its activity in the index's duplicate refcounts,
+	// and colliding with an analyzer-derived element (Analyze allocates
+	// ids past the base maxima) would silently merge unrelated entities.
+	removedNodes := make(map[NodeID]bool)
+	removedLinks := make(map[LinkID]bool)
+	present := func(hasBase, hasAnalyzed bool) string {
+		switch {
+		case hasBase:
+			return "the engine's graph — record mutations on a scratch copy (graph.RecordInto over Clone), not on the serving graph"
+		case hasAnalyzed:
+			return "the analyzed graph — allocate fresh ids past graph.IDSourceFor(eng.Graph()) after Analyze"
+		}
+		return ""
+	}
+	for i, m := range muts {
+		switch m.Kind {
+		case graph.MutRemoveNode:
+			if m.Node != nil {
+				removedNodes[m.Node.ID] = true
+			}
+		case graph.MutRemoveLink:
+			if m.Link != nil {
+				removedLinks[m.Link.ID] = true
+			}
+		case graph.MutAddLink:
+			if m.Link == nil || removedLinks[m.Link.ID] {
+				continue
+			}
+			if where := present(st.base.HasLink(m.Link.ID),
+				st.analyzed != nil && st.analyzed.HasLink(m.Link.ID)); where != "" {
+				return fmt.Errorf("socialscope: apply: mutation %d adds link %d already present in %s",
+					i, m.Link.ID, where)
+			}
+		case graph.MutAddNode:
+			if m.Node == nil || removedNodes[m.Node.ID] {
+				continue
+			}
+			if where := present(st.base.HasNode(m.Node.ID),
+				st.analyzed != nil && st.analyzed.HasNode(m.Node.ID)); where != "" {
+				return fmt.Errorf("socialscope: apply: mutation %d adds node %d already present in %s",
+					i, m.Node.ID, where)
+			}
+		case graph.MutPutNode:
+			// Promoting an already-linked non-user node to user cannot be
+			// maintained incrementally: the index would have to discover
+			// the node's pre-existing connections and taggings, which
+			// mutations do not carry. Reject rather than silently diverge
+			// from a rebuild.
+			if m.Node == nil || !m.Node.HasType(graph.TypeUser) || removedNodes[m.Node.ID] {
+				continue
+			}
+			if ex := st.base.Node(m.Node.ID); ex != nil && !ex.HasType(graph.TypeUser) &&
+				st.base.OutDegree(m.Node.ID)+st.base.InDegree(m.Node.ID) > 0 {
+				return fmt.Errorf("socialscope: apply: mutation %d promotes linked node %d to a user — "+
+					"incremental maintenance cannot recover its existing links; rebuild instead "+
+					"(new Engine or Analyze)", i, m.Node.ID)
+			}
+		case graph.MutPutLink:
+			// Replay detection: a consolidation that records a real diff
+			// (Prev != Link) but whose post-merge state the serving graph
+			// already holds was applied before; replaying it would
+			// double-count the diffed activities in the index refcounts.
+			if m.Link == nil || m.Prev == nil || m.Prev.Equal(m.Link) || removedLinks[m.Link.ID] {
+				continue
+			}
+			if ex := st.base.Link(m.Link.ID); ex != nil && ex.Equal(m.Link) {
+				return fmt.Errorf("socialscope: apply: mutation %d replays consolidation of link %d "+
+					"already absorbed by the engine — drain each changelog into Apply exactly once",
+					i, m.Link.ID)
+			}
+		}
+	}
+	ns := &engineState{version: st.version + 1}
+
+	ns.base = st.base.ShallowClone()
+	if err := ns.base.ApplyAll(muts); err != nil {
+		return fmt.Errorf("socialscope: apply: %w", err)
+	}
+	if st.analyzed != nil {
+		ns.analyzed = st.analyzed.ShallowClone()
+		if err := ns.analyzed.ApplyAll(muts); err != nil {
+			return fmt.Errorf("socialscope: apply to analyzed graph: %w", err)
+		}
+	}
+	ns.disc = discovery.NewDiscoverer(ns.current(), e.cfg.ItemType)
+	if st.proc != nil {
+		proc, err := topk.New(st.proc.Index().ApplyDelta(muts), nil)
+		if err != nil {
+			return fmt.Errorf("socialscope: %w", err)
+		}
+		ns.proc = proc
+	}
+	e.state.Store(ns)
+	return nil
+}
+
+// ensureProcessor returns a state whose index processor is built, lazily
+// constructing the activity-driven index over the current graph on first
+// use.
+func (e *Engine) ensureProcessor() (*engineState, error) {
+	if st := e.state.Load(); st.proc != nil {
+		return st, nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st := e.state.Load()
+	if st.proc != nil { // raced with another builder
+		return st, nil
 	}
 	strat, err := cluster.ParseStrategy(e.cfg.ClusterStrategy)
 	if err != nil {
 		return nil, fmt.Errorf("socialscope: %w", err)
 	}
-	cl, err := cluster.Build(e.Graph(), strat, e.cfg.ClusterTheta)
+	cl, err := cluster.Build(st.current(), strat, e.cfg.ClusterTheta)
 	if err != nil {
 		return nil, fmt.Errorf("socialscope: clustering: %w", err)
 	}
-	ix, err := index.Build(index.Extract(e.Graph()), cl, nil)
+	ix, err := index.Build(index.Extract(st.current()), cl, nil)
 	if err != nil {
 		return nil, fmt.Errorf("socialscope: index build: %w", err)
 	}
-	proc, err := topk.New(ix, nil)
+	// Seed the fresh index with the engine's state version so query stats
+	// keep reporting a monotone SnapshotVersion across lazy rebuilds
+	// (Analyze discards the processor; Apply batches before the first
+	// tagged query advance the state without an index to advance).
+	proc, err := topk.New(ix.AtVersion(st.version), nil)
 	if err != nil {
 		return nil, fmt.Errorf("socialscope: %w", err)
 	}
-	e.proc = proc
-	return proc, nil
+	ns := &engineState{
+		base:     st.base,
+		analyzed: st.analyzed,
+		disc:     st.disc,
+		proc:     proc,
+		version:  st.version,
+	}
+	e.state.Store(ns)
+	return ns, nil
 }
 
 // LastSearchStats reports the work of the most recent index-backed query
-// (false while no tagged query ran yet or TopK is off).
+// (false while no tagged query ran yet or TopK is off). Safe to call
+// concurrently with Search and Apply.
 func (e *Engine) LastSearchStats() (SearchStats, bool) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.statsMu.Lock()
+	defer e.statsMu.Unlock()
 	return e.stats, e.hasStats
 }
 
@@ -303,37 +493,41 @@ func (e *Engine) Search(user NodeID, query string) (*Response, error) {
 
 // Query answers a parsed query. Keyword-only queries go through the
 // activity-driven index when Config.TopK selects a strategy; everything
-// else (structural predicates, empty queries) uses the fusion path.
+// else (structural predicates, empty queries) uses the fusion path. The
+// whole evaluation — discovery, presentation, explanations — reads one
+// state snapshot, so a concurrent Apply can never show it half a batch.
 func (e *Engine) Query(user NodeID, q discovery.Query) (*Response, error) {
+	st := e.state.Load()
 	var msg *discovery.MSG
 	var err error
 	if e.cfg.TopK != TopKOff && len(q.Keywords) > 0 && len(q.Structural) == 0 {
-		var proc *topk.Processor
-		proc, err = e.ensureProcessor()
+		st, err = e.ensureProcessor()
 		if err != nil {
 			return nil, err
 		}
-		var st topk.Stats
-		msg, st, err = e.disc.DiscoverTagged(user, q, proc, e.cfg.TopK.internal())
+		var ts topk.Stats
+		msg, ts, err = st.disc.DiscoverTagged(user, q, st.proc, e.cfg.TopK.internal())
 		if err != nil {
 			return nil, err
 		}
-		e.mu.Lock()
+		e.statsMu.Lock()
 		e.stats = SearchStats{
 			Strategy:        e.cfg.TopK,
-			PostingsScanned: st.PostingsScanned,
-			ExactScores:     st.ExactScores,
-			Candidates:      st.Candidates,
-			EarlyTerminated: st.EarlyTerminated,
+			PostingsScanned: ts.PostingsScanned,
+			ExactScores:     ts.ExactScores,
+			Candidates:      ts.Candidates,
+			EarlyTerminated: ts.EarlyTerminated,
+			SnapshotVersion: ts.SnapshotVersion,
 		}
 		e.hasStats = true
-		e.mu.Unlock()
+		e.statsMu.Unlock()
 	} else {
-		msg, err = e.disc.Discover(user, q)
+		msg, err = st.disc.Discover(user, q)
 	}
 	if err != nil {
 		return nil, err
 	}
+	g := st.current()
 	resp := &Response{MSG: msg, Explanations: make(map[NodeID]presentation.Explanation)}
 	if len(msg.Results) == 0 {
 		return resp, nil
@@ -344,7 +538,7 @@ func (e *Engine) Query(user NodeID, q discovery.Query) (*Response, error) {
 		items[i] = r.Item
 		scores[r.Item] = r.Score
 	}
-	pres, err := presentation.Organize(e.Graph(), items, scores, presentation.OrganizeConfig{
+	pres, err := presentation.Organize(g, items, scores, presentation.OrganizeConfig{
 		MaxGroups: e.cfg.MaxGroups,
 		FacetAttr: e.cfg.FacetAttr,
 	})
@@ -353,9 +547,9 @@ func (e *Engine) Query(user NodeID, q discovery.Query) (*Response, error) {
 	}
 	resp.Presentation = pres
 	for _, it := range items {
-		resp.Explanations[it] = presentation.ExplainCF(e.Graph(), user, it)
+		resp.Explanations[it] = presentation.ExplainCF(g, user, it)
 	}
-	resp.Related = discovery.RelatedEntities(e.Graph(), msg, 2, 5)
+	resp.Related = discovery.RelatedEntities(g, msg, 2, 5)
 	return resp, nil
 }
 
