@@ -2,6 +2,8 @@ package discovery
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"socialscope/internal/core"
 	"socialscope/internal/graph"
@@ -31,13 +33,40 @@ type MSG struct {
 	Graph *graph.Graph
 }
 
-// Discoverer evaluates queries against a social content graph. It
-// precomputes the item corpus once so repeated queries share statistics.
+// Discoverer evaluates queries against a social content graph. The item
+// corpus (BM25 statistics) is computed lazily on the first fusion-path
+// query and then shared by every subsequent query — and, through
+// WithGraph, across engine snapshots whose item text is unchanged — so
+// rebinding a discoverer to a new graph version costs O(1), not
+// O(items). The lazy build is safe under concurrent queries.
 type Discoverer struct {
 	g        *graph.Graph
-	corpus   *scoring.Corpus
+	corpus   *corpusCell
 	itemType string
 }
+
+// corpusCell is the lazily built, shareable BM25 corpus. It releases its
+// graph reference the moment the corpus is built, and an unbuilt cell is
+// replaced rather than carried when the discoverer is rebound — so a
+// chain of engine snapshots never pins an old graph version just because
+// the fusion path was never queried.
+type corpusCell struct {
+	once     sync.Once
+	c        atomic.Pointer[scoring.Corpus]
+	g        *graph.Graph // build source; nilled inside once
+	itemType string
+}
+
+func (cc *corpusCell) get() *scoring.Corpus {
+	cc.once.Do(func() {
+		cc.c.Store(scoring.NodeCorpus(cc.g, cc.itemType))
+		cc.g = nil
+	})
+	return cc.c.Load()
+}
+
+// built returns the corpus if it has been computed, else nil.
+func (cc *corpusCell) built() *scoring.Corpus { return cc.c.Load() }
 
 // NewDiscoverer builds a discoverer over the graph. itemType scopes which
 // nodes are candidate results ("" means every item-typed node).
@@ -47,9 +76,23 @@ func NewDiscoverer(g *graph.Graph, itemType string) *Discoverer {
 	}
 	return &Discoverer{
 		g:        g,
-		corpus:   scoring.NodeCorpus(g, itemType),
+		corpus:   &corpusCell{g: g, itemType: itemType},
 		itemType: itemType,
 	}
+}
+
+// WithGraph rebinds the discoverer to a new graph version. O(1). An
+// already-built corpus is shared; an unbuilt one is re-targeted at the
+// new graph, so no old graph version stays reachable. Correct only when
+// the searchable text of the item nodes is unchanged between the
+// versions — the live engine uses it for mutation batches that touch no
+// item node and falls back to NewDiscoverer otherwise.
+func (d *Discoverer) WithGraph(g *graph.Graph) *Discoverer {
+	cell := d.corpus
+	if cell.built() == nil {
+		cell = &corpusCell{g: g, itemType: d.itemType}
+	}
+	return &Discoverer{g: g, corpus: cell, itemType: d.itemType}
 }
 
 // Discover runs the full Information Discoverer pipeline:
@@ -85,7 +128,7 @@ func (d *Discoverer) Discover(user graph.NodeID, q Query) (*MSG, error) {
 	if len(q.Keywords) > 0 {
 		maxSem := 0.0
 		for _, n := range scope.Nodes() {
-			s := d.corpus.BM25(q.Keywords, n.Text())
+			s := d.corpus.get().BM25(q.Keywords, n.Text())
 			semantic[n.ID] = s
 			if s > maxSem {
 				maxSem = s

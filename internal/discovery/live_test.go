@@ -53,7 +53,7 @@ func TestDiscoverTaggedAcrossSnapshots(t *testing.T) {
 	}
 
 	// A friend of the user endorses a destination with the query tag.
-	friends := index.Extract(g).Network[user]
+	friends := index.Extract(g).Network.At(user)
 	var friend graph.NodeID = -1
 	for f := range friends {
 		if friend < 0 || f < friend {

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"socialscope/internal/graph"
+	"socialscope/internal/index"
 	"socialscope/internal/topk"
 )
 
@@ -48,16 +49,17 @@ func (d *Discoverer) DiscoverTagged(user graph.NodeID, q Query, proc *topk.Proce
 	tags := make([]string, len(q.Keywords))
 	for i, kw := range q.Keywords {
 		tags[i] = kw
-		if _, ok := data.Taggers[kw]; ok {
+		if data.Taggers.Has(kw) {
 			continue
 		}
 		// Lexicographically smallest match keeps resolution deterministic
 		// when several stored tags fold to the same keyword.
-		for t := range data.Taggers {
+		data.Taggers.Range(func(t string, _ index.ItemTaggers) bool {
 			if strings.EqualFold(t, kw) && (tags[i] == kw || t < tags[i]) {
 				tags[i] = t
 			}
-		}
+			return true
+		})
 	}
 	ranked, stats, err := proc.TopK(user, tags, q.K, strategy)
 	if err != nil {
@@ -73,7 +75,7 @@ func (d *Discoverer) DiscoverTagged(user graph.NodeID, q Query, proc *topk.Proce
 			maxScore = r.Score
 		}
 	}
-	net := data.Network[user]
+	net := data.Network.At(user)
 	results := make([]Result, 0, len(ranked))
 	for _, r := range ranked {
 		res := Result{Item: r.Item, Score: r.Score, Social: r.Score}
@@ -83,11 +85,11 @@ func (d *Discoverer) DiscoverTagged(user graph.NodeID, q Query, proc *topk.Proce
 		// Provenance: network members who tagged the item with a query tag.
 		var endorsers []graph.NodeID
 		for _, tag := range tags {
-			byItem, ok := data.Taggers[tag]
+			byItem, ok := data.Taggers.Get(tag)
 			if !ok {
 				continue
 			}
-			for tg := range byItem[r.Item] {
+			for tg := range byItem.At(r.Item) {
 				if net.Has(tg) && !contains(endorsers, tg) {
 					endorsers = append(endorsers, tg)
 				}

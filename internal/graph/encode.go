@@ -28,13 +28,21 @@ type linkJSON struct {
 type graphJSON struct {
 	Nodes []nodeJSON `json:"nodes"`
 	Links []linkJSON `json:"links"`
+	// MaxNode and MaxLink persist the id high-water marks, so fresh-id
+	// allocation after a decode still never resurrects an id that was
+	// retracted before the encode. Absent in older files, in which case
+	// the decoded maxima stand in.
+	MaxNode NodeID `json:"max_node,omitempty"`
+	MaxLink LinkID `json:"max_link,omitempty"`
 }
 
 // Encode writes the graph as JSON with deterministic element order.
 func (g *Graph) Encode(w io.Writer) error {
 	doc := graphJSON{
-		Nodes: make([]nodeJSON, 0, g.NumNodes()),
-		Links: make([]linkJSON, 0, g.NumLinks()),
+		Nodes:   make([]nodeJSON, 0, g.NumNodes()),
+		Links:   make([]linkJSON, 0, g.NumLinks()),
+		MaxNode: g.MaxNodeID(),
+		MaxLink: g.MaxLinkID(),
 	}
 	for _, n := range g.Nodes() {
 		doc.Nodes = append(doc.Nodes, nodeJSON{ID: n.ID, Types: n.Types, Attrs: n.Attrs})
@@ -73,6 +81,8 @@ func Decode(r io.Reader) (*Graph, error) {
 			return nil, err
 		}
 	}
+	g.noteNodeID(doc.MaxNode)
+	g.noteLinkID(doc.MaxLink)
 	return g, nil
 }
 

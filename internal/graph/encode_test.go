@@ -108,3 +108,25 @@ func TestTypeCounters(t *testing.T) {
 		t.Errorf("DegreeHistogram = %v", h)
 	}
 }
+
+// TestEncodePreservesHighWaterMarks: the wire format carries the id
+// high-water marks, so fresh-id allocation after a decode cannot
+// resurrect an id retracted before the encode.
+func TestEncodePreservesHighWaterMarks(t *testing.T) {
+	g := buildSample(t)
+	g.RemoveNode(2) // burns node id 2 and link id 12
+	var buf bytes.Buffer
+	if err := g.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.MaxNodeID() != 2 || d.MaxLinkID() != 12 {
+		t.Fatalf("decoded marks = %d,%d; want 2,12", d.MaxNodeID(), d.MaxLinkID())
+	}
+	if n := IDSourceFor(d).NextNode(); n != 3 {
+		t.Errorf("NextNode after decode = %d, want 3", n)
+	}
+}

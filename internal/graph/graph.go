@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+
+	"socialscope/internal/persist"
 )
 
 // Common errors returned by graph mutation methods.
@@ -20,12 +22,28 @@ var (
 // and links with adjacency indexes. A Graph may be a "null graph" in the
 // paper's sense — nodes with no links — which node selection produces.
 //
-// Graphs are not safe for concurrent mutation; concurrent reads are safe.
+// Storage is persistent (structurally shared): the node, link and adjacency
+// maps are copy-on-write tries, and adjacency lists are immutable slices
+// ordered by ascending link id. Every write operation rebinds the Graph's
+// own map headers and never modifies a trie node or slice another Graph can
+// reach, which makes ShallowClone an O(1) snapshot: a clone and its origin
+// share all storage, and either side can keep mutating without the other
+// observing a thing — the RCU discipline the live engine's Apply/Search
+// concurrency is built on.
+//
+// Graphs are not safe for concurrent mutation; concurrent reads — including
+// reads of an earlier ShallowClone while a successor mutates — are safe.
 type Graph struct {
-	nodes map[NodeID]*Node
-	links map[LinkID]*Link
-	out   map[NodeID][]LinkID
-	in    map[NodeID][]LinkID
+	nodes persist.Map[NodeID, *Node]
+	links persist.Map[LinkID, *Link]
+	out   persist.Map[NodeID, []LinkID]
+	in    persist.Map[NodeID, []LinkID]
+	// maxNode and maxLink are monotonic high-water marks over every id the
+	// graph has ever held. They survive clones and removals, so IDSource
+	// allocation never reuses a retracted id (which would alias unrelated
+	// elements in incremental index deltas and changelog replays).
+	maxNode NodeID
+	maxLink LinkID
 	// recorder, when set via SetRecorder, observes every successful write
 	// operation as a Mutation. Clones (Clone, ShallowClone, induced
 	// subgraphs) start with no recorder.
@@ -35,56 +53,75 @@ type Graph struct {
 // New returns an empty graph.
 func New() *Graph {
 	return &Graph{
-		nodes: make(map[NodeID]*Node),
-		links: make(map[LinkID]*Link),
-		out:   make(map[NodeID][]LinkID),
-		in:    make(map[NodeID][]LinkID),
+		nodes: persist.NewIntMap[NodeID, *Node](),
+		links: persist.NewIntMap[LinkID, *Link](),
+		out:   persist.NewIntMap[NodeID, []LinkID](),
+		in:    persist.NewIntMap[NodeID, []LinkID](),
 	}
 }
 
 // NumNodes returns the number of nodes.
-func (g *Graph) NumNodes() int { return len(g.nodes) }
+func (g *Graph) NumNodes() int { return g.nodes.Len() }
 
 // NumLinks returns the number of links.
-func (g *Graph) NumLinks() int { return len(g.links) }
+func (g *Graph) NumLinks() int { return g.links.Len() }
 
 // Node returns the node with the given id, or nil.
-func (g *Graph) Node(id NodeID) *Node { return g.nodes[id] }
+func (g *Graph) Node(id NodeID) *Node { return g.nodes.At(id) }
 
 // Link returns the link with the given id, or nil.
-func (g *Graph) Link(id LinkID) *Link { return g.links[id] }
+func (g *Graph) Link(id LinkID) *Link { return g.links.At(id) }
 
 // HasNode reports whether the node id is present.
-func (g *Graph) HasNode(id NodeID) bool { _, ok := g.nodes[id]; return ok }
+func (g *Graph) HasNode(id NodeID) bool { return g.nodes.Has(id) }
 
 // HasLink reports whether the link id is present.
-func (g *Graph) HasLink(id LinkID) bool { _, ok := g.links[id]; return ok }
+func (g *Graph) HasLink(id LinkID) bool { return g.links.Has(id) }
+
+// noteNodeID and noteLinkID advance the high-water marks.
+func (g *Graph) noteNodeID(id NodeID) {
+	if id > g.maxNode {
+		g.maxNode = id
+	}
+}
+
+func (g *Graph) noteLinkID(id LinkID) {
+	if id > g.maxLink {
+		g.maxLink = id
+	}
+}
 
 // AddNode inserts a node. It fails on nil input or duplicate id.
 func (g *Graph) AddNode(n *Node) error {
 	if n == nil {
 		return ErrNilElement
 	}
-	if _, ok := g.nodes[n.ID]; ok {
+	if g.nodes.Has(n.ID) {
 		return fmt.Errorf("%w: %d", ErrDuplicateNode, n.ID)
 	}
-	g.nodes[n.ID] = n
+	g.nodes = g.nodes.Set(n.ID, n)
+	g.noteNodeID(n.ID)
 	g.emitNode(MutAddNode, n)
 	return nil
 }
 
 // PutNode inserts the node, consolidating (merging) with any existing node
-// of the same id. This is the consolidation rule of Definition 3.
+// of the same id. This is the consolidation rule of Definition 3. The
+// resident node value is never modified: the merge happens on a clone
+// that is swapped in, so snapshots sharing the old value keep it intact.
 func (g *Graph) PutNode(n *Node) {
 	if n == nil {
 		return
 	}
-	if ex, ok := g.nodes[n.ID]; ok {
-		ex.Merge(n)
-		g.emitNode(MutPutNode, ex)
+	if ex, ok := g.nodes.Get(n.ID); ok {
+		merged := ex.Clone()
+		merged.Merge(n)
+		g.nodes = g.nodes.Set(n.ID, merged)
+		g.emitNode(MutPutNode, merged)
 		return
 	}
-	g.nodes[n.ID] = n
+	g.nodes = g.nodes.Set(n.ID, n)
+	g.noteNodeID(n.ID)
 	g.emitNode(MutAddNode, n)
 }
 
@@ -94,7 +131,7 @@ func (g *Graph) AddLink(l *Link) error {
 	if l == nil {
 		return ErrNilElement
 	}
-	if _, ok := g.links[l.ID]; ok {
+	if g.links.Has(l.ID) {
 		return fmt.Errorf("%w: %d", ErrDuplicateLink, l.ID)
 	}
 	if !g.HasNode(l.Src) {
@@ -103,31 +140,32 @@ func (g *Graph) AddLink(l *Link) error {
 	if !g.HasNode(l.Tgt) {
 		return fmt.Errorf("%w: tgt %d of link %d", ErrMissingEnd, l.Tgt, l.ID)
 	}
-	g.links[l.ID] = l
-	g.out[l.Src] = append(g.out[l.Src], l.ID)
-	g.in[l.Tgt] = append(g.in[l.Tgt], l.ID)
+	g.links = g.links.Set(l.ID, l)
+	g.out = g.out.Set(l.Src, persist.InsertSorted(g.out.At(l.Src), l.ID))
+	g.in = g.in.Set(l.Tgt, persist.InsertSorted(g.in.At(l.Tgt), l.ID))
+	g.noteLinkID(l.ID)
 	g.emitLink(MutAddLink, l)
 	return nil
 }
 
 // PutLink inserts the link, consolidating with any existing link of the same
 // id. Consolidation with different endpoints is an error. Missing endpoint
-// nodes are an error, as with AddLink.
+// nodes are an error, as with AddLink. Like PutNode, the resident link
+// value is never modified — the merge is clone-and-swap — so snapshots
+// keep their view.
 func (g *Graph) PutLink(l *Link) error {
 	if l == nil {
 		return ErrNilElement
 	}
-	if ex, ok := g.links[l.ID]; ok {
+	if ex, ok := g.links.Get(l.ID); ok {
 		if ex.Src != l.Src || ex.Tgt != l.Tgt {
 			return fmt.Errorf("%w: link %d", ErrEndpointChange, l.ID)
 		}
-		var prev *Link
+		merged := ex.Clone()
+		merged.Merge(l)
+		g.links = g.links.Set(l.ID, merged)
 		if g.recorder != nil {
-			prev = ex.Clone()
-		}
-		ex.Merge(l)
-		if g.recorder != nil {
-			g.recorder(Mutation{Kind: MutPutLink, Link: ex.Clone(), Prev: prev})
+			g.recorder(Mutation{Kind: MutPutLink, Link: merged.Clone(), Prev: ex.Clone()})
 		}
 		return nil
 	}
@@ -135,89 +173,87 @@ func (g *Graph) PutLink(l *Link) error {
 }
 
 // RemoveLink deletes a link (no-op when absent). Endpoint nodes remain.
+// The high-water id marks do not retreat: the retracted id stays burned.
 func (g *Graph) RemoveLink(id LinkID) {
-	l, ok := g.links[id]
+	l, ok := g.links.Get(id)
 	if !ok {
 		return
 	}
-	delete(g.links, id)
-	g.out[l.Src] = removeLinkID(g.out[l.Src], id)
-	g.in[l.Tgt] = removeLinkID(g.in[l.Tgt], id)
+	g.links = g.links.Delete(id)
+	g.setAdjacency(&g.out, l.Src, persist.RemoveSorted(g.out.At(l.Src), id))
+	g.setAdjacency(&g.in, l.Tgt, persist.RemoveSorted(g.in.At(l.Tgt), id))
 	g.emitLink(MutRemoveLink, l)
+}
+
+// setAdjacency rebinds one adjacency entry, dropping the key once its list
+// drains so empty slices never accumulate.
+func (g *Graph) setAdjacency(m *persist.Map[NodeID, []LinkID], id NodeID, ids []LinkID) {
+	if len(ids) == 0 {
+		*m = m.Delete(id)
+		return
+	}
+	*m = m.Set(id, ids)
 }
 
 // RemoveNode deletes a node and every link incident on it.
 func (g *Graph) RemoveNode(id NodeID) {
-	n, ok := g.nodes[id]
+	n, ok := g.nodes.Get(id)
 	if !ok {
 		return
 	}
-	for _, lid := range append(append([]LinkID(nil), g.out[id]...), g.in[id]...) {
+	for _, lid := range append(append([]LinkID(nil), g.out.At(id)...), g.in.At(id)...) {
 		g.RemoveLink(lid)
 	}
-	delete(g.nodes, id)
-	delete(g.out, id)
-	delete(g.in, id)
+	g.nodes = g.nodes.Delete(id)
+	g.out = g.out.Delete(id)
+	g.in = g.in.Delete(id)
 	g.emitNode(MutRemoveNode, n)
-}
-
-func removeLinkID(ids []LinkID, id LinkID) []LinkID {
-	for i, v := range ids {
-		if v == id {
-			return append(ids[:i], ids[i+1:]...)
-		}
-	}
-	return ids
 }
 
 // NodeIDs returns all node ids in ascending order.
 func (g *Graph) NodeIDs() []NodeID {
-	ids := make([]NodeID, 0, len(g.nodes))
-	for id := range g.nodes {
-		ids = append(ids, id)
-	}
+	ids := g.nodes.Keys()
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return ids
 }
 
 // LinkIDs returns all link ids in ascending order.
 func (g *Graph) LinkIDs() []LinkID {
-	ids := make([]LinkID, 0, len(g.links))
-	for id := range g.links {
-		ids = append(ids, id)
-	}
+	ids := g.links.Keys()
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return ids
 }
 
 // Nodes returns all nodes ordered by ascending id.
 func (g *Graph) Nodes() []*Node {
-	ids := g.NodeIDs()
-	ns := make([]*Node, len(ids))
-	for i, id := range ids {
-		ns[i] = g.nodes[id]
-	}
+	ns := make([]*Node, 0, g.nodes.Len())
+	g.nodes.Range(func(_ NodeID, n *Node) bool {
+		ns = append(ns, n)
+		return true
+	})
+	sort.Slice(ns, func(i, j int) bool { return ns[i].ID < ns[j].ID })
 	return ns
 }
 
 // Links returns all links ordered by ascending id.
 func (g *Graph) Links() []*Link {
-	ids := g.LinkIDs()
-	ls := make([]*Link, len(ids))
-	for i, id := range ids {
-		ls[i] = g.links[id]
-	}
+	ls := make([]*Link, 0, g.links.Len())
+	g.links.Range(func(_ LinkID, l *Link) bool {
+		ls = append(ls, l)
+		return true
+	})
+	sort.Slice(ls, func(i, j int) bool { return ls[i].ID < ls[j].ID })
 	return ls
 }
 
 // Out returns the links whose source is the given node, ordered by id.
 func (g *Graph) Out(id NodeID) []*Link {
-	return g.linkSlice(g.out[id])
+	return g.linkSlice(g.out.At(id))
 }
 
 // In returns the links whose target is the given node, ordered by id.
 func (g *Graph) In(id NodeID) []*Link {
-	return g.linkSlice(g.in[id])
+	return g.linkSlice(g.in.At(id))
 }
 
 // Incident returns all links touching the node (out then in), ordered by id
@@ -227,17 +263,17 @@ func (g *Graph) Incident(id NodeID) []*Link {
 }
 
 // OutDegree returns the number of outgoing links of the node.
-func (g *Graph) OutDegree(id NodeID) int { return len(g.out[id]) }
+func (g *Graph) OutDegree(id NodeID) int { return len(g.out.At(id)) }
 
 // InDegree returns the number of incoming links of the node.
-func (g *Graph) InDegree(id NodeID) int { return len(g.in[id]) }
+func (g *Graph) InDegree(id NodeID) int { return len(g.in.At(id)) }
 
+// linkSlice resolves stored adjacency ids — already sorted ascending — to
+// link values.
 func (g *Graph) linkSlice(ids []LinkID) []*Link {
-	sorted := append([]LinkID(nil), ids...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	ls := make([]*Link, len(sorted))
-	for i, id := range sorted {
-		ls[i] = g.links[id]
+	ls := make([]*Link, len(ids))
+	for i, id := range ids {
+		ls[i] = g.links.At(id)
 	}
 	return ls
 }
@@ -246,11 +282,11 @@ func (g *Graph) linkSlice(ids []LinkID) []*Link {
 // direction), in ascending order.
 func (g *Graph) Neighbors(id NodeID) []NodeID {
 	seen := make(map[NodeID]struct{})
-	for _, lid := range g.out[id] {
-		seen[g.links[lid].Tgt] = struct{}{}
+	for _, lid := range g.out.At(id) {
+		seen[g.links.At(lid).Tgt] = struct{}{}
 	}
-	for _, lid := range g.in[id] {
-		seen[g.links[lid].Src] = struct{}{}
+	for _, lid := range g.in.At(id) {
+		seen[g.links.At(lid).Src] = struct{}{}
 	}
 	delete(seen, id)
 	ids := make([]NodeID, 0, len(seen))
@@ -261,35 +297,37 @@ func (g *Graph) Neighbors(id NodeID) []NodeID {
 	return ids
 }
 
-// Clone returns a deep copy of the graph: nodes, links and adjacency.
+// Clone returns a deep copy of the graph: node and link values are cloned;
+// the adjacency indexes — pure structure — stay structurally shared, which
+// is safe because adjacency slices are never mutated in place.
 func (g *Graph) Clone() *Graph {
-	c := New()
-	for _, n := range g.nodes {
-		c.nodes[n.ID] = n.Clone()
-	}
-	for _, l := range g.links {
-		lc := l.Clone()
-		c.links[lc.ID] = lc
-		c.out[lc.Src] = append(c.out[lc.Src], lc.ID)
-		c.in[lc.Tgt] = append(c.in[lc.Tgt], lc.ID)
-	}
+	c := g.ShallowClone()
+	g.nodes.Range(func(id NodeID, n *Node) bool {
+		c.nodes = c.nodes.Set(id, n.Clone())
+		return true
+	})
+	g.links.Range(func(id LinkID, l *Link) bool {
+		c.links = c.links.Set(id, l.Clone())
+		return true
+	})
 	return c
 }
 
-// ShallowClone returns a copy of the graph structure that shares node and
-// link values with the original. Operators that only filter (and never
-// mutate elements) use it to avoid deep copies.
+// ShallowClone returns a snapshot of the graph that shares all storage —
+// node and link values, and the persistent maps holding them — with the
+// original. O(1): it copies only the Graph header. Either side may keep
+// mutating; copy-on-write guarantees the other never observes it.
+// Operators that only filter (and never mutate elements) use it to avoid
+// deep copies, and Engine.Apply builds its per-batch snapshots on it.
 func (g *Graph) ShallowClone() *Graph {
-	c := New()
-	for id, n := range g.nodes {
-		c.nodes[id] = n
+	return &Graph{
+		nodes:   g.nodes,
+		links:   g.links,
+		out:     g.out,
+		in:      g.in,
+		maxNode: g.maxNode,
+		maxLink: g.maxLink,
 	}
-	for id, l := range g.links {
-		c.links[id] = l
-		c.out[l.Src] = append(c.out[l.Src], id)
-		c.in[l.Tgt] = append(c.in[l.Tgt], id)
-	}
-	return c
 }
 
 // InducedByNodes returns the subgraph of g induced by the given node set:
@@ -298,17 +336,19 @@ func (g *Graph) ShallowClone() *Graph {
 func (g *Graph) InducedByNodes(ids map[NodeID]struct{}) *Graph {
 	sub := New()
 	for id := range ids {
-		if n := g.nodes[id]; n != nil {
-			sub.nodes[id] = n
+		if n, ok := g.nodes.Get(id); ok {
+			sub.nodes = sub.nodes.Set(id, n)
+			sub.noteNodeID(id)
 		}
 	}
-	for lid, l := range g.links {
+	var kept []*Link
+	g.links.Range(func(_ LinkID, l *Link) bool {
 		if sub.HasNode(l.Src) && sub.HasNode(l.Tgt) {
-			sub.links[lid] = l
-			sub.out[l.Src] = append(sub.out[l.Src], lid)
-			sub.in[l.Tgt] = append(sub.in[l.Tgt], lid)
+			kept = append(kept, l)
 		}
-	}
+		return true
+	})
+	sub.addInducedLinks(kept)
 	return sub
 }
 
@@ -317,22 +357,47 @@ func (g *Graph) InducedByNodes(ids map[NodeID]struct{}) *Graph {
 // "subgraph induced by those links"). Values are shared with g.
 func (g *Graph) InducedByLinks(ids map[LinkID]struct{}) *Graph {
 	sub := New()
+	var kept []*Link
 	for lid := range ids {
-		l := g.links[lid]
-		if l == nil {
+		l, ok := g.links.Get(lid)
+		if !ok {
 			continue
 		}
 		if !sub.HasNode(l.Src) {
-			sub.nodes[l.Src] = g.nodes[l.Src]
+			sub.nodes = sub.nodes.Set(l.Src, g.nodes.At(l.Src))
+			sub.noteNodeID(l.Src)
 		}
 		if !sub.HasNode(l.Tgt) {
-			sub.nodes[l.Tgt] = g.nodes[l.Tgt]
+			sub.nodes = sub.nodes.Set(l.Tgt, g.nodes.At(l.Tgt))
+			sub.noteNodeID(l.Tgt)
 		}
-		sub.links[lid] = l
-		sub.out[l.Src] = append(sub.out[l.Src], lid)
-		sub.in[l.Tgt] = append(sub.in[l.Tgt], lid)
+		kept = append(kept, l)
 	}
+	sub.addInducedLinks(kept)
 	return sub
+}
+
+// addInducedLinks installs pre-screened links (endpoints already present)
+// in bulk: links are sorted by id once and adjacency lists assembled in a
+// single pass, so construction is O(L log L) instead of per-insert slice
+// copying, and the resulting adjacency order is the same deterministic
+// ascending-id order every Graph maintains.
+func (g *Graph) addInducedLinks(ls []*Link) {
+	sort.Slice(ls, func(i, j int) bool { return ls[i].ID < ls[j].ID })
+	out := make(map[NodeID][]LinkID)
+	in := make(map[NodeID][]LinkID)
+	for _, l := range ls {
+		g.links = g.links.Set(l.ID, l)
+		out[l.Src] = append(out[l.Src], l.ID)
+		in[l.Tgt] = append(in[l.Tgt], l.ID)
+		g.noteLinkID(l.ID)
+	}
+	for id, ids := range out {
+		g.out = g.out.Set(id, ids)
+	}
+	for id, ids := range in {
+		g.in = g.in.Set(id, ids)
+	}
 }
 
 // Equal reports whether two graphs contain equal node and link sets.
@@ -340,84 +405,104 @@ func (g *Graph) Equal(other *Graph) bool {
 	if g.NumNodes() != other.NumNodes() || g.NumLinks() != other.NumLinks() {
 		return false
 	}
-	for id, n := range g.nodes {
-		if !n.Equal(other.nodes[id]) {
-			return false
-		}
+	eq := true
+	g.nodes.Range(func(id NodeID, n *Node) bool {
+		eq = n.Equal(other.nodes.At(id))
+		return eq
+	})
+	if !eq {
+		return false
 	}
-	for id, l := range g.links {
-		if !l.Equal(other.links[id]) {
-			return false
-		}
-	}
-	return true
+	g.links.Range(func(id LinkID, l *Link) bool {
+		eq = l.Equal(other.links.At(id))
+		return eq
+	})
+	return eq
 }
 
-// MaxNodeID returns the largest node id present (0 when empty).
-func (g *Graph) MaxNodeID() NodeID {
-	var max NodeID
-	for id := range g.nodes {
-		if id > max {
-			max = id
-		}
-	}
-	return max
-}
+// MaxNodeID returns the node-id high-water mark: the largest node id the
+// graph has ever held, O(1). It is monotonic — removals do not lower it —
+// and survives ShallowClone/Clone, so ids allocated past it (IDSourceFor)
+// never collide with a live id and never resurrect a retracted one.
+func (g *Graph) MaxNodeID() NodeID { return g.maxNode }
 
-// MaxLinkID returns the largest link id present (0 when empty).
-func (g *Graph) MaxLinkID() LinkID {
-	var max LinkID
-	for id := range g.links {
-		if id > max {
-			max = id
-		}
-	}
-	return max
-}
+// MaxLinkID returns the link-id high-water mark (see MaxNodeID).
+func (g *Graph) MaxLinkID() LinkID { return g.maxLink }
 
-// Validate checks internal consistency: every link's endpoints exist and the
-// adjacency indexes agree with the link set. It returns the first violation.
+// Validate checks internal consistency: every link's endpoints exist, the
+// adjacency indexes agree with the link set and keep ascending id order,
+// and the id high-water marks bound every present id. It returns the first
+// violation.
 func (g *Graph) Validate() error {
-	for id, l := range g.links {
-		if l.ID != id {
-			return fmt.Errorf("graph: link stored under id %d has id %d", id, l.ID)
+	var err error
+	g.links.Range(func(id LinkID, l *Link) bool {
+		switch {
+		case l.ID != id:
+			err = fmt.Errorf("graph: link stored under id %d has id %d", id, l.ID)
+		case !g.HasNode(l.Src) || !g.HasNode(l.Tgt):
+			err = fmt.Errorf("%w: link %d (%d->%d)", ErrMissingEnd, id, l.Src, l.Tgt)
+		case id > g.maxLink:
+			err = fmt.Errorf("graph: link %d above high-water mark %d", id, g.maxLink)
 		}
-		if !g.HasNode(l.Src) || !g.HasNode(l.Tgt) {
-			return fmt.Errorf("%w: link %d (%d->%d)", ErrMissingEnd, id, l.Src, l.Tgt)
-		}
+		return err == nil
+	})
+	if err != nil {
+		return err
 	}
 	outCount, inCount := 0, 0
-	for src, lids := range g.out {
-		for _, lid := range lids {
-			l, ok := g.links[lid]
+	g.out.Range(func(src NodeID, lids []LinkID) bool {
+		for i, lid := range lids {
+			l, ok := g.links.Get(lid)
 			if !ok || l.Src != src {
-				return fmt.Errorf("graph: out index for node %d lists stale link %d", src, lid)
+				err = fmt.Errorf("graph: out index for node %d lists stale link %d", src, lid)
+				return false
+			}
+			if i > 0 && lids[i-1] >= lid {
+				err = fmt.Errorf("graph: out index for node %d not in ascending order", src)
+				return false
 			}
 			outCount++
 		}
+		return true
+	})
+	if err != nil {
+		return err
 	}
-	for tgt, lids := range g.in {
-		for _, lid := range lids {
-			l, ok := g.links[lid]
+	g.in.Range(func(tgt NodeID, lids []LinkID) bool {
+		for i, lid := range lids {
+			l, ok := g.links.Get(lid)
 			if !ok || l.Tgt != tgt {
-				return fmt.Errorf("graph: in index for node %d lists stale link %d", tgt, lid)
+				err = fmt.Errorf("graph: in index for node %d lists stale link %d", tgt, lid)
+				return false
+			}
+			if i > 0 && lids[i-1] >= lid {
+				err = fmt.Errorf("graph: in index for node %d not in ascending order", tgt)
+				return false
 			}
 			inCount++
 		}
+		return true
+	})
+	if err != nil {
+		return err
 	}
-	if outCount != len(g.links) || inCount != len(g.links) {
+	if outCount != g.links.Len() || inCount != g.links.Len() {
 		return fmt.Errorf("graph: adjacency indexes cover %d/%d links (out/in %d/%d)",
-			outCount, len(g.links), outCount, inCount)
+			outCount, g.links.Len(), outCount, inCount)
 	}
-	for id, n := range g.nodes {
-		if n.ID != id {
-			return fmt.Errorf("graph: node stored under id %d has id %d", id, n.ID)
+	g.nodes.Range(func(id NodeID, n *Node) bool {
+		switch {
+		case n.ID != id:
+			err = fmt.Errorf("graph: node stored under id %d has id %d", id, n.ID)
+		case id > g.maxNode:
+			err = fmt.Errorf("graph: node %d above high-water mark %d", id, g.maxNode)
 		}
-	}
-	return nil
+		return err == nil
+	})
+	return err
 }
 
 // String summarizes the graph.
 func (g *Graph) String() string {
-	return fmt.Sprintf("graph{nodes=%d links=%d}", len(g.nodes), len(g.links))
+	return fmt.Sprintf("graph{nodes=%d links=%d}", g.NumNodes(), g.NumLinks())
 }

@@ -172,16 +172,129 @@ func TestCloneDeep(t *testing.T) {
 
 func TestShallowCloneShares(t *testing.T) {
 	g := buildSample(t)
+	// A fan of parallel links exercises multi-entry adjacency lists.
+	for id := LinkID(20); id < 28; id++ {
+		if err := g.AddLink(NewLink(id, 1, 2, TypeAct)); err != nil {
+			t.Fatal(err)
+		}
+	}
 	c := g.ShallowClone()
 	if c.Node(1) != g.Node(1) {
 		t.Error("ShallowClone should share node values")
 	}
+	// Adjacency order is deterministic — ascending link id — and identical
+	// between a graph and its clones, its deep copy and its induced
+	// subgraphs: a regression guard for the map-iteration-order rebuild the
+	// old clone paths performed.
+	wantOrder := []LinkID{12, 20, 21, 22, 23, 24, 25, 26, 27}
+	assertOrder := func(name string, sub *Graph) {
+		t.Helper()
+		var gotOut, gotIn []LinkID
+		for _, l := range sub.Out(1) {
+			gotOut = append(gotOut, l.ID)
+		}
+		for _, l := range sub.In(2) {
+			gotIn = append(gotIn, l.ID)
+		}
+		if !reflect.DeepEqual(gotOut, wantOrder) || !reflect.DeepEqual(gotIn, wantOrder) {
+			t.Errorf("%s adjacency order: out=%v in=%v, want %v", name, gotOut, gotIn, wantOrder)
+		}
+	}
+	assertOrder("graph", g)
+	assertOrder("shallow clone", c)
+	assertOrder("deep clone", g.Clone())
+	assertOrder("induced-by-nodes", g.InducedByNodes(map[NodeID]struct{}{1: {}, 2: {}}))
+	allLinks := make(map[LinkID]struct{})
+	for _, l := range g.Links() {
+		allLinks[l.ID] = struct{}{}
+	}
+	assertOrder("induced-by-links", g.InducedByLinks(allLinks))
+
 	c.RemoveLink(12)
-	if g.NumLinks() != 1 {
+	if g.NumLinks() != 9 {
 		t.Error("ShallowClone structure not independent")
 	}
 	if err := c.Validate(); err != nil {
 		t.Errorf("shallow clone invalid: %v", err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("origin invalid after clone write: %v", err)
+	}
+}
+
+// TestSnapshotIsolation pins the persistent-storage contract Engine.Apply
+// relies on: a ShallowClone taken before a write burst is bit-for-bit
+// stable while its origin keeps mutating — and, run under -race, that
+// readers of the snapshot never touch memory the writer is changing.
+func TestSnapshotIsolation(t *testing.T) {
+	g := New()
+	for i := NodeID(1); i <= 200; i++ {
+		if err := g.AddNode(NewNode(i, TypeUser)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := LinkID(1); i <= 199; i++ {
+		if err := g.AddLink(NewLink(i, NodeID(i), NodeID(i+1), TypeConnect)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := g.ShallowClone()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for pass := 0; pass < 20; pass++ {
+			if snap.NumNodes() != 200 || snap.NumLinks() != 199 {
+				t.Errorf("snapshot resized: %v", snap)
+				return
+			}
+			for i := NodeID(1); i <= 200; i++ {
+				if !snap.HasNode(i) {
+					t.Errorf("snapshot lost node %d", i)
+					return
+				}
+			}
+			if err := snap.Validate(); err != nil {
+				t.Errorf("snapshot invalid mid-writes: %v", err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 500; i++ {
+		id := NodeID(201 + i)
+		if err := g.AddNode(NewNode(id, TypeUser)); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.AddLink(NewLink(LinkID(200+i), id, NodeID(1+i%200), TypeConnect)); err != nil {
+			t.Fatal(err)
+		}
+		g.RemoveLink(LinkID(1 + i%150))
+	}
+	<-done
+	if err := g.Validate(); err != nil {
+		t.Fatalf("writer graph invalid: %v", err)
+	}
+}
+
+// TestIDHighWaterMark pins the ID-reuse fix: removing the max-id element
+// and allocating a fresh id must not resurrect the retracted one, across
+// clones and encode/decode.
+func TestIDHighWaterMark(t *testing.T) {
+	g := buildSample(t)
+	g.RemoveNode(2) // max node id, cascades link 12 (max link id)
+	if g.MaxNodeID() != 2 || g.MaxLinkID() != 12 {
+		t.Fatalf("high-water marks retreated: node=%d link=%d", g.MaxNodeID(), g.MaxLinkID())
+	}
+	ids := IDSourceFor(g)
+	if n := ids.NextNode(); n != 3 {
+		t.Errorf("NextNode after removal = %d, want 3 (no reuse of 2)", n)
+	}
+	if l := ids.NextLink(); l != 13 {
+		t.Errorf("NextLink after removal = %d, want 13 (no reuse of 12)", l)
+	}
+	for _, c := range map[string]*Graph{"shallow": g.ShallowClone(), "deep": g.Clone()} {
+		if c.MaxNodeID() != 2 || c.MaxLinkID() != 12 {
+			t.Errorf("clone dropped high-water marks: node=%d link=%d", c.MaxNodeID(), c.MaxLinkID())
+		}
 	}
 }
 
@@ -242,7 +355,7 @@ func TestValidateDetectsCorruption(t *testing.T) {
 		t.Fatalf("fresh graph invalid: %v", err)
 	}
 	// Corrupt: delete a node map entry behind the adjacency index's back.
-	delete(g.nodes, 2)
+	g.nodes = g.nodes.Delete(2)
 	if err := g.Validate(); err == nil {
 		t.Error("Validate missed dangling endpoint")
 	}
@@ -302,5 +415,33 @@ func TestDirection(t *testing.T) {
 	l := NewLink(1, 10, 20, TypeConnect)
 	if l.End(Src) != 10 || l.End(Tgt) != 20 {
 		t.Error("End broken")
+	}
+}
+
+// TestPutConsolidationPreservesSnapshots: PutNode/PutLink merge on a
+// clone and swap it in, so a ShallowClone taken before the consolidation
+// keeps the pre-merge element values.
+func TestPutConsolidationPreservesSnapshots(t *testing.T) {
+	g := buildSample(t)
+	snap := g.ShallowClone()
+	n := NewNode(1, TypeUser)
+	n.Attrs.Set("name", "Johnny")
+	g.PutNode(n)
+	l := NewLink(12, 1, 2, TypeAct)
+	l.Attrs.Add("tags", "mountains")
+	if err := g.PutLink(l); err != nil {
+		t.Fatal(err)
+	}
+	if names := g.Node(1).Attrs.All("name"); len(names) != 2 {
+		t.Errorf("merge lost: names = %v, want union [John Johnny]", names)
+	}
+	if names := snap.Node(1).Attrs.All("name"); len(names) != 1 || names[0] != "John" {
+		t.Errorf("snapshot observed consolidation: names = %v", names)
+	}
+	if tags := snap.Link(12).Attrs.All("tags"); len(tags) != 2 {
+		t.Errorf("snapshot observed link consolidation: tags = %v", tags)
+	}
+	if tags := g.Link(12).Attrs.All("tags"); len(tags) != 3 {
+		t.Errorf("link merge lost: tags = %v", tags)
 	}
 }

@@ -19,7 +19,11 @@ func NewIDSource(maxNode NodeID, maxLink LinkID) *IDSource {
 	return s
 }
 
-// IDSourceFor returns an allocator positioned after every id in g.
+// IDSourceFor returns an allocator positioned after every id g has ever
+// held. It seeds from the graph's O(1) high-water marks — not a scan of
+// the present ids — so an id retracted by RemoveNode/RemoveLink is never
+// handed out again: reusing it would alias the retracted element in
+// incremental index deltas and changelog replays.
 func IDSourceFor(g *Graph) *IDSource {
 	return NewIDSource(g.MaxNodeID(), g.MaxLinkID())
 }

@@ -122,24 +122,23 @@ func RecordInto(g *Graph) *Changelog {
 }
 
 // Apply replays one mutation onto the graph. Replay never mutates shared
-// element values: consolidations clone the resident element before merging
-// and swap the clone in, so a graph produced by ShallowClone can absorb a
-// changelog while readers of the original keep a consistent view (the
-// copy-on-write discipline Engine.Apply builds its snapshots on).
-// Removals of absent elements are no-ops, which makes replaying a
-// changelog that already cascaded (MutRemoveNode after its incident
-// MutRemoveLink entries) idempotent.
+// element values: consolidations (PutNode/PutLink) merge on a clone of
+// the resident element and swap the clone in, so a graph produced by
+// ShallowClone can absorb a changelog while readers of the original keep
+// a consistent view (the copy-on-write discipline Engine.Apply builds
+// its snapshots on). Fresh insertions store a clone of the mutation's
+// element, so later edits to the caller's copy cannot leak in. Removals
+// of absent elements are no-ops, which makes replaying a changelog that
+// already cascaded (MutRemoveNode after its incident MutRemoveLink
+// entries) idempotent.
 func (g *Graph) Apply(m Mutation) error {
 	switch m.Kind {
 	case MutAddNode, MutPutNode:
 		if m.Node == nil {
 			return ErrNilElement
 		}
-		if ex, ok := g.nodes[m.Node.ID]; ok {
-			merged := ex.Clone()
-			merged.Merge(m.Node)
-			g.nodes[m.Node.ID] = merged
-			g.emitNode(MutPutNode, merged)
+		if g.nodes.Has(m.Node.ID) {
+			g.PutNode(m.Node)
 			return nil
 		}
 		return g.AddNode(m.Node.Clone())
@@ -147,17 +146,8 @@ func (g *Graph) Apply(m Mutation) error {
 		if m.Link == nil {
 			return ErrNilElement
 		}
-		if ex, ok := g.links[m.Link.ID]; ok {
-			if ex.Src != m.Link.Src || ex.Tgt != m.Link.Tgt {
-				return ErrEndpointChange
-			}
-			merged := ex.Clone()
-			merged.Merge(m.Link)
-			g.links[m.Link.ID] = merged
-			if g.recorder != nil {
-				g.recorder(Mutation{Kind: MutPutLink, Link: merged.Clone(), Prev: ex.Clone()})
-			}
-			return nil
+		if g.links.Has(m.Link.ID) {
+			return g.PutLink(m.Link)
 		}
 		return g.AddLink(m.Link.Clone())
 	case MutRemoveNode:

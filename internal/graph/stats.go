@@ -29,7 +29,7 @@ func (g *Graph) ComputeStats() Stats {
 		NodesByType: make(map[string]int),
 		LinksByType: make(map[string]int),
 	}
-	for _, n := range g.nodes {
+	g.nodes.Range(func(_ NodeID, n *Node) bool {
 		for _, t := range n.Types {
 			s.NodesByType[t]++
 		}
@@ -43,12 +43,14 @@ func (g *Graph) ComputeStats() Stats {
 		if od+id == 0 {
 			s.IsolatedNodes++
 		}
-	}
-	for _, l := range g.links {
+		return true
+	})
+	g.links.Range(func(_ LinkID, l *Link) bool {
 		for _, t := range l.Types {
 			s.LinksByType[t]++
 		}
-	}
+		return true
+	})
 	if s.Nodes > 0 {
 		s.AvgOutDegree = float64(s.Links) / float64(s.Nodes)
 	}
@@ -59,22 +61,24 @@ func (g *Graph) ComputeStats() Stats {
 // CountNodes returns how many nodes carry the given type.
 func (g *Graph) CountNodes(nodeType string) int {
 	n := 0
-	for _, nd := range g.nodes {
+	g.nodes.Range(func(_ NodeID, nd *Node) bool {
 		if nd.HasType(nodeType) {
 			n++
 		}
-	}
+		return true
+	})
 	return n
 }
 
 // CountLinks returns how many links carry the given type.
 func (g *Graph) CountLinks(linkType string) int {
 	n := 0
-	for _, l := range g.links {
+	g.links.Range(func(_ LinkID, l *Link) bool {
 		if l.HasType(linkType) {
 			n++
 		}
-	}
+		return true
+	})
 	return n
 }
 
@@ -103,9 +107,10 @@ func (g *Graph) LinksOfType(linkType string) []*Link {
 // DegreeHistogram returns (degree -> node count) for total degree.
 func (g *Graph) DegreeHistogram() map[int]int {
 	h := make(map[int]int)
-	for id := range g.nodes {
+	g.nodes.Range(func(id NodeID, _ *Node) bool {
 		h[g.OutDegree(id)+g.InDegree(id)]++
-	}
+		return true
+	})
 	return h
 }
 

@@ -59,7 +59,7 @@ func (g *Graph) Reachable(start NodeID) map[NodeID]struct{} {
 // as sorted id slices, ordered by their smallest member.
 func (g *Graph) ConnectedComponents() [][]NodeID {
 	var comps [][]NodeID
-	seen := make(map[NodeID]struct{}, len(g.nodes))
+	seen := make(map[NodeID]struct{}, g.NumNodes())
 	for _, id := range g.NodeIDs() {
 		if _, ok := seen[id]; ok {
 			continue

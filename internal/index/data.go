@@ -22,36 +22,62 @@ import (
 	"sort"
 
 	"socialscope/internal/graph"
+	"socialscope/internal/persist"
 	"socialscope/internal/scoring"
 )
 
+// ItemTaggers is one tag's inner index: item → set of users who tagged it
+// with that tag. Persistent, so substrate snapshots share it wholesale
+// and a delta copies only the touched (item → set) trie path — the inner
+// map of a popular tag grows with the corpus, and cloning it per batch
+// would reintroduce an O(items) term on the live path.
+type ItemTaggers = persist.Map[graph.NodeID, scoring.Set[graph.NodeID]]
+
+// NewItemTaggers returns an empty per-tag item index.
+func NewItemTaggers() ItemTaggers {
+	return persist.NewIntMap[graph.NodeID, scoring.Set[graph.NodeID]]()
+}
+
 // Data is the tagging substrate extracted from a social content graph:
 // taggers(i,k), network(u), and the universe of users, items and tags.
+//
+// The top-level structures are persistent (structurally shared): the
+// by-tag, by-user maps are copy-on-write tries and the sorted universe
+// slices follow a strict copy-on-write discipline (never modified in
+// place once built). Snapshotting a Data (cowClone, the ApplyDelta path)
+// therefore copies a constant-size header — O(1), not O(users+items+tags)
+// — and every snapshot shares all untouched storage with its ancestors.
+// Construct with NewData or Extract; the zero Data is not ready for use.
 type Data struct {
+	// Users, Items and Tags are the sorted universes. They are rebound —
+	// never mutated in place — when the universe changes, so snapshots can
+	// share them safely.
 	Users []graph.NodeID
 	Items []graph.NodeID
 	Tags  []string
 
 	// Taggers[tag][item] = set of users who tagged item with tag.
-	Taggers map[string]map[graph.NodeID]scoring.Set[graph.NodeID]
+	Taggers persist.Map[string, ItemTaggers]
 	// Network[user] = users connected to user (either direction).
-	Network map[graph.NodeID]scoring.Set[graph.NodeID]
+	Network persist.Map[graph.NodeID, scoring.Set[graph.NodeID]]
 	// ItemsOf[user] = items the user tagged (for behavior clustering and
 	// content-based explanations).
-	ItemsOf map[graph.NodeID]scoring.Set[graph.NodeID]
+	ItemsOf persist.Map[graph.NodeID, scoring.Set[graph.NodeID]]
 
 	// tagsOf[user] = distinct tags the user has used. Maintained alongside
 	// ItemsOf so incremental maintenance of a connection mutation visits
 	// only the (tag, item) pairs the other endpoint actually tagged
-	// instead of scanning the whole tag vocabulary. Nil per-user entries
-	// (hand-built Data) make the delta code fall back to the full scan.
-	tagsOf map[graph.NodeID]scoring.Set[string]
+	// instead of scanning the whole tag vocabulary. Absent per-user
+	// entries (hand-built Data) make the delta code fall back to the full
+	// scan.
+	tagsOf persist.Map[graph.NodeID, scoring.Set[string]]
 
 	// sharedInner is set once this Data has been through a copy-on-write
 	// snapshot (ApplyDelta), meaning inner sets and maps may be shared
 	// with other versions: the in-place write APIs must then replace
 	// rather than mutate them. Sole-owner Data (fresh Extract, never
-	// snapshotted) keeps the cheap in-place path.
+	// snapshotted) keeps the cheap in-place path. The persistent top-level
+	// maps need no such flag — they are copy-on-write by construction.
 	sharedInner bool
 
 	// tagDups and connDups count duplicate source records beyond the first:
@@ -60,8 +86,22 @@ type Data struct {
 	// removing one of several parallel links must decrement a refcount
 	// instead of retracting the fact — otherwise incremental maintenance
 	// would diverge from a from-scratch Extract of the surviving links.
-	tagDups  map[taggingKey]int
-	connDups map[edgeKey]int
+	tagDups  persist.Map[taggingKey, int]
+	connDups persist.Map[edgeKey, int]
+}
+
+// NewData returns an empty, ready-to-use substrate.
+func NewData() *Data {
+	return &Data{
+		Taggers: persist.NewStringMap[ItemTaggers](),
+		Network: persist.NewIntMap[graph.NodeID, scoring.Set[graph.NodeID]](),
+		ItemsOf: persist.NewIntMap[graph.NodeID, scoring.Set[graph.NodeID]](),
+		tagsOf:  persist.NewIntMap[graph.NodeID, scoring.Set[string]](),
+		tagDups: persist.NewMap[taggingKey, int](hashTaggingKey),
+		connDups: persist.NewMap[edgeKey, int](func(k edgeKey) uint64 {
+			return persist.Mix64(persist.Hash64(uint64(k.a)), persist.Hash64(uint64(k.b)))
+		}),
+	}
 }
 
 // taggingKey identifies one (tag, item, user) assertion.
@@ -69,6 +109,11 @@ type taggingKey struct {
 	tag  string
 	item graph.NodeID
 	user graph.NodeID
+}
+
+func hashTaggingKey(k taggingKey) uint64 {
+	return persist.Mix64(persist.HashString(k.tag),
+		persist.Mix64(persist.Hash64(uint64(k.item)), persist.Hash64(uint64(k.user))))
 }
 
 // edgeKey identifies one undirected connection, normalized a <= b.
@@ -84,28 +129,22 @@ func edgeOf(u, v graph.NodeID) edgeKey {
 }
 
 func (d *Data) noteTagDup(k taggingKey, delta int) int {
-	if d.tagDups == nil {
-		d.tagDups = make(map[taggingKey]int)
-	}
-	n := d.tagDups[k] + delta
+	n := d.tagDups.At(k) + delta
 	if n <= 0 {
-		delete(d.tagDups, k)
+		d.tagDups = d.tagDups.Delete(k)
 		return 0
 	}
-	d.tagDups[k] = n
+	d.tagDups = d.tagDups.Set(k, n)
 	return n
 }
 
 func (d *Data) noteConnDup(k edgeKey, delta int) int {
-	if d.connDups == nil {
-		d.connDups = make(map[edgeKey]int)
-	}
-	n := d.connDups[k] + delta
+	n := d.connDups.At(k) + delta
 	if n <= 0 {
-		delete(d.connDups, k)
+		d.connDups = d.connDups.Delete(k)
 		return 0
 	}
-	d.connDups[k] = n
+	d.connDups = d.connDups.Set(k, n)
 	return n
 }
 
@@ -113,19 +152,14 @@ func (d *Data) noteConnDup(k edgeKey, delta int) int {
 // values come from the "tags" attribute of links typed act/tag; network
 // membership from connect links, symmetric.
 func Extract(g *graph.Graph) *Data {
-	d := &Data{
-		Taggers: make(map[string]map[graph.NodeID]scoring.Set[graph.NodeID]),
-		Network: make(map[graph.NodeID]scoring.Set[graph.NodeID]),
-		ItemsOf: make(map[graph.NodeID]scoring.Set[graph.NodeID]),
-		tagsOf:  make(map[graph.NodeID]scoring.Set[string]),
-	}
+	d := NewData()
 	userSet := make(map[graph.NodeID]struct{})
 	itemSet := make(map[graph.NodeID]struct{})
 	for _, n := range g.NodesOfType(graph.TypeUser) {
 		userSet[n.ID] = struct{}{}
-		d.Network[n.ID] = scoring.NewSet[graph.NodeID]()
-		d.ItemsOf[n.ID] = scoring.NewSet[graph.NodeID]()
-		d.tagsOf[n.ID] = scoring.NewSet[string]()
+		d.Network = d.Network.Set(n.ID, scoring.NewSet[graph.NodeID]())
+		d.ItemsOf = d.ItemsOf.Set(n.ID, scoring.NewSet[graph.NodeID]())
+		d.tagsOf = d.tagsOf.Set(n.ID, scoring.NewSet[string]())
 	}
 	for _, l := range g.Links() {
 		switch {
@@ -136,34 +170,34 @@ func Extract(g *graph.Graph) *Data {
 			if _, ok := userSet[l.Tgt]; !ok {
 				continue
 			}
-			if d.Network[l.Src].Has(l.Tgt) {
+			if d.Network.At(l.Src).Has(l.Tgt) {
 				d.noteConnDup(edgeOf(l.Src, l.Tgt), 1)
 				continue
 			}
-			d.Network[l.Src].Add(l.Tgt)
-			d.Network[l.Tgt].Add(l.Src)
+			d.Network.At(l.Src).Add(l.Tgt)
+			d.Network.At(l.Tgt).Add(l.Src)
 		case l.HasType(graph.SubtypeTag):
 			tags := l.Attrs.All("tags")
 			if len(tags) == 0 {
 				continue
 			}
 			itemSet[l.Tgt] = struct{}{}
-			if s, ok := d.ItemsOf[l.Src]; ok {
+			if s, ok := d.ItemsOf.Get(l.Src); ok {
 				s.Add(l.Tgt)
 			}
 			for _, tag := range tags {
-				if s, ok := d.tagsOf[l.Src]; ok {
+				if s, ok := d.tagsOf.Get(l.Src); ok {
 					s.Add(tag)
 				}
-				byItem, ok := d.Taggers[tag]
+				byItem, ok := d.Taggers.Get(tag)
 				if !ok {
-					byItem = make(map[graph.NodeID]scoring.Set[graph.NodeID])
-					d.Taggers[tag] = byItem
+					byItem = NewItemTaggers()
 				}
-				set, ok := byItem[l.Tgt]
+				set, ok := byItem.Get(l.Tgt)
 				if !ok {
 					set = scoring.NewSet[graph.NodeID]()
-					byItem[l.Tgt] = set
+					byItem = byItem.Set(l.Tgt, set)
+					d.Taggers = d.Taggers.Set(tag, byItem)
 				}
 				if set.Has(l.Src) {
 					d.noteTagDup(taggingKey{tag, l.Tgt, l.Src}, 1)
@@ -181,9 +215,7 @@ func Extract(g *graph.Graph) *Data {
 		d.Items = append(d.Items, i)
 	}
 	sort.Slice(d.Items, func(i, j int) bool { return d.Items[i] < d.Items[j] })
-	for tag := range d.Taggers {
-		d.Tags = append(d.Tags, tag)
-	}
+	d.Tags = d.Taggers.Keys()
 	sort.Strings(d.Tags)
 	return d
 }
@@ -191,15 +223,15 @@ func Extract(g *graph.Graph) *Data {
 // ScoreTag computes the exact per-keyword score: f(|network(u) ∩
 // taggers(i,k)|). Unknown users or tags score 0.
 func (d *Data) ScoreTag(item, user graph.NodeID, tag string, f scoring.UserSetFn) float64 {
-	byItem, ok := d.Taggers[tag]
+	byItem, ok := d.Taggers.Get(tag)
 	if !ok {
 		return 0
 	}
-	taggers, ok := byItem[item]
+	taggers, ok := byItem.Get(item)
 	if !ok {
 		return 0
 	}
-	net, ok := d.Network[user]
+	net, ok := d.Network.Get(user)
 	if !ok {
 		return 0
 	}

@@ -420,3 +420,115 @@ func TestApplyDeltaIsCopyOnWrite(t *testing.T) {
 		}
 	}
 }
+
+// TestDifferentialIDReuseAfterRemoval is the regression case for id
+// recycling on the mutation path. Before high-water-mark id tracking,
+// graph.IDSourceFor seeded from the *present* maxima, so removing the
+// max-id user and then allocating a fresh one handed the retracted id
+// back out — and the incremental index, keyed by node id, would alias
+// the newcomer with the departed user's half-retracted facts (duplicate
+// refcounts, cluster membership) and silently diverge from a rebuild.
+// The scenario: a late-arriving user takes the top of the id space, tags
+// a few items, departs (recorded cascade), and a fresh user joins
+// tagging the same items. Incremental must stay byte-identical to a
+// from-scratch rebuild throughout, and the fresh id must not be the
+// retracted one.
+func TestDifferentialIDReuseAfterRemoval(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	c := newDiffCorpus(t, rng, 10, 14, 4)
+	cl, err := cluster.Build(c.g, cluster.NetworkBased, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := Build(Extract(c.g), cl, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := func(muts []graph.Mutation, ctx string) {
+		t.Helper()
+		ix = ix.ApplyDelta(muts)
+		assertSorted(t, ix, ctx)
+		rebuilt, err := Build(Extract(c.g), ix.Clustering(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameLists(t, ix, rebuilt, ctx)
+	}
+
+	// A newcomer claims the top of the node-id space and gets active.
+	c.nextNode++
+	maxUser := c.nextNode
+	taggedItems := []graph.NodeID{c.items[0], c.items[3], c.items[7]}
+	arrival := []graph.Mutation{
+		{Kind: graph.MutAddNode, Node: graph.NewNode(maxUser, graph.TypeUser)},
+	}
+	{
+		c.nextLink++
+		l := graph.NewLink(c.nextLink, maxUser, c.users[0], graph.TypeConnect, graph.SubtypeFriend)
+		arrival = append(arrival, graph.Mutation{Kind: graph.MutAddLink, Link: l})
+	}
+	for _, item := range taggedItems {
+		arrival = append(arrival, graph.Mutation{Kind: graph.MutAddLink,
+			Link: c.newTagLink(maxUser, item, c.tags[0])})
+	}
+	if err := c.g.ApplyAll(arrival); err != nil {
+		t.Fatal(err)
+	}
+	step(arrival, "max-user arrival")
+
+	// The newcomer departs: recorded cascade (incident link removals, then
+	// the node removal), exactly what a live engine's changelog carries.
+	log := graph.RecordInto(c.g)
+	c.g.RemoveNode(maxUser)
+	c.g.SetRecorder(nil)
+	step(log.Drain(), "max-user removal")
+
+	// Fresh-id allocation must not resurrect the retracted id.
+	ids := graph.IDSourceFor(c.g)
+	freshUser := ids.NextNode()
+	if freshUser == maxUser {
+		t.Fatalf("IDSource reused retracted node id %d", maxUser)
+	}
+	if freshUser <= maxUser {
+		t.Fatalf("fresh user id %d not past high-water mark %d", freshUser, maxUser)
+	}
+
+	// The fresh user tags the same items with the same tag — the exact
+	// shape that aliased under id reuse.
+	rejoin := []graph.Mutation{
+		{Kind: graph.MutAddNode, Node: graph.NewNode(freshUser, graph.TypeUser)},
+	}
+	{
+		lid := ids.NextLink()
+		l := graph.NewLink(lid, freshUser, c.users[1], graph.TypeConnect, graph.SubtypeFriend)
+		rejoin = append(rejoin, graph.Mutation{Kind: graph.MutAddLink, Link: l})
+	}
+	for _, item := range taggedItems {
+		lid := ids.NextLink()
+		l := graph.NewLink(lid, freshUser, item, graph.TypeAct, graph.SubtypeTag)
+		l.Attrs.Add("tags", c.tags[0])
+		rejoin = append(rejoin, graph.Mutation{Kind: graph.MutAddLink, Link: l})
+	}
+	if err := c.g.ApplyAll(rejoin); err != nil {
+		t.Fatal(err)
+	}
+	step(rejoin, "fresh-user rejoin")
+
+	// The departed user must be fully gone from the substrate; the fresh
+	// one fully present.
+	data := ix.Data()
+	for _, u := range data.Users {
+		if u == maxUser {
+			t.Errorf("retracted user %d still in substrate universe", maxUser)
+		}
+	}
+	if data.Network.Has(maxUser) {
+		t.Errorf("retracted user %d still has a network entry", maxUser)
+	}
+	if !data.Network.Has(freshUser) {
+		t.Errorf("fresh user %d missing from substrate", freshUser)
+	}
+	if got := data.ScoreTag(taggedItems[0], c.users[1], c.tags[0], ix.UserFn()); got < 1 {
+		t.Errorf("fresh user's tagging invisible to their connection: score %v", got)
+	}
+}

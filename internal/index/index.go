@@ -8,6 +8,7 @@ import (
 
 	"socialscope/internal/cluster"
 	"socialscope/internal/graph"
+	"socialscope/internal/persist"
 	"socialscope/internal/scoring"
 )
 
@@ -28,6 +29,11 @@ type listKey struct {
 	tag     string
 }
 
+// clusterLists is one tag's shard: cluster id → posting list, persistent.
+type clusterLists = persist.Map[int, []Entry]
+
+func newClusterLists() clusterLists { return persist.NewIntMap[int, []Entry]() }
+
 // Index is a network-aware inverted index: one posting list per
 // (cluster, tag), sorted by descending stored score. PerUser clustering
 // reproduces the paper's IL^u_k exact index; Global clustering reproduces
@@ -35,13 +41,15 @@ type listKey struct {
 // trade-off of [5].
 //
 // Lists are sharded by tag — tag → cluster → postings — mirroring the
-// build's work split and letting ApplyDelta clone only the tag shards a
-// mutation batch touches.
+// build's work split. Both levels are persistent maps, so an ApplyDelta
+// snapshot shares the whole index at O(1) cost and a write duplicates
+// only the touched posting slice plus its trie paths — never a whole
+// shard, whose size grows with the corpus under fine clusterings.
 type Index struct {
 	data       *Data
 	clustering *cluster.Clustering
 	f          scoring.UserSetFn
-	lists      map[string]map[int][]Entry
+	lists      persist.Map[string, clusterLists]
 	entries    int
 	// version counts the ApplyDelta snapshots this index descends from:
 	// Build produces version 0 and every ApplyDelta batch returns a new
@@ -82,7 +90,7 @@ func BuildWithWorkers(data *Data, clustering *cluster.Clustering, f scoring.User
 		workers = len(data.Tags)
 	}
 	ix := &Index{data: data, clustering: clustering, f: f,
-		lists: make(map[string]map[int][]Entry)}
+		lists: persist.NewStringMap[clusterLists]()}
 
 	// Shard by tag: each worker builds the complete, sorted per-cluster
 	// lists of its tags. Shards write into disjoint slots of a per-tag
@@ -110,10 +118,12 @@ func BuildWithWorkers(data *Data, clustering *cluster.Clustering, f scoring.User
 		if len(shards[ti]) == 0 {
 			continue
 		}
-		ix.lists[tag] = shards[ti]
-		for _, l := range shards[ti] {
+		sh := newClusterLists()
+		for cid, l := range shards[ti] {
+			sh = sh.Set(cid, l)
 			ix.entries += len(l)
 		}
+		ix.lists = ix.lists.Set(tag, sh)
 	}
 	return ix, nil
 }
@@ -122,21 +132,18 @@ func BuildWithWorkers(data *Data, clustering *cluster.Clustering, f scoring.User
 // cluster id.
 func buildTagLists(data *Data, clustering *cluster.Clustering, f scoring.UserSetFn,
 	tag string) map[int][]Entry {
-	byItem := data.Taggers[tag]
-	items := make([]graph.NodeID, 0, len(byItem))
-	for item := range byItem {
-		items = append(items, item)
-	}
+	byItem := data.Taggers.At(tag)
+	items := byItem.Keys()
 	sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
 	lists := make(map[int][]Entry)
 	for _, item := range items {
-		taggers := byItem[item]
+		taggers := byItem.At(item)
 		// Count taggers within each potential querier's network (the
 		// reverse network: who has the tagger in their network; symmetric,
 		// so identical to Network, but keep the access pattern explicit).
 		counts := make(map[graph.NodeID]int)
 		for tg := range taggers {
-			for u := range data.Network[tg] {
+			for u := range data.Network.At(tg) {
 				counts[u]++
 			}
 		}
@@ -192,9 +199,10 @@ func (ix *Index) SizeBytes() int64 { return int64(ix.entries) * EntryBytes }
 // NumLists returns the number of non-empty posting lists.
 func (ix *Index) NumLists() int {
 	n := 0
-	for _, byCluster := range ix.lists {
-		n += len(byCluster)
-	}
+	ix.lists.Range(func(_ string, byCluster clusterLists) bool {
+		n += byCluster.Len()
+		return true
+	})
 	return n
 }
 
@@ -215,20 +223,14 @@ func (ix *Index) AtVersion(v uint64) *Index {
 // ForEachList visits every posting list in deterministic order (ascending
 // tag, then cluster id). The callback must not retain or mutate the slice.
 func (ix *Index) ForEachList(fn func(cluster int, tag string, l []Entry)) {
-	tags := make([]string, 0, len(ix.lists))
-	for tag := range ix.lists {
-		tags = append(tags, tag)
-	}
+	tags := ix.lists.Keys()
 	sort.Strings(tags)
 	for _, tag := range tags {
-		byCluster := ix.lists[tag]
-		cids := make([]int, 0, len(byCluster))
-		for cid := range byCluster {
-			cids = append(cids, cid)
-		}
+		byCluster := ix.lists.At(tag)
+		cids := byCluster.Keys()
 		sort.Ints(cids)
 		for _, cid := range cids {
-			fn(cid, tag, byCluster[cid])
+			fn(cid, tag, byCluster.At(cid))
 		}
 	}
 }
@@ -240,7 +242,7 @@ func (ix *Index) List(user graph.NodeID, tag string) []Entry {
 	if cid < 0 {
 		return nil
 	}
-	return ix.lists[tag][cid]
+	return ix.lists.At(tag).At(cid)
 }
 
 // QueryStats reports the work a top-k evaluation performed, the currency in
@@ -280,7 +282,7 @@ func (ix *Index) TopK(user graph.NodeID, tags []string, k int,
 	lists := make([][]Entry, len(tags))
 	pos := make([]int, len(tags))
 	for i, tag := range tags {
-		lists[i] = ix.lists[tag][cid]
+		lists[i] = ix.lists.At(tag).At(cid)
 	}
 
 	seen := make(map[graph.NodeID]struct{})

@@ -49,17 +49,17 @@ func TestExtract(t *testing.T) {
 	if !reflect.DeepEqual(d.Tags, []string{"db", "go"}) {
 		t.Fatalf("tags = %v", d.Tags)
 	}
-	if d.Taggers["go"][11].Len() != 2 {
-		t.Errorf("taggers(11,go) = %d, want 2", d.Taggers["go"][11].Len())
+	if d.Taggers.At("go").At(11).Len() != 2 {
+		t.Errorf("taggers(11,go) = %d, want 2", d.Taggers.At("go").At(11).Len())
 	}
-	if !d.Network[1].Has(2) || !d.Network[1].Has(3) || d.Network[1].Has(4) {
-		t.Errorf("network(1) = %v", d.Network[1])
+	if !d.Network.At(1).Has(2) || !d.Network.At(1).Has(3) || d.Network.At(1).Has(4) {
+		t.Errorf("network(1) = %v", d.Network.At(1))
 	}
-	if !d.Network[2].Has(1) {
+	if !d.Network.At(2).Has(1) {
 		t.Error("network must be symmetric")
 	}
-	if !d.ItemsOf[3].Has(11) || !d.ItemsOf[3].Has(12) {
-		t.Errorf("items(3) = %v", d.ItemsOf[3])
+	if !d.ItemsOf.At(3).Has(11) || !d.ItemsOf.At(3).Has(12) {
+		t.Errorf("items(3) = %v", d.ItemsOf.At(3))
 	}
 }
 

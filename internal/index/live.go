@@ -5,6 +5,12 @@
 // tagger set and network set it holds — is never modified, so in-flight
 // queries keep reading a consistent version while writers advance.
 //
+// Snapshot cost is O(1): the substrate's top-level maps and the by-tag
+// list index are persistent tries, so cowClone and the lists share copy
+// only constant-size headers. Per-batch work is then proportional to the
+// delta — the touched tag shards, posting lists and inner sets — never to
+// the corpus.
+//
 // Maintenance preserves the two structural invariants Build establishes:
 // every (cluster, tag) list stays sorted by descending stored score
 // (ascending item id on ties), and every stored score equals the Equation
@@ -20,10 +26,10 @@
 package index
 
 import (
-	"maps"
 	"sort"
 
 	"socialscope/internal/graph"
+	"socialscope/internal/persist"
 	"socialscope/internal/scoring"
 )
 
@@ -46,21 +52,16 @@ func (ix *Index) ApplyDelta(muts []graph.Mutation) *Index {
 			data:       ix.data.cowClone(),
 			clustering: ix.clustering,
 			f:          ix.f,
-			lists:      maps.Clone(ix.lists),
+			lists:      ix.lists, // persistent: O(1) share, COW below
 			entries:    ix.entries,
 			version:    ix.version + 1,
 			shared:     true,
 		},
 		ownedLists:   make(map[listKey]bool),
-		ownedShards:  make(map[string]bool),
-		ownedTaggers: make(map[string]bool),
 		ownedTagSets: make(map[string]map[graph.NodeID]bool),
 		ownedNets:    make(map[graph.NodeID]bool),
 		ownedItems:   make(map[graph.NodeID]bool),
 		ownedTags:    make(map[graph.NodeID]bool),
-	}
-	if d.ix.lists == nil {
-		d.ix.lists = make(map[string]map[int][]Entry)
 	}
 	for _, m := range muts {
 		d.apply(m)
@@ -68,52 +69,26 @@ func (ix *Index) ApplyDelta(muts []graph.Mutation) *Index {
 	return d.ix
 }
 
-// cowClone returns a Data whose top-level maps and slices are independent
-// copies while the inner tagger/network/item sets stay shared with the
-// receiver; delta handlers copy an inner set before its first write. Both
-// versions are marked as sharing inner structures so the in-place write
-// APIs (Data.AddTagging) switch to their replace-not-mutate path.
+// cowClone returns a Data sharing every structure with the receiver:
+// persistent top-level maps, copy-on-write universe slices, and the inner
+// tagger/network/item sets, which delta handlers copy before their first
+// write. O(1) — the snapshot is a header copy. Both versions are marked
+// as sharing inner structures so the in-place write APIs
+// (Data.AddTagging) switch to their replace-not-mutate path.
 func (d *Data) cowClone() *Data {
 	d.sharedInner = true
-	c := &Data{
-		sharedInner: true,
-		Users:       append([]graph.NodeID(nil), d.Users...),
-		Items:       append([]graph.NodeID(nil), d.Items...),
-		Tags:        append([]string(nil), d.Tags...),
-		Taggers:     maps.Clone(d.Taggers),
-		Network:     maps.Clone(d.Network),
-		ItemsOf:     maps.Clone(d.ItemsOf),
-		tagsOf:      maps.Clone(d.tagsOf),
-	}
-	if c.Taggers == nil {
-		c.Taggers = make(map[string]map[graph.NodeID]scoring.Set[graph.NodeID])
-	}
-	if c.Network == nil {
-		c.Network = make(map[graph.NodeID]scoring.Set[graph.NodeID])
-	}
-	if c.ItemsOf == nil {
-		c.ItemsOf = make(map[graph.NodeID]scoring.Set[graph.NodeID])
-	}
-	if c.tagsOf == nil {
-		c.tagsOf = make(map[graph.NodeID]scoring.Set[string])
-	}
-	if len(d.tagDups) > 0 {
-		c.tagDups = maps.Clone(d.tagDups)
-	}
-	if len(d.connDups) > 0 {
-		c.connDups = maps.Clone(d.connDups)
-	}
-	return c
+	c := *d
+	return &c
 }
 
-// delta tracks which shared structures the new snapshot already owns, so
-// each is copied at most once per batch regardless of how many mutations
-// touch it.
+// delta tracks which shared leaf structures — posting slices and inner
+// sets, the only mutable values below the persistent maps — the new
+// snapshot already owns, so each is copied at most once per batch
+// regardless of how many mutations touch it. The maps themselves need no
+// tracking: they are persistent, copy-on-write by construction.
 type delta struct {
 	ix           *Index
 	ownedLists   map[listKey]bool                 // individual posting slice owned
-	ownedShards  map[string]bool                  // lists[tag] inner map owned
-	ownedTaggers map[string]bool                  // Taggers[tag] inner map owned
 	ownedTagSets map[string]map[graph.NodeID]bool // Taggers[tag][item] set owned
 	ownedNets    map[graph.NodeID]bool
 	ownedItems   map[graph.NodeID]bool // ItemsOf[user] set owned
@@ -196,30 +171,33 @@ func (d *delta) applyLinkRemove(l *graph.Link) {
 // tagger is added.
 func (d *delta) addTagging(user, item graph.NodeID, tag string, countDup bool) {
 	data := d.ix.data
-	byItem := d.ownTaggers(tag)
-	set, ok := byItem[item]
-	if !ok {
-		set = scoring.NewSet[graph.NodeID]()
-		byItem[item] = set
-		d.ownedTagSets[tag][item] = true
-		insertID(&data.Items, item)
+	byItem, hadTag := data.Taggers.Get(tag)
+	var set scoring.Set[graph.NodeID]
+	hadItem := false
+	if hadTag {
+		set, hadItem = byItem.Get(item)
 	}
-	if set.Has(user) {
+	if hadItem && set.Has(user) {
 		if countDup {
 			data.noteTagDup(taggingKey{tag, item, user}, 1)
 		}
 		return
 	}
+	if !hadTag {
+		data.Tags = persist.InsertSorted(data.Tags, tag)
+	}
+	if !hadItem {
+		data.Items = persist.InsertSorted(data.Items, item)
+	}
 	set = d.ownTagSet(tag, item)
 	set.Add(user)
-	if _, ok := data.ItemsOf[user]; ok {
+	if data.ItemsOf.Has(user) {
 		d.ownItemsOf(user).Add(item)
 	}
-	if _, ok := data.tagsOf[user]; ok {
+	if data.tagsOf.Has(user) {
 		d.ownTagsOf(user).Add(tag)
 	}
-	net := data.Network[user]
-	for v := range net {
+	for v := range data.Network.At(user) {
 		cid := d.ix.clustering.Of(v)
 		if cid < 0 {
 			continue
@@ -236,16 +214,16 @@ func (d *delta) addTagging(user, item graph.NodeID, tag string, countDup bool) {
 // affected cluster maxima are recomputed exactly.
 func (d *delta) removeTagging(user, item graph.NodeID, tag string) {
 	data := d.ix.data
-	byItem := data.Taggers[tag]
-	if byItem == nil {
+	byItem, ok := data.Taggers.Get(tag)
+	if !ok {
 		return
 	}
-	set := byItem[item]
-	if set == nil || !set.Has(user) {
+	set, ok := byItem.Get(item)
+	if !ok || !set.Has(user) {
 		return
 	}
 	key := taggingKey{tag, item, user}
-	if data.tagDups[key] > 0 {
+	if data.tagDups.At(key) > 0 {
 		data.noteTagDup(key, -1)
 		return
 	}
@@ -253,26 +231,28 @@ func (d *delta) removeTagging(user, item graph.NodeID, tag string) {
 	set.Remove(user)
 	emptied := set.Len() == 0
 	if emptied {
-		byItem = d.ownTaggers(tag)
-		delete(byItem, item)
-		if len(byItem) == 0 {
-			delete(data.Taggers, tag)
-			removeString(&data.Tags, tag)
+		byItem, _ = data.Taggers.Get(tag) // re-read: ownTagSet rebound it
+		byItem = byItem.Delete(item)
+		if byItem.Len() == 0 {
+			data.Taggers = data.Taggers.Delete(tag)
+			data.Tags = persist.RemoveSorted(data.Tags, tag)
+		} else {
+			data.Taggers = data.Taggers.Set(tag, byItem)
 		}
 	}
-	if s, ok := data.ItemsOf[user]; ok && s.Has(item) && !d.stillTags(user, item) {
+	if s, ok := data.ItemsOf.Get(user); ok && s.Has(item) && !d.stillTags(user, item) {
 		d.ownItemsOf(user).Remove(item)
 	}
-	if s, ok := data.tagsOf[user]; ok && s.Has(tag) && !d.stillUsesTag(user, tag) {
+	if s, ok := data.tagsOf.Get(user); ok && s.Has(tag) && !d.stillUsesTag(user, tag) {
 		d.ownTagsOf(user).Remove(tag)
 	}
 	// A non-empty tagger set proves the item is still tagged; the
 	// vocabulary-wide scan is only needed once this (tag, item) cell
 	// drained.
 	if emptied && !d.itemTagged(item) {
-		removeID(&data.Items, item)
+		data.Items = persist.RemoveSorted(data.Items, item)
 	}
-	for v := range data.Network[user] {
+	for v := range data.Network.At(user) {
 		cid := d.ix.clustering.Of(v)
 		if cid < 0 {
 			continue
@@ -286,10 +266,10 @@ func (d *delta) removeTagging(user, item graph.NodeID, tag string) {
 // — so the affected entries are raised in place.
 func (d *delta) addConnect(u, v graph.NodeID, countDup bool) {
 	data := d.ix.data
-	if data.Network[u] == nil || data.Network[v] == nil {
+	if !data.Network.Has(u) || !data.Network.Has(v) {
 		return // mirror Extract: connections only between user nodes
 	}
-	if data.Network[u].Has(v) {
+	if data.Network.At(u).Has(v) {
 		if countDup {
 			data.noteConnDup(edgeOf(u, v), 1)
 		}
@@ -306,11 +286,12 @@ func (d *delta) addConnect(u, v graph.NodeID, countDup bool) {
 // removeConnect retracts one assertion of the connection between u and v.
 func (d *delta) removeConnect(u, v graph.NodeID) {
 	data := d.ix.data
-	if data.Network[u] == nil || !data.Network[u].Has(v) {
+	net, ok := data.Network.Get(u)
+	if !ok || !net.Has(v) {
 		return
 	}
 	key := edgeOf(u, v)
-	if data.connDups[key] > 0 {
+	if data.connDups.At(key) > 0 {
 		data.noteConnDup(key, -1)
 		return
 	}
@@ -328,7 +309,7 @@ func (d *delta) removeConnect(u, v graph.NodeID) {
 // user's own tag profile when tracked, the full vocabulary otherwise
 // (hand-built Data without profiles stays correct, just slower).
 func (d *delta) tagsUsedBy(u graph.NodeID) []string {
-	if s, ok := d.ix.data.tagsOf[u]; ok {
+	if s, ok := d.ix.data.tagsOf.Get(u); ok {
 		out := make([]string, 0, s.Len())
 		for tag := range s {
 			out = append(out, tag)
@@ -348,14 +329,14 @@ func (d *delta) raisePair(x, other graph.NodeID) {
 	if cid < 0 {
 		return
 	}
-	items := data.ItemsOf[other]
+	items := data.ItemsOf.At(other)
 	if items == nil {
 		return
 	}
 	for _, tag := range d.tagsUsedBy(other) {
-		byItem := data.Taggers[tag]
+		byItem := data.Taggers.At(tag)
 		for item := range items {
-			if !byItem[item].Has(other) {
+			if !byItem.At(item).Has(other) {
 				continue
 			}
 			if s := data.ScoreTag(item, x, tag, d.ix.f); s > 0 {
@@ -373,14 +354,14 @@ func (d *delta) recomputePair(x, other graph.NodeID) {
 	if cid < 0 {
 		return
 	}
-	items := data.ItemsOf[other]
+	items := data.ItemsOf.At(other)
 	if items == nil {
 		return
 	}
 	for _, tag := range d.tagsUsedBy(other) {
-		byItem := data.Taggers[tag]
+		byItem := data.Taggers.At(tag)
 		for item := range items {
-			if byItem[item].Has(other) {
+			if byItem.At(item).Has(other) {
 				d.recompute(listKey{cid, tag}, item)
 			}
 		}
@@ -392,16 +373,16 @@ func (d *delta) recomputePair(x, other graph.NodeID) {
 // clustering.
 func (d *delta) addUser(u graph.NodeID) {
 	data := d.ix.data
-	if _, ok := data.Network[u]; ok {
+	if data.Network.Has(u) {
 		return
 	}
-	data.Network[u] = scoring.NewSet[graph.NodeID]()
-	data.ItemsOf[u] = scoring.NewSet[graph.NodeID]()
-	data.tagsOf[u] = scoring.NewSet[string]()
+	data.Network = data.Network.Set(u, scoring.NewSet[graph.NodeID]())
+	data.ItemsOf = data.ItemsOf.Set(u, scoring.NewSet[graph.NodeID]())
+	data.tagsOf = data.tagsOf.Set(u, scoring.NewSet[string]())
 	d.ownedNets[u] = true
 	d.ownedItems[u] = true
 	d.ownedTags[u] = true
-	insertID(&data.Users, u)
+	data.Users = persist.InsertSorted(data.Users, u)
 	d.ix.clustering = d.ix.clustering.WithUser(u)
 }
 
@@ -412,29 +393,29 @@ func (d *delta) addUser(u graph.NodeID) {
 // bound over a gone user is simply never the maximum again.
 func (d *delta) removeUser(u graph.NodeID) {
 	data := d.ix.data
-	net := data.Network[u]
-	if net == nil {
+	net, ok := data.Network.Get(u)
+	if !ok {
 		return
 	}
 	for _, v := range sortedMembers(net) {
-		delete(data.connDups, edgeOf(u, v))
+		data.connDups = data.connDups.Delete(edgeOf(u, v))
 		d.removeConnect(u, v)
 	}
-	if items := data.ItemsOf[u]; items != nil {
+	if items := data.ItemsOf.At(u); items != nil {
 		tags := append([]string(nil), d.tagsUsedBy(u)...)
 		for _, item := range sortedMembers(items) {
 			for _, tag := range tags {
-				if data.Taggers[tag][item].Has(u) {
-					delete(data.tagDups, taggingKey{tag, item, u})
+				if data.Taggers.At(tag).At(item).Has(u) {
+					data.tagDups = data.tagDups.Delete(taggingKey{tag, item, u})
 					d.removeTagging(u, item, tag)
 				}
 			}
 		}
 	}
-	delete(data.Network, u)
-	delete(data.ItemsOf, u)
-	delete(data.tagsOf, u)
-	removeID(&data.Users, u)
+	data.Network = data.Network.Delete(u)
+	data.ItemsOf = data.ItemsOf.Delete(u)
+	data.tagsOf = data.tagsOf.Delete(u)
+	data.Users = persist.RemoveSorted(data.Users, u)
 }
 
 // removeItem retracts every tagging of a removed non-user node. Recorded
@@ -445,12 +426,12 @@ func (d *delta) removeUser(u graph.NodeID) {
 func (d *delta) removeItem(item graph.NodeID) {
 	data := d.ix.data
 	for _, tag := range append([]string(nil), data.Tags...) {
-		set := data.Taggers[tag][item]
+		set := data.Taggers.At(tag).At(item)
 		if set == nil {
 			continue
 		}
 		for _, u := range sortedMembers(set) {
-			delete(data.tagDups, taggingKey{tag, item, u})
+			data.tagDups = data.tagDups.Delete(taggingKey{tag, item, u})
 			d.removeTagging(u, item, tag)
 		}
 	}
@@ -461,11 +442,11 @@ func (d *delta) removeItem(item graph.NodeID) {
 // when positive.
 func (d *delta) recompute(k listKey, item graph.NodeID) {
 	data := d.ix.data
-	taggers := data.Taggers[k.tag][item]
+	taggers := data.Taggers.At(k.tag).At(item)
 	best := 0.0
 	for _, m := range d.ix.clustering.Members(k.cluster) {
-		net := data.Network[m]
-		if net == nil {
+		net, ok := data.Network.Get(m)
+		if !ok {
 			continue
 		}
 		c := scoring.IntersectionSize(net, taggers)
@@ -486,43 +467,31 @@ func (d *delta) raise(k listKey, item graph.NodeID, score float64) {
 }
 
 func (d *delta) storeList(k listKey, l []Entry, entryDelta int) {
-	shard := d.ownShard(k.tag)
-	if len(l) == 0 {
-		delete(shard, k.cluster) // Build never stores empty lists
-		if len(shard) == 0 {
-			delete(d.ix.lists, k.tag)
+	shard, ok := d.ix.lists.Get(k.tag)
+	switch {
+	case len(l) == 0:
+		if ok {
+			shard = shard.Delete(k.cluster) // Build never stores empty lists
+			if shard.Len() == 0 {
+				d.ix.lists = d.ix.lists.Delete(k.tag)
+			} else {
+				d.ix.lists = d.ix.lists.Set(k.tag, shard)
+			}
 		}
-	} else {
-		shard[k.cluster] = l
+	default:
+		if !ok {
+			shard = newClusterLists()
+		}
+		d.ix.lists = d.ix.lists.Set(k.tag, shard.Set(k.cluster, l))
 	}
 	d.ix.entries += entryDelta
 }
 
-// ownShard returns the tag's cluster→list map, copied from the shared
-// parent version on first write (the only per-delta clone whose size
-// scales with the corpus is the outer by-tag map).
-func (d *delta) ownShard(tag string) map[int][]Entry {
-	byCluster := d.ix.lists[tag]
-	if byCluster == nil {
-		byCluster = make(map[int][]Entry)
-		d.ix.lists[tag] = byCluster
-		d.ownedShards[tag] = true
-		return byCluster
-	}
-	if d.ownedShards[tag] {
-		return byCluster
-	}
-	d.ownedShards[tag] = true
-	c := maps.Clone(byCluster)
-	d.ix.lists[tag] = c
-	return c
-}
-
 // ownList returns the posting list for k, copied from the shared parent
-// version on first write.
+// version on first write. The enclosing shard and by-tag maps are
+// persistent, so only the one slice is ever duplicated.
 func (d *delta) ownList(k listKey) []Entry {
-	shard := d.ownShard(k.tag)
-	l := shard[k.cluster]
+	l := d.ix.lists.At(k.tag).At(k.cluster)
 	if d.ownedLists[k] {
 		return l
 	}
@@ -532,106 +501,88 @@ func (d *delta) ownList(k listKey) []Entry {
 	}
 	c := make([]Entry, len(l))
 	copy(c, l)
-	shard[k.cluster] = c
 	return c
 }
 
-// ownTaggers returns Taggers[tag] as an owned map, creating tag on demand.
-func (d *delta) ownTaggers(tag string) map[graph.NodeID]scoring.Set[graph.NodeID] {
-	data := d.ix.data
-	byItem, ok := data.Taggers[tag]
-	if !ok {
-		byItem = make(map[graph.NodeID]scoring.Set[graph.NodeID])
-		data.Taggers[tag] = byItem
-		d.ownedTaggers[tag] = true
-		d.ownedTagSets[tag] = make(map[graph.NodeID]bool)
-		insertString(&data.Tags, tag)
-		return byItem
-	}
-	if d.ownedTaggers[tag] {
-		return byItem
-	}
-	c := make(map[graph.NodeID]scoring.Set[graph.NodeID], len(byItem))
-	for i, s := range byItem {
-		c[i] = s
-	}
-	data.Taggers[tag] = c
-	d.ownedTaggers[tag] = true
-	if d.ownedTagSets[tag] == nil {
-		d.ownedTagSets[tag] = make(map[graph.NodeID]bool)
-	}
-	return c
-}
-
-// ownTagSet returns Taggers[tag][item] as an owned set.
+// ownTagSet returns Taggers[tag][item] as an owned set, creating the tag
+// and item cells on demand and rebinding the persistent maps around them.
 func (d *delta) ownTagSet(tag string, item graph.NodeID) scoring.Set[graph.NodeID] {
-	byItem := d.ownTaggers(tag)
-	set := byItem[item]
-	if d.ownedTagSets[tag][item] {
+	data := d.ix.data
+	byItem, hadTag := data.Taggers.Get(tag)
+	if !hadTag {
+		byItem = NewItemTaggers()
+	}
+	owned := d.ownedTagSets[tag]
+	if owned == nil {
+		owned = make(map[graph.NodeID]bool)
+		d.ownedTagSets[tag] = owned
+	}
+	set, hadSet := byItem.Get(item)
+	if hadSet && owned[item] {
 		return set
 	}
-	d.ownedTagSets[tag][item] = true
-	if set == nil {
+	owned[item] = true
+	if !hadSet {
 		set = scoring.NewSet[graph.NodeID]()
 	} else {
 		set = set.Clone()
 	}
-	byItem[item] = set
+	data.Taggers = data.Taggers.Set(tag, byItem.Set(item, set))
 	return set
 }
 
 func (d *delta) ownNet(u graph.NodeID) scoring.Set[graph.NodeID] {
 	data := d.ix.data
 	if d.ownedNets[u] {
-		return data.Network[u]
+		return data.Network.At(u)
 	}
 	d.ownedNets[u] = true
-	s := data.Network[u]
+	s := data.Network.At(u)
 	if s == nil {
 		s = scoring.NewSet[graph.NodeID]()
 	} else {
 		s = s.Clone()
 	}
-	data.Network[u] = s
+	data.Network = data.Network.Set(u, s)
 	return s
 }
 
 func (d *delta) ownItemsOf(u graph.NodeID) scoring.Set[graph.NodeID] {
 	data := d.ix.data
 	if d.ownedItems[u] {
-		return data.ItemsOf[u]
+		return data.ItemsOf.At(u)
 	}
 	d.ownedItems[u] = true
-	s := data.ItemsOf[u]
+	s := data.ItemsOf.At(u)
 	if s == nil {
 		s = scoring.NewSet[graph.NodeID]()
 	} else {
 		s = s.Clone()
 	}
-	data.ItemsOf[u] = s
+	data.ItemsOf = data.ItemsOf.Set(u, s)
 	return s
 }
 
 func (d *delta) ownTagsOf(u graph.NodeID) scoring.Set[string] {
 	data := d.ix.data
 	if d.ownedTags[u] {
-		return data.tagsOf[u]
+		return data.tagsOf.At(u)
 	}
 	d.ownedTags[u] = true
-	s := data.tagsOf[u]
+	s := data.tagsOf.At(u)
 	if s == nil {
 		s = scoring.NewSet[string]()
 	} else {
 		s = s.Clone()
 	}
-	data.tagsOf[u] = s
+	data.tagsOf = data.tagsOf.Set(u, s)
 	return s
 }
 
 // stillTags reports whether user still tags item under any tag.
 func (d *delta) stillTags(user, item graph.NodeID) bool {
 	for _, tag := range d.tagsUsedBy(user) {
-		if d.ix.data.Taggers[tag][item].Has(user) {
+		if d.ix.data.Taggers.At(tag).At(item).Has(user) {
 			return true
 		}
 	}
@@ -640,12 +591,12 @@ func (d *delta) stillTags(user, item graph.NodeID) bool {
 
 // stillUsesTag reports whether user still tags anything with tag.
 func (d *delta) stillUsesTag(user graph.NodeID, tag string) bool {
-	byItem := d.ix.data.Taggers[tag]
-	if byItem == nil {
+	byItem, ok := d.ix.data.Taggers.Get(tag)
+	if !ok {
 		return false
 	}
-	for item := range d.ix.data.ItemsOf[user] {
-		if byItem[item].Has(user) {
+	for item := range d.ix.data.ItemsOf.At(user) {
+		if byItem.At(item).Has(user) {
 			return true
 		}
 	}
@@ -654,12 +605,15 @@ func (d *delta) stillUsesTag(user graph.NodeID, tag string) bool {
 
 // itemTagged reports whether any tagger remains for item under any tag.
 func (d *delta) itemTagged(item graph.NodeID) bool {
-	for _, byItem := range d.ix.data.Taggers {
-		if s := byItem[item]; s != nil && s.Len() > 0 {
-			return true
+	tagged := false
+	d.ix.data.Taggers.Range(func(_ string, byItem ItemTaggers) bool {
+		if s := byItem.At(item); s != nil && s.Len() > 0 {
+			tagged = true
+			return false
 		}
-	}
-	return false
+		return true
+	})
+	return tagged
 }
 
 func sortedMembers(s scoring.Set[graph.NodeID]) []graph.NodeID {
@@ -671,42 +625,3 @@ func sortedMembers(s scoring.Set[graph.NodeID]) []graph.NodeID {
 	return out
 }
 
-func insertID(ids *[]graph.NodeID, id graph.NodeID) {
-	s := *ids
-	i := sort.Search(len(s), func(i int) bool { return s[i] >= id })
-	if i < len(s) && s[i] == id {
-		return
-	}
-	s = append(s, 0)
-	copy(s[i+1:], s[i:])
-	s[i] = id
-	*ids = s
-}
-
-func removeID(ids *[]graph.NodeID, id graph.NodeID) {
-	s := *ids
-	i := sort.Search(len(s), func(i int) bool { return s[i] >= id })
-	if i < len(s) && s[i] == id {
-		*ids = append(s[:i], s[i+1:]...)
-	}
-}
-
-func insertString(ss *[]string, v string) {
-	s := *ss
-	i := sort.SearchStrings(s, v)
-	if i < len(s) && s[i] == v {
-		return
-	}
-	s = append(s, "")
-	copy(s[i+1:], s[i:])
-	s[i] = v
-	*ss = s
-}
-
-func removeString(ss *[]string, v string) {
-	s := *ss
-	i := sort.SearchStrings(s, v)
-	if i < len(s) && s[i] == v {
-		*ss = append(s[:i], s[i+1:]...)
-	}
-}

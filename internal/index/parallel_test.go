@@ -5,7 +5,6 @@ import (
 	"testing"
 
 	"socialscope/internal/cluster"
-	"socialscope/internal/graph"
 	"socialscope/internal/scoring"
 )
 
@@ -44,11 +43,7 @@ func TestParallelBuildDeterministic(t *testing.T) {
 }
 
 func TestBuildEmptyData(t *testing.T) {
-	d := &Data{
-		Taggers: map[string]map[graph.NodeID]scoring.Set[graph.NodeID]{},
-		Network: map[graph.NodeID]scoring.Set[graph.NodeID]{},
-		ItemsOf: map[graph.NodeID]scoring.Set[graph.NodeID]{},
-	}
+	d := NewData()
 	cl, err := cluster.BuildFromProfiles(nil, nil, cluster.Global, 0)
 	if err != nil {
 		t.Fatal(err)

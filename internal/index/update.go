@@ -2,10 +2,10 @@ package index
 
 import (
 	"fmt"
-	"maps"
 	"sort"
 
 	"socialscope/internal/graph"
+	"socialscope/internal/persist"
 	"socialscope/internal/scoring"
 )
 
@@ -20,44 +20,42 @@ import (
 // sharing them are never modified underneath their readers. A sole-owner
 // Data (never snapshotted) keeps the cheap in-place insert.
 func (d *Data) AddTagging(user, item graph.NodeID, tag string) []graph.NodeID {
-	byItem, ok := d.Taggers[tag]
+	byItem, ok := d.Taggers.Get(tag)
 	if !ok {
-		byItem = make(map[graph.NodeID]scoring.Set[graph.NodeID])
-		d.Taggers[tag] = byItem
-		insertString(&d.Tags, tag)
-	} else if d.sharedInner {
-		byItem = maps.Clone(byItem)
-		d.Taggers[tag] = byItem
+		byItem = NewItemTaggers()
+		d.Taggers = d.Taggers.Set(tag, byItem)
+		d.Tags = persist.InsertSorted(d.Tags, tag)
 	}
-	set, ok := byItem[item]
-	if !ok {
+	set, ok := byItem.Get(item)
+	switch {
+	case !ok:
 		set = scoring.NewSet[graph.NodeID]()
-		byItem[item] = set
-		insertID(&d.Items, item)
-	} else if d.sharedInner {
+		d.Taggers = d.Taggers.Set(tag, byItem.Set(item, set))
+		d.Items = persist.InsertSorted(d.Items, item)
+	case d.sharedInner:
 		set = set.Clone()
-		byItem[item] = set
+		d.Taggers = d.Taggers.Set(tag, byItem.Set(item, set))
 	}
 	if set.Has(user) {
 		d.noteTagDup(taggingKey{tag, item, user}, 1)
 		return nil // duplicate action: scores unchanged
 	}
 	set.Add(user)
-	if s, ok := d.ItemsOf[user]; ok {
+	if s, ok := d.ItemsOf.Get(user); ok {
 		if d.sharedInner {
 			s = s.Clone()
-			d.ItemsOf[user] = s
+			d.ItemsOf = d.ItemsOf.Set(user, s)
 		}
 		s.Add(item)
 	}
-	if s, ok := d.tagsOf[user]; ok {
+	if s, ok := d.tagsOf.Get(user); ok {
 		if d.sharedInner {
 			s = s.Clone()
-			d.tagsOf[user] = s
+			d.tagsOf = d.tagsOf.Set(user, s)
 		}
 		s.Add(tag)
 	}
-	net, ok := d.Network[user]
+	net, ok := d.Network.Get(user)
 	if !ok {
 		return nil
 	}
@@ -87,10 +85,14 @@ func (d *Data) AddTagging(user, item graph.NodeID, tag string) []graph.NodeID {
 // itself changes in place — this is the single-writer study API; the
 // snapshot-per-batch API is ApplyDelta.)
 func (ix *Index) ApplyTagging(user, item graph.NodeID, tag string, affected []graph.NodeID) error {
-	if ix.data.Taggers[tag] == nil || !ix.data.Taggers[tag][item].Has(user) {
+	if !ix.data.Taggers.At(tag).At(item).Has(user) {
 		return fmt.Errorf("index: ApplyTagging before Data.AddTagging for (%d,%d,%s)", user, item, tag)
 	}
-	var byCluster map[int][]Entry
+	shard, ok := ix.lists.Get(tag)
+	if !ok {
+		shard = newClusterLists()
+	}
+	touched := false
 	owned := make(map[int]bool)
 	for _, v := range affected {
 		cid := ix.clustering.Of(v)
@@ -101,24 +103,18 @@ func (ix *Index) ApplyTagging(user, item graph.NodeID, tag string, affected []gr
 		if score <= 0 {
 			continue
 		}
-		if byCluster == nil {
-			byCluster = ix.lists[tag]
-			switch {
-			case byCluster == nil:
-				byCluster = make(map[int][]Entry)
-			case ix.shared:
-				byCluster = maps.Clone(byCluster)
-			}
-			ix.lists[tag] = byCluster
-		}
-		l := byCluster[cid]
+		l := shard.At(cid)
 		if ix.shared && !owned[cid] {
 			l = append([]Entry(nil), l...)
 		}
 		owned[cid] = true
 		l, added := raiseEntry(l, item, score)
-		byCluster[cid] = l
+		shard = shard.Set(cid, l)
+		touched = true
 		ix.entries += added
+	}
+	if touched {
+		ix.lists = ix.lists.Set(tag, shard)
 	}
 	return nil
 }

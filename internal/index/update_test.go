@@ -20,7 +20,7 @@ func TestAddTaggingUpdatesSubstrate(t *testing.T) {
 	if !reflect.DeepEqual(affected, []graph.NodeID{2, 3}) {
 		t.Errorf("affected = %v, want [2 3]", affected)
 	}
-	if !d.Taggers["newtag"][13].Has(1) {
+	if !d.Taggers.At("newtag").At(13).Has(1) {
 		t.Error("tagger not recorded")
 	}
 	if !slices.Contains(d.Items, 13) {
@@ -155,22 +155,15 @@ func TestApplyTaggingDoesNotCorruptSnapshots(t *testing.T) {
 // profile maps — with the full-vocabulary scan standing in for missing
 // per-user tag profiles.
 func TestApplyDeltaOnHandBuiltData(t *testing.T) {
-	d := &Data{
-		Users: []graph.NodeID{1, 2},
-		Items: []graph.NodeID{10},
-		Tags:  []string{"go"},
-		Taggers: map[string]map[graph.NodeID]scoring.Set[graph.NodeID]{
-			"go": {10: scoring.NewSet[graph.NodeID](1)},
-		},
-		Network: map[graph.NodeID]scoring.Set[graph.NodeID]{
-			1: scoring.NewSet[graph.NodeID](2),
-			2: scoring.NewSet[graph.NodeID](1),
-		},
-		ItemsOf: map[graph.NodeID]scoring.Set[graph.NodeID]{
-			1: scoring.NewSet[graph.NodeID](10),
-			2: scoring.NewSet[graph.NodeID](),
-		},
-	}
+	d := NewData()
+	d.Users = []graph.NodeID{1, 2}
+	d.Items = []graph.NodeID{10}
+	d.Tags = []string{"go"}
+	d.Taggers = d.Taggers.Set("go", NewItemTaggers().Set(10, scoring.NewSet[graph.NodeID](1)))
+	d.Network = d.Network.Set(1, scoring.NewSet[graph.NodeID](2))
+	d.Network = d.Network.Set(2, scoring.NewSet[graph.NodeID](1))
+	d.ItemsOf = d.ItemsOf.Set(1, scoring.NewSet[graph.NodeID](10))
+	d.ItemsOf = d.ItemsOf.Set(2, scoring.NewSet[graph.NodeID]())
 	cl, err := cluster.BuildFromProfiles(d.Users, nil, cluster.PerUser, 0)
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,430 @@
+// Package persist implements a generic persistent (immutable,
+// structurally-shared) hash map: a compressed hash-array-mapped trie in
+// the CHAMP style. Every write — Set, Delete — returns a new Map that
+// shares all untouched trie nodes with the receiver, so
+//
+//   - taking a snapshot is O(1): copy the small Map header;
+//   - a write costs O(log n) node copies along one root-to-leaf path;
+//   - readers of older versions never observe a write (RCU discipline:
+//     publish a new version, never mutate a reachable one).
+//
+// This is the storage substrate that makes the live-update path of the
+// SocialScope engine O(delta): graph snapshots (graph.ShallowClone) and
+// index substrate snapshots (index ApplyDelta) copy a constant-size
+// header instead of every entry.
+//
+// Iteration order is hash order: deterministic for a given key set —
+// independent of insertion and deletion history, because deletes restore
+// the canonical trie shape — but not sorted. Callers that need sorted
+// output collect and sort, exactly as they would over a built-in map.
+//
+// The zero Map is not ready for use: construct with NewMap (explicit hash
+// function), NewIntMap or NewStringMap.
+package persist
+
+import "math/bits"
+
+const (
+	// branchBits is the chunk of hash consumed per trie level; nodes fan
+	// out up to 1<<branchBits ways, addressed through popcount-compressed
+	// bitmaps.
+	branchBits = 6
+	branchMask = 1<<branchBits - 1
+	// maxShift is the deepest level that still draws fresh hash bits from
+	// a 64-bit hash; below it, equal-hash keys go to collision buckets.
+	maxShift = 63 - (63 % branchBits)
+)
+
+// Map is a persistent hash-array-mapped-trie map from K to V. Map values
+// are cheap headers (a root pointer, a count, the hash function); copying
+// one is an O(1) snapshot. All methods are read-only on the receiver —
+// Set and Delete return new Maps — so any number of goroutines may read
+// any number of versions concurrently without synchronization. The usual
+// single-writer discipline applies only to whatever variable holds the
+// latest version.
+type Map[K comparable, V any] struct {
+	root *node[K, V]
+	size int
+	hash func(K) uint64
+}
+
+// NewMap returns an empty map that hashes keys with the given function.
+// The hash must be deterministic for the lifetime of the map and spread
+// keys across all 64 bits (wrap integer ids with Hash64, strings with
+// HashString, and combine fields of composite keys with Mix64).
+func NewMap[K comparable, V any](hash func(K) uint64) Map[K, V] {
+	return Map[K, V]{hash: hash}
+}
+
+// Integer matches the built-in integer kinds so NewIntMap can cover every
+// id-like key type (graph.NodeID, graph.LinkID, plain ints).
+type Integer interface {
+	~int | ~int8 | ~int16 | ~int32 | ~int64 |
+		~uint | ~uint8 | ~uint16 | ~uint32 | ~uint64 | ~uintptr
+}
+
+// NewIntMap returns an empty map keyed by an integer-like type.
+func NewIntMap[K Integer, V any]() Map[K, V] {
+	return NewMap[K, V](func(k K) uint64 { return Hash64(uint64(int64(k))) })
+}
+
+// NewStringMap returns an empty map keyed by strings.
+func NewStringMap[V any]() Map[string, V] {
+	return NewMap[string, V](HashString)
+}
+
+// Hash64 finalizes a 64-bit value into a well-mixed hash (the splitmix64
+// finalizer). Sequential ids become uniformly spread trie paths.
+func Hash64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// HashString hashes a string with 64-bit FNV-1a. Deterministic across
+// processes, so trie shapes — and therefore iteration order — are
+// reproducible run to run.
+func HashString(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Mix64 combines two hashes into one, for composite keys.
+func Mix64(a, b uint64) uint64 {
+	return Hash64(a ^ (b*0x9e3779b97f4a7c15 + 0x7f4a7c15))
+}
+
+// node is one trie level. datamap marks slots holding inline entries
+// (parallel keys/vals, in slot order); nodemap marks slots holding child
+// pointers (subs, in slot order). A slot is never in both maps. Collision
+// buckets — keys whose 64-bit hashes are fully equal — are nodes with
+// coll set; they hold every colliding entry in keys/vals and use neither
+// bitmap. Nodes are immutable once linked into a published Map.
+type node[K comparable, V any] struct {
+	datamap uint64
+	nodemap uint64
+	keys    []K
+	vals    []V
+	subs    []*node[K, V]
+	coll    bool
+}
+
+// Len returns the number of entries. O(1).
+func (m Map[K, V]) Len() int { return m.size }
+
+// Get returns the value stored under k and whether it is present.
+func (m Map[K, V]) Get(k K) (V, bool) {
+	var zero V
+	n := m.root
+	if n == nil {
+		return zero, false
+	}
+	h := m.hash(k)
+	for shift := uint(0); ; shift += branchBits {
+		if n.coll {
+			for i := range n.keys {
+				if n.keys[i] == k {
+					return n.vals[i], true
+				}
+			}
+			return zero, false
+		}
+		bit := uint64(1) << ((h >> shift) & branchMask)
+		if n.datamap&bit != 0 {
+			i := bits.OnesCount64(n.datamap & (bit - 1))
+			if n.keys[i] == k {
+				return n.vals[i], true
+			}
+			return zero, false
+		}
+		if n.nodemap&bit == 0 {
+			return zero, false
+		}
+		n = n.subs[bits.OnesCount64(n.nodemap&(bit-1))]
+	}
+}
+
+// At returns the value stored under k, or V's zero value when absent —
+// the built-in map's indexing convenience for nil-tolerant value types
+// (slices, maps, sets).
+func (m Map[K, V]) At(k K) V {
+	v, _ := m.Get(k)
+	return v
+}
+
+// Has reports whether k is present.
+func (m Map[K, V]) Has(k K) bool {
+	_, ok := m.Get(k)
+	return ok
+}
+
+// Set returns a map with k bound to v. The receiver is unchanged.
+func (m Map[K, V]) Set(k K, v V) Map[K, V] {
+	h := m.hash(k)
+	if m.root == nil {
+		return Map[K, V]{
+			root: &node[K, V]{
+				datamap: 1 << (h & branchMask),
+				keys:    []K{k},
+				vals:    []V{v},
+			},
+			size: 1,
+			hash: m.hash,
+		}
+	}
+	root, added := m.set(m.root, 0, h, k, v)
+	size := m.size
+	if added {
+		size++
+	}
+	return Map[K, V]{root: root, size: size, hash: m.hash}
+}
+
+func (m Map[K, V]) set(n *node[K, V], shift uint, h uint64, k K, v V) (*node[K, V], bool) {
+	if n.coll {
+		for i := range n.keys {
+			if n.keys[i] == k {
+				c := &node[K, V]{coll: true, keys: n.keys, vals: setAt(n.vals, i, v)}
+				return c, false
+			}
+		}
+		return &node[K, V]{
+			coll: true,
+			keys: append(append(make([]K, 0, len(n.keys)+1), n.keys...), k),
+			vals: append(append(make([]V, 0, len(n.vals)+1), n.vals...), v),
+		}, true
+	}
+	bit := uint64(1) << ((h >> shift) & branchMask)
+	switch {
+	case n.datamap&bit != 0:
+		i := bits.OnesCount64(n.datamap & (bit - 1))
+		if n.keys[i] == k {
+			return &node[K, V]{
+				datamap: n.datamap, nodemap: n.nodemap,
+				keys: n.keys, vals: setAt(n.vals, i, v), subs: n.subs,
+			}, false
+		}
+		// Slot conflict: push the resident entry and the new one down
+		// into a fresh subtree keyed by deeper hash bits.
+		sub := m.merge(shift+branchBits, m.hash(n.keys[i]), n.keys[i], n.vals[i], h, k, v)
+		j := bits.OnesCount64(n.nodemap & (bit - 1))
+		return &node[K, V]{
+			datamap: n.datamap &^ bit,
+			nodemap: n.nodemap | bit,
+			keys:    removeAt(n.keys, i),
+			vals:    removeAt(n.vals, i),
+			subs:    insertAt(n.subs, j, sub),
+		}, true
+	case n.nodemap&bit != 0:
+		j := bits.OnesCount64(n.nodemap & (bit - 1))
+		sub, added := m.set(n.subs[j], shift+branchBits, h, k, v)
+		return &node[K, V]{
+			datamap: n.datamap, nodemap: n.nodemap,
+			keys: n.keys, vals: n.vals, subs: setAt(n.subs, j, sub),
+		}, added
+	default:
+		i := bits.OnesCount64(n.datamap & (bit - 1))
+		return &node[K, V]{
+			datamap: n.datamap | bit, nodemap: n.nodemap,
+			keys: insertAt(n.keys, i, k),
+			vals: insertAt(n.vals, i, v),
+			subs: n.subs,
+		}, true
+	}
+}
+
+// merge builds the minimal subtree holding two distinct keys, descending
+// while their hash chunks collide and dropping into a collision bucket
+// once the hash is exhausted.
+func (m Map[K, V]) merge(shift uint, h1 uint64, k1 K, v1 V, h2 uint64, k2 K, v2 V) *node[K, V] {
+	if shift > maxShift {
+		return &node[K, V]{coll: true, keys: []K{k1, k2}, vals: []V{v1, v2}}
+	}
+	i1 := (h1 >> shift) & branchMask
+	i2 := (h2 >> shift) & branchMask
+	if i1 == i2 {
+		return &node[K, V]{
+			nodemap: 1 << i1,
+			subs:    []*node[K, V]{m.merge(shift+branchBits, h1, k1, v1, h2, k2, v2)},
+		}
+	}
+	if i1 > i2 {
+		i1, i2 = i2, i1
+		k1, k2 = k2, k1
+		v1, v2 = v2, v1
+	}
+	return &node[K, V]{
+		datamap: 1<<i1 | 1<<i2,
+		keys:    []K{k1, k2},
+		vals:    []V{v1, v2},
+	}
+}
+
+// Delete returns a map without k. The receiver is unchanged; deleting an
+// absent key returns the receiver as-is.
+func (m Map[K, V]) Delete(k K) Map[K, V] {
+	if m.root == nil {
+		return m
+	}
+	root, removed := m.del(m.root, 0, m.hash(k), k)
+	if !removed {
+		return m
+	}
+	return Map[K, V]{root: root, size: m.size - 1, hash: m.hash}
+}
+
+func (m Map[K, V]) del(n *node[K, V], shift uint, h uint64, k K) (*node[K, V], bool) {
+	if n.coll {
+		for i := range n.keys {
+			if n.keys[i] != k {
+				continue
+			}
+			if len(n.keys) == 1 {
+				return nil, true
+			}
+			return &node[K, V]{coll: true, keys: removeAt(n.keys, i), vals: removeAt(n.vals, i)}, true
+		}
+		return n, false
+	}
+	bit := uint64(1) << ((h >> shift) & branchMask)
+	switch {
+	case n.datamap&bit != 0:
+		i := bits.OnesCount64(n.datamap & (bit - 1))
+		if n.keys[i] != k {
+			return n, false
+		}
+		if len(n.keys) == 1 && n.nodemap == 0 {
+			return nil, true
+		}
+		return &node[K, V]{
+			datamap: n.datamap &^ bit, nodemap: n.nodemap,
+			keys: removeAt(n.keys, i), vals: removeAt(n.vals, i), subs: n.subs,
+		}, true
+	case n.nodemap&bit != 0:
+		j := bits.OnesCount64(n.nodemap & (bit - 1))
+		sub, removed := m.del(n.subs[j], shift+branchBits, h, k)
+		if !removed {
+			return n, false
+		}
+		switch {
+		case sub == nil:
+			if len(n.subs) == 1 && n.datamap == 0 {
+				return nil, true
+			}
+			return &node[K, V]{
+				datamap: n.datamap, nodemap: n.nodemap &^ bit,
+				keys: n.keys, vals: n.vals, subs: removeAt(n.subs, j),
+			}, true
+		case sub.inlineable():
+			// Canonical form: a subtree holding a single entry collapses
+			// into its parent's datamap, so a key set has exactly one trie
+			// shape no matter how it was reached.
+			i := bits.OnesCount64(n.datamap & (bit - 1))
+			return &node[K, V]{
+				datamap: n.datamap | bit, nodemap: n.nodemap &^ bit,
+				keys: insertAt(n.keys, i, sub.keys[0]),
+				vals: insertAt(n.vals, i, sub.vals[0]),
+				subs: removeAt(n.subs, j),
+			}, true
+		default:
+			return &node[K, V]{
+				datamap: n.datamap, nodemap: n.nodemap,
+				keys: n.keys, vals: n.vals, subs: setAt(n.subs, j, sub),
+			}, true
+		}
+	default:
+		return n, false
+	}
+}
+
+// inlineable reports whether the node holds exactly one entry and no
+// subtrees, so a parent can absorb it as an inline entry.
+func (n *node[K, V]) inlineable() bool {
+	if n.coll {
+		return len(n.keys) == 1
+	}
+	return len(n.subs) == 0 && len(n.keys) == 1
+}
+
+// Range calls fn for every entry until fn returns false. The order is
+// hash order: fixed for a given key set, unrelated to insertion order.
+// fn must not write to the map variable being ranged (take a snapshot
+// first — it is free).
+func (m Map[K, V]) Range(fn func(K, V) bool) {
+	if m.root != nil {
+		m.root.visit(fn)
+	}
+}
+
+func (n *node[K, V]) visit(fn func(K, V) bool) bool {
+	if n.coll {
+		for i := range n.keys {
+			if !fn(n.keys[i], n.vals[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	// Interleave inline entries and subtrees in slot order so iteration
+	// follows the hash-path order at every depth.
+	di, si := 0, 0
+	remaining := n.datamap | n.nodemap
+	for remaining != 0 {
+		bit := remaining & (-remaining)
+		remaining &^= bit
+		if n.datamap&bit != 0 {
+			if !fn(n.keys[di], n.vals[di]) {
+				return false
+			}
+			di++
+		} else {
+			if !n.subs[si].visit(fn) {
+				return false
+			}
+			si++
+		}
+	}
+	return true
+}
+
+// Keys returns every key, in Range order.
+func (m Map[K, V]) Keys() []K {
+	out := make([]K, 0, m.size)
+	m.Range(func(k K, _ V) bool {
+		out = append(out, k)
+		return true
+	})
+	return out
+}
+
+// setAt returns a copy of s with s[i] replaced by v.
+func setAt[T any](s []T, i int, v T) []T {
+	c := make([]T, len(s))
+	copy(c, s)
+	c[i] = v
+	return c
+}
+
+// insertAt returns a copy of s with v inserted before index i.
+func insertAt[T any](s []T, i int, v T) []T {
+	c := make([]T, len(s)+1)
+	copy(c, s[:i])
+	c[i] = v
+	copy(c[i+1:], s[i:])
+	return c
+}
+
+// removeAt returns a copy of s without the element at index i.
+func removeAt[T any](s []T, i int) []T {
+	c := make([]T, len(s)-1)
+	copy(c, s[:i])
+	copy(c[i:], s[i+1:])
+	return c
+}

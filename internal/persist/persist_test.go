@@ -1,0 +1,294 @@
+package persist
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+func TestBasicSetGetDelete(t *testing.T) {
+	m := NewIntMap[int, string]()
+	if m.Len() != 0 {
+		t.Fatalf("empty map Len = %d", m.Len())
+	}
+	if _, ok := m.Get(1); ok {
+		t.Fatal("empty map has key")
+	}
+	m = m.Set(1, "a").Set(2, "b").Set(3, "c")
+	if m.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", m.Len())
+	}
+	for k, want := range map[int]string{1: "a", 2: "b", 3: "c"} {
+		if got, ok := m.Get(k); !ok || got != want {
+			t.Errorf("Get(%d) = %q, %v; want %q", k, got, ok, want)
+		}
+	}
+	m = m.Set(2, "B")
+	if got := m.At(2); got != "B" {
+		t.Errorf("overwrite: At(2) = %q", got)
+	}
+	if m.Len() != 3 {
+		t.Errorf("overwrite changed Len to %d", m.Len())
+	}
+	m = m.Delete(1)
+	if m.Has(1) || m.Len() != 2 {
+		t.Errorf("after Delete(1): Has=%v Len=%d", m.Has(1), m.Len())
+	}
+	if m2 := m.Delete(99); m2.Len() != 2 {
+		t.Errorf("deleting absent key changed Len to %d", m2.Len())
+	}
+}
+
+func TestAtZeroValue(t *testing.T) {
+	m := NewStringMap[[]int]()
+	if v := m.At("missing"); v != nil {
+		t.Errorf("At(missing) = %v, want nil", v)
+	}
+	m = m.Set("x", []int{1})
+	if v := m.At("x"); len(v) != 1 {
+		t.Errorf("At(x) = %v", v)
+	}
+}
+
+// TestSnapshotImmutability is the load-bearing property: a snapshot taken
+// before a write sequence must never change, entry for entry.
+func TestSnapshotImmutability(t *testing.T) {
+	m := NewIntMap[int, int]()
+	for i := 0; i < 1000; i++ {
+		m = m.Set(i, i*10)
+	}
+	snap := m // O(1) snapshot
+	for i := 0; i < 1000; i += 2 {
+		m = m.Delete(i)
+	}
+	for i := 1000; i < 1500; i++ {
+		m = m.Set(i, -i)
+	}
+	for i := 1; i < 1000; i += 2 {
+		m = m.Set(i, 0)
+	}
+	if snap.Len() != 1000 {
+		t.Fatalf("snapshot Len changed to %d", snap.Len())
+	}
+	for i := 0; i < 1000; i++ {
+		if got, ok := snap.Get(i); !ok || got != i*10 {
+			t.Fatalf("snapshot entry %d = %d, %v; want %d", i, got, ok, i*10)
+		}
+	}
+	if snap.Has(1200) {
+		t.Fatal("snapshot sees later insert")
+	}
+}
+
+// TestDifferentialVsMap drives random operations through the HAMT and a
+// built-in map in lockstep and compares full contents periodically.
+func TestDifferentialVsMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := NewIntMap[int64, int]()
+	ref := make(map[int64]int)
+	const ops = 20000
+	for i := 0; i < ops; i++ {
+		k := int64(rng.Intn(2000))
+		switch rng.Intn(3) {
+		case 0, 1:
+			m = m.Set(k, i)
+			ref[k] = i
+		case 2:
+			m = m.Delete(k)
+			delete(ref, k)
+		}
+		if m.Len() != len(ref) {
+			t.Fatalf("op %d: Len %d != ref %d", i, m.Len(), len(ref))
+		}
+		if i%1000 == 999 {
+			got := make(map[int64]int, m.Len())
+			m.Range(func(k int64, v int) bool {
+				if _, dup := got[k]; dup {
+					t.Fatalf("Range yields key %d twice", k)
+				}
+				got[k] = v
+				return true
+			})
+			if !reflect.DeepEqual(got, ref) {
+				t.Fatalf("op %d: contents diverged (%d vs %d entries)", i, len(got), len(ref))
+			}
+		}
+	}
+	for k, v := range ref {
+		if got, ok := m.Get(k); !ok || got != v {
+			t.Fatalf("final Get(%d) = %d, %v; want %d", k, got, ok, v)
+		}
+	}
+}
+
+func TestStringKeys(t *testing.T) {
+	m := NewStringMap[int]()
+	ref := make(map[string]int)
+	for i := 0; i < 5000; i++ {
+		k := fmt.Sprintf("tag%04d", i%700)
+		m = m.Set(k, i)
+		ref[k] = i
+	}
+	if m.Len() != len(ref) {
+		t.Fatalf("Len = %d, want %d", m.Len(), len(ref))
+	}
+	for k, v := range ref {
+		if got := m.At(k); got != v {
+			t.Fatalf("At(%q) = %d, want %d", k, got, v)
+		}
+	}
+}
+
+// TestCollisions forces every key onto one hash so the collision-bucket
+// path carries the whole workload.
+func TestCollisions(t *testing.T) {
+	m := NewMap[int, string](func(int) uint64 { return 0xdeadbeef })
+	ref := make(map[int]string)
+	for i := 0; i < 200; i++ {
+		m = m.Set(i, fmt.Sprint(i))
+		ref[i] = fmt.Sprint(i)
+	}
+	snap := m
+	for i := 0; i < 200; i += 3 {
+		m = m.Delete(i)
+		delete(ref, i)
+	}
+	if m.Len() != len(ref) {
+		t.Fatalf("Len = %d, want %d", m.Len(), len(ref))
+	}
+	for i := 0; i < 200; i++ {
+		got, ok := m.Get(i)
+		want, wok := ref[i]
+		if ok != wok || got != want {
+			t.Errorf("Get(%d) = %q, %v; want %q, %v", i, got, ok, want, wok)
+		}
+	}
+	if snap.Len() != 200 {
+		t.Errorf("collision snapshot Len changed to %d", snap.Len())
+	}
+	// Drain to empty and rebuild: exercises bucket inlining and root removal.
+	for i := range ref {
+		m = m.Delete(i)
+	}
+	if m.Len() != 0 || m.root != nil {
+		t.Fatalf("drained map: Len=%d root=%v", m.Len(), m.root)
+	}
+	m = m.Set(5, "five")
+	if m.At(5) != "five" {
+		t.Fatal("reuse after drain failed")
+	}
+}
+
+// TestIterationDeterministic asserts the canonical-shape property: the
+// same key set iterates in the same order regardless of how it was built.
+func TestIterationDeterministic(t *testing.T) {
+	keys := rand.New(rand.NewSource(3)).Perm(500)
+	a := NewIntMap[int, int]()
+	for _, k := range keys {
+		a = a.Set(k, k)
+	}
+	// b: insert extra keys then delete them, and insert in another order.
+	b := NewIntMap[int, int]()
+	for i := 499; i >= 0; i-- {
+		b = b.Set(i, i)
+	}
+	for i := 1000; i < 1200; i++ {
+		b = b.Set(i, i)
+	}
+	for i := 1000; i < 1200; i++ {
+		b = b.Delete(i)
+	}
+	ka, kb := a.Keys(), b.Keys()
+	if !reflect.DeepEqual(ka, kb) {
+		t.Fatal("iteration order depends on construction history")
+	}
+	sort.Ints(ka)
+	for i, k := range ka {
+		if i != k {
+			t.Fatalf("key set wrong at %d: %d", i, k)
+		}
+	}
+}
+
+func TestRangeEarlyStop(t *testing.T) {
+	m := NewIntMap[int, int]()
+	for i := 0; i < 100; i++ {
+		m = m.Set(i, i)
+	}
+	n := 0
+	m.Range(func(int, int) bool {
+		n++
+		return n < 10
+	})
+	if n != 10 {
+		t.Fatalf("Range visited %d entries after early stop", n)
+	}
+}
+
+func TestKeysEmpty(t *testing.T) {
+	m := NewStringMap[int]()
+	if ks := m.Keys(); len(ks) != 0 {
+		t.Fatalf("Keys of empty = %v", ks)
+	}
+}
+
+func TestMix64Spread(t *testing.T) {
+	seen := make(map[uint64]bool)
+	for a := uint64(0); a < 50; a++ {
+		for b := uint64(0); b < 50; b++ {
+			h := Mix64(Hash64(a), Hash64(b))
+			if seen[h] {
+				t.Fatalf("Mix64 collision at (%d,%d)", a, b)
+			}
+			seen[h] = true
+		}
+	}
+	if Mix64(Hash64(1), Hash64(2)) == Mix64(Hash64(2), Hash64(1)) {
+		t.Error("Mix64 should not be symmetric")
+	}
+}
+
+// TestConcurrentReadersUnderWriter publishes successive versions while
+// readers walk older snapshots; run with -race this proves structural
+// sharing never hands a mutable node to a reader.
+func TestConcurrentReadersUnderWriter(t *testing.T) {
+	m := NewIntMap[int, int]()
+	for i := 0; i < 512; i++ {
+		m = m.Set(i, i)
+	}
+	snaps := make(chan Map[int, int], 64)
+	done := make(chan struct{})
+	go func() {
+		defer close(snaps)
+		cur := m
+		for i := 0; i < 2000; i++ {
+			cur = cur.Set(i%700, i).Delete((i * 7) % 900)
+			if i%50 == 0 {
+				select {
+				case snaps <- cur:
+				default:
+				}
+			}
+		}
+	}()
+	go func() {
+		defer close(done)
+		for s := range snaps {
+			sum := 0
+			s.Range(func(_, v int) bool {
+				sum += v
+				return true
+			})
+			_ = sum
+		}
+	}()
+	<-done
+	// The original version must still hold its exact contents.
+	for i := 0; i < 512; i++ {
+		if got := m.At(i); got != i {
+			t.Fatalf("base version entry %d = %d", i, got)
+		}
+	}
+}

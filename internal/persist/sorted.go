@@ -1,0 +1,35 @@
+package persist
+
+import (
+	"cmp"
+	"sort"
+)
+
+// InsertSorted returns a fresh ascending-sorted slice with v inserted,
+// or the original slice when v is already present. It never modifies the
+// input, so sorted slices can be shared across snapshots under the same
+// copy-on-write discipline as Map versions.
+func InsertSorted[T cmp.Ordered](s []T, v T) []T {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+	if i < len(s) && s[i] == v {
+		return s
+	}
+	out := make([]T, len(s)+1)
+	copy(out, s[:i])
+	out[i] = v
+	copy(out[i+1:], s[i:])
+	return out
+}
+
+// RemoveSorted returns a fresh ascending-sorted slice without v, or the
+// original slice when v is absent. It never modifies the input.
+func RemoveSorted[T cmp.Ordered](s []T, v T) []T {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+	if i >= len(s) || s[i] != v {
+		return s
+	}
+	out := make([]T, len(s)-1)
+	copy(out, s[:i])
+	copy(out[i:], s[i+1:])
+	return out
+}

@@ -298,14 +298,16 @@ func (e *Engine) Analyze() error {
 // may already reflect. Additions already present in the serving graph are
 // rejected with an error rather than silently double-counted.
 //
-// Cost note: posting-list work is proportional to the batch (only
-// touched tag shards and lists are copied), but each batch also pays
-// fixed snapshot overheads that scale with the corpus, not the delta:
-// the substrate clone copies the top-level user/item/tag maps and
-// slices, and the graph snapshot is a ShallowClone — O(nodes+links),
-// twice once Analyze has run. Amortize by batching mutations rather than
-// applying them one at a time; persistent structures that make both
-// snapshots O(delta) are tracked in ROADMAP.md.
+// Cost note: a batch costs O(delta) end-to-end. Graph and index storage
+// is persistent (structurally shared), so the per-batch snapshots —
+// graph ShallowClone, index substrate clone, posting-list index share —
+// are O(1) header copies, and the remaining work is proportional to the
+// mutations applied: touched trie paths, tag shards, posting lists and
+// inner sets. The discovery corpus is reused across batches that touch
+// no item node (and rebuilt lazily otherwise), so nothing on this path
+// scales with graph size. Batching still amortizes per-call constants,
+// but one-mutation batches are no longer penalized by corpus-sized
+// copies.
 func (e *Engine) Apply(muts []graph.Mutation) error {
 	if len(muts) == 0 {
 		return nil
@@ -400,7 +402,14 @@ func (e *Engine) Apply(muts []graph.Mutation) error {
 			return fmt.Errorf("socialscope: apply to analyzed graph: %w", err)
 		}
 	}
-	ns.disc = discovery.NewDiscoverer(ns.current(), e.cfg.ItemType)
+	// Rebind discovery to the new serving graph. The BM25 item corpus is
+	// an O(items) aggregate, so it is carried over (O(1)) unless the batch
+	// touches an item node's text — the only thing that can change it.
+	if batchTouchesItems(muts, st.base, e.cfg.ItemType) {
+		ns.disc = discovery.NewDiscoverer(ns.current(), e.cfg.ItemType)
+	} else {
+		ns.disc = st.disc.WithGraph(ns.current())
+	}
 	if st.proc != nil {
 		proc, err := topk.New(st.proc.Index().ApplyDelta(muts), nil)
 		if err != nil {
@@ -410,6 +419,30 @@ func (e *Engine) Apply(muts []graph.Mutation) error {
 	}
 	e.state.Store(ns)
 	return nil
+}
+
+// batchTouchesItems reports whether any mutation in the batch adds,
+// consolidates or removes a node carrying the engine's item type — the
+// mutations that can change the searchable item corpus. The payload's
+// types are not enough: a partial consolidation (or a bare removal) may
+// target an existing item node without re-stating its types, so the
+// node's resident state in the pre-batch graph is consulted too.
+func batchTouchesItems(muts []graph.Mutation, base *Graph, itemType string) bool {
+	for _, m := range muts {
+		switch m.Kind {
+		case graph.MutAddNode, graph.MutPutNode, graph.MutRemoveNode:
+			if m.Node == nil {
+				continue
+			}
+			if m.Node.HasType(itemType) {
+				return true
+			}
+			if ex := base.Node(m.Node.ID); ex != nil && ex.HasType(itemType) {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // ensureProcessor returns a state whose index processor is built, lazily
