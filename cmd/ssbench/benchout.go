@@ -1,0 +1,60 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// Machine-readable results: alongside its printed tables, every
+// experiment may record named metrics; after the experiment finishes,
+// main writes them as BENCH_<exp>.json in -benchdir (default the current
+// directory, "" disables). The files give future PRs a stable artifact to
+// diff performance against instead of parsing table layouts; one file per
+// experiment, overwritten per run.
+type benchFile struct {
+	Exp         string             `json:"exp"`
+	Scale       int                `json:"scale"`
+	Seed        int64              `json:"seed"`
+	GeneratedAt string             `json:"generated_at"`
+	Metrics     map[string]float64 `json:"metrics"`
+}
+
+// benchMetrics accumulates the current experiment's metrics; reset by
+// main before each runner. Keys are dotted paths ("factor2.build_ms"),
+// values plain numbers so diffs need no unit parsing (the key carries
+// the unit).
+var benchMetrics map[string]float64
+
+func benchMetric(key string, v float64) {
+	if benchMetrics != nil {
+		benchMetrics[key] = v
+	}
+}
+
+// writeBenchJSON persists the experiment's metrics. Map keys are emitted
+// in sorted order (encoding/json), so the files are diff-stable.
+func writeBenchJSON(dir, exp string, scale int, seed int64) error {
+	if dir == "" || len(benchMetrics) == 0 {
+		return nil
+	}
+	doc := benchFile{
+		Exp:         exp,
+		Scale:       scale,
+		Seed:        seed,
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Metrics:     benchMetrics,
+	}
+	buf, err := json.MarshalIndent(doc, "", " ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, "BENCH_"+exp+".json")
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("(wrote %s)\n", path)
+	return nil
+}

@@ -4,7 +4,10 @@
 //
 // Usage:
 //
-//	ssbench [-exp all|table1|table2|example4|figure2|index|topk|sync|presentation|analyzer|pipeline] [-scale N]
+//	ssbench [-exp all|table1|table2|example4|figure2|index|topk|sync|presentation|analyzer|pipeline|fusion|liveupdate|bulkload] [-scale N] [-seed S] [-benchdir DIR]
+//
+// Besides the printed tables, experiments that record metrics write them
+// as BENCH_<exp>.json into -benchdir so successive runs can be diffed.
 package main
 
 import (
@@ -34,6 +37,7 @@ func main() {
 	exp := flag.String("exp", "all", "experiment to run")
 	scale := flag.Int("scale", 1, "workload scale multiplier")
 	seed := flag.Int64("seed", 42, "workload seed")
+	benchdir := flag.String("benchdir", ".", "directory for BENCH_<exp>.json result files (empty disables)")
 	flag.Parse()
 
 	runners := map[string]func(int, int64) error{
@@ -49,15 +53,21 @@ func main() {
 		"pipeline":     runPipeline,
 		"fusion":       runFusion,
 		"liveupdate":   runLiveUpdate,
+		"bulkload":     runBulkload,
 	}
 	order := []string{"table1", "table2", "example4", "figure2", "index",
 		"topk", "sync", "presentation", "analyzer", "pipeline", "fusion",
-		"liveupdate"}
+		"liveupdate", "bulkload"}
 
 	run := func(name string) {
 		fmt.Printf("\n===== %s =====\n", name)
+		benchMetrics = make(map[string]float64)
 		if err := runners[name](*scale, *seed); err != nil {
 			fmt.Fprintf(os.Stderr, "ssbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		if err := writeBenchJSON(*benchdir, name, *scale, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "ssbench: %s: writing results: %v\n", name, err)
 			os.Exit(1)
 		}
 	}
@@ -618,6 +628,7 @@ func runLiveUpdate(scale int, seed int64) error {
 	}
 	fmt.Printf("%-22s %-13v %-13v %-13v %-12v\n", "incremental",
 		incUpd, incUpd/time.Duration(steps), incQ, incUpd+incQ)
+	benchMetric("incremental_per_update_us", float64(incUpd.Microseconds())/float64(steps))
 
 	// Baseline: fold the action into the substrate, then rebuild the whole
 	// index (what a batch-built Section 6.2 index has to do today).
@@ -644,6 +655,8 @@ func runLiveUpdate(scale int, seed int64) error {
 	}
 	fmt.Printf("%-22s %-13v %-13v %-13v %-12v\n", "rebuild-per-update",
 		rebUpd, rebUpd/time.Duration(steps), rebQ, rebUpd+rebQ)
+	benchMetric("rebuild_per_update_us", float64(rebUpd.Microseconds())/float64(steps))
+	benchMetric("maintenance_speedup", rebUpd.Seconds()/incUpd.Seconds())
 	fmt.Printf("\nmaintenance speedup: %.1f× (wall %.1f×; snapshot version %d, %d entries",
 		rebUpd.Seconds()/incUpd.Seconds(),
 		(rebUpd + rebQ).Seconds()/(incUpd + incQ).Seconds(),
@@ -664,10 +677,7 @@ func runLiveUpdate(scale int, seed int64) error {
 	const batch = 10
 	start := time.Now()
 	for i := 0; i < len(muts); i += batch {
-		end := i + batch
-		if end > len(muts) {
-			end = len(muts)
-		}
+		end := min(i+batch, len(muts))
 		if err := eng.Apply(muts[i:end]); err != nil {
 			return err
 		}
@@ -676,6 +686,7 @@ func runLiveUpdate(scale int, seed int64) error {
 		}
 	}
 	engTime := time.Since(start)
+	benchMetric("engine_apply_total_ms", float64(engTime.Milliseconds()))
 	stats, _ := eng.LastSearchStats()
 	fmt.Printf("engine: %d mutations in batches of %d via Engine.Apply in %v "+
 		"(version %d, last query read snapshot %d)\n",
@@ -775,6 +786,10 @@ func runSnapshotScaling(scale int, seed int64) error {
 		}
 		applyPerBatch := time.Since(start) / batches
 		flat = append(flat, applyPerBatch)
+		benchMetric(fmt.Sprintf("factor%d.apply_per_batch_us", factor),
+			float64(applyPerBatch.Microseconds()))
+		benchMetric(fmt.Sprintf("factor%d.legacy_per_batch_us", factor),
+			float64(legacyPerBatch.Microseconds()))
 
 		fmt.Printf("%-8d %-8d %-8d %-14v %-14v %-10.1f\n",
 			factor, g.NumNodes(), g.NumLinks(), legacyPerBatch, applyPerBatch,

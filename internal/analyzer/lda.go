@@ -169,9 +169,7 @@ func (m *LDAModel) TopTerms(t, n int) []string {
 		}
 		return m.Vocab[all[i].w] < m.Vocab[all[j].w]
 	})
-	if n > len(all) {
-		n = len(all)
-	}
+	n = min(n, len(all))
 	out := make([]string, n)
 	for i := 0; i < n; i++ {
 		out[i] = m.Vocab[all[i].w]
@@ -213,6 +211,7 @@ func DeriveTopics(g *graph.Graph, nodeType string, cfg LDAConfig) (*graph.Graph,
 		return nil, nil, err
 	}
 	out := g.Clone()
+	out.BeginBulk() // out is private until returned; sealed below
 	ids := graph.IDSourceFor(out)
 	topicNodes := make([]graph.NodeID, cfg.Topics)
 	for t := 0; t < cfg.Topics; t++ {
@@ -233,5 +232,6 @@ func DeriveTopics(g *graph.Graph, nodeType string, cfg LDAConfig) (*graph.Graph,
 			return nil, nil, err
 		}
 	}
+	out.EndBulk()
 	return out, model, nil
 }

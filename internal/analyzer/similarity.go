@@ -52,6 +52,7 @@ func Profiles(g *graph.Graph) map[graph.NodeID]*UserProfile {
 func DeriveMatches(g *graph.Graph, threshold float64) *graph.Graph {
 	profiles := Profiles(g)
 	out := g.Clone()
+	out.BeginBulk() // out is private until returned; sealed below
 	ids := graph.IDSourceFor(out)
 	users := make([]graph.NodeID, 0, len(profiles))
 	for id := range profiles {
@@ -82,6 +83,7 @@ func DeriveMatches(g *graph.Graph, threshold float64) *graph.Graph {
 			}
 		}
 	}
+	out.EndBulk()
 	return out
 }
 
@@ -125,9 +127,7 @@ func ExpertsOn(g *graph.Graph, keywords []string, n int) []graph.NodeID {
 			}
 		}
 	}
-	if n > len(counts) {
-		n = len(counts)
-	}
+	n = min(n, len(counts))
 	out := make([]graph.NodeID, n)
 	for i := 0; i < n; i++ {
 		out[i] = counts[i].id

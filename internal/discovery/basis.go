@@ -143,9 +143,7 @@ func expertsForBasis(g *graph.Graph, keywords []string, n int, exclude graph.Nod
 		}
 		return counts[i].id < counts[j].id
 	})
-	if n > len(counts) {
-		n = len(counts)
-	}
+	n = min(n, len(counts))
 	out := make([]graph.NodeID, n)
 	for i := 0; i < n; i++ {
 		out[i] = counts[i].id

@@ -56,13 +56,17 @@ func (g *Graph) Encode(w io.Writer) error {
 }
 
 // Decode reads a graph previously written by Encode. Nodes load before
-// links so endpoint checks hold; the first malformed element aborts.
+// links so endpoint checks hold; the first malformed element aborts. The
+// whole load runs in one bulk-mutation window — a cold load is the purest
+// bulk build there is — sealed before the graph is returned.
 func Decode(r io.Reader) (*Graph, error) {
 	var doc graphJSON
 	if err := json.NewDecoder(r).Decode(&doc); err != nil {
 		return nil, fmt.Errorf("graph: decode: %w", err)
 	}
 	g := New()
+	g.BeginBulk()
+	defer g.EndBulk()
 	for _, nj := range doc.Nodes {
 		n := NewNode(nj.ID, nj.Types...)
 		if nj.Attrs != nil {

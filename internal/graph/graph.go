@@ -48,6 +48,13 @@ type Graph struct {
 	// operation as a Mutation. Clones (Clone, ShallowClone, induced
 	// subgraphs) start with no recorder.
 	recorder func(Mutation)
+	// bulk, when non-nil, is the ownership token of an open bulk-mutation
+	// window (BeginBulk): map writes route through the persist transient
+	// path, mutating trie nodes this window created in place instead of
+	// path-copying per write. Snapshot safety is preserved — nodes shared
+	// with any earlier snapshot are copied on first touch — and taking a
+	// snapshot (ShallowClone, Clone) seals the window first.
+	bulk *persist.Edit
 }
 
 // New returns an empty graph.
@@ -57,6 +64,41 @@ func New() *Graph {
 		links: persist.NewIntMap[LinkID, *Link](),
 		out:   persist.NewIntMap[NodeID, []LinkID](),
 		in:    persist.NewIntMap[NodeID, []LinkID](),
+	}
+}
+
+// BeginBulk opens a bulk-mutation window: until the window closes, write
+// operations may mutate freshly created trie nodes in place (persist
+// transients) instead of copy-on-writing one path per write, cutting the
+// allocation cost of bulk construction — cold loads, Clone/Extract,
+// induced subgraphs, large ApplyAll batches — by an order of magnitude.
+//
+// Correctness is unchanged: storage shared with any Graph that existed
+// before the window opened is still copied before the first write, so
+// earlier snapshots never observe a thing. The graph itself remains
+// readable mid-window. The contract is the transient one: a bulk window
+// is single-goroutine, and the graph must not be shared with concurrent
+// readers until the window closes (EndBulk, or implicitly by taking a
+// ShallowClone/Clone snapshot, which seals first). Idempotent: an
+// already-open window is kept.
+func (g *Graph) BeginBulk() {
+	if g.bulk == nil {
+		g.bulk = persist.NewEdit()
+	}
+}
+
+// EndBulk closes the bulk-mutation window. After it returns no write can
+// mutate previously written storage in place, so the graph may be
+// published to concurrent readers under the usual snapshot discipline.
+//
+// On a graph with no open window this is a pure read (no field write):
+// concurrent readers may freely take snapshots of a published — hence
+// sealed — graph, where an unconditional nil-store would be a data race.
+// An open window already requires single-goroutine ownership, so the
+// closing store is race-free by contract.
+func (g *Graph) EndBulk() {
+	if g.bulk != nil {
+		g.bulk = nil
 	}
 }
 
@@ -99,7 +141,7 @@ func (g *Graph) AddNode(n *Node) error {
 	if g.nodes.Has(n.ID) {
 		return fmt.Errorf("%w: %d", ErrDuplicateNode, n.ID)
 	}
-	g.nodes = g.nodes.Set(n.ID, n)
+	g.nodes = g.nodes.SetWith(g.bulk, n.ID, n)
 	g.noteNodeID(n.ID)
 	g.emitNode(MutAddNode, n)
 	return nil
@@ -116,11 +158,11 @@ func (g *Graph) PutNode(n *Node) {
 	if ex, ok := g.nodes.Get(n.ID); ok {
 		merged := ex.Clone()
 		merged.Merge(n)
-		g.nodes = g.nodes.Set(n.ID, merged)
+		g.nodes = g.nodes.SetWith(g.bulk, n.ID, merged)
 		g.emitNode(MutPutNode, merged)
 		return
 	}
-	g.nodes = g.nodes.Set(n.ID, n)
+	g.nodes = g.nodes.SetWith(g.bulk, n.ID, n)
 	g.noteNodeID(n.ID)
 	g.emitNode(MutAddNode, n)
 }
@@ -140,9 +182,9 @@ func (g *Graph) AddLink(l *Link) error {
 	if !g.HasNode(l.Tgt) {
 		return fmt.Errorf("%w: tgt %d of link %d", ErrMissingEnd, l.Tgt, l.ID)
 	}
-	g.links = g.links.Set(l.ID, l)
-	g.out = g.out.Set(l.Src, persist.InsertSorted(g.out.At(l.Src), l.ID))
-	g.in = g.in.Set(l.Tgt, persist.InsertSorted(g.in.At(l.Tgt), l.ID))
+	g.links = g.links.SetWith(g.bulk, l.ID, l)
+	g.out = g.out.SetWith(g.bulk, l.Src, persist.InsertSorted(g.out.At(l.Src), l.ID))
+	g.in = g.in.SetWith(g.bulk, l.Tgt, persist.InsertSorted(g.in.At(l.Tgt), l.ID))
 	g.noteLinkID(l.ID)
 	g.emitLink(MutAddLink, l)
 	return nil
@@ -163,7 +205,7 @@ func (g *Graph) PutLink(l *Link) error {
 		}
 		merged := ex.Clone()
 		merged.Merge(l)
-		g.links = g.links.Set(l.ID, merged)
+		g.links = g.links.SetWith(g.bulk, l.ID, merged)
 		if g.recorder != nil {
 			g.recorder(Mutation{Kind: MutPutLink, Link: merged.Clone(), Prev: ex.Clone()})
 		}
@@ -179,7 +221,7 @@ func (g *Graph) RemoveLink(id LinkID) {
 	if !ok {
 		return
 	}
-	g.links = g.links.Delete(id)
+	g.links = g.links.DeleteWith(g.bulk, id)
 	g.setAdjacency(&g.out, l.Src, persist.RemoveSorted(g.out.At(l.Src), id))
 	g.setAdjacency(&g.in, l.Tgt, persist.RemoveSorted(g.in.At(l.Tgt), id))
 	g.emitLink(MutRemoveLink, l)
@@ -189,10 +231,10 @@ func (g *Graph) RemoveLink(id LinkID) {
 // drains so empty slices never accumulate.
 func (g *Graph) setAdjacency(m *persist.Map[NodeID, []LinkID], id NodeID, ids []LinkID) {
 	if len(ids) == 0 {
-		*m = m.Delete(id)
+		*m = m.DeleteWith(g.bulk, id)
 		return
 	}
-	*m = m.Set(id, ids)
+	*m = m.SetWith(g.bulk, id, ids)
 }
 
 // RemoveNode deletes a node and every link incident on it.
@@ -204,9 +246,9 @@ func (g *Graph) RemoveNode(id NodeID) {
 	for _, lid := range append(append([]LinkID(nil), g.out.At(id)...), g.in.At(id)...) {
 		g.RemoveLink(lid)
 	}
-	g.nodes = g.nodes.Delete(id)
-	g.out = g.out.Delete(id)
-	g.in = g.in.Delete(id)
+	g.nodes = g.nodes.DeleteWith(g.bulk, id)
+	g.out = g.out.DeleteWith(g.bulk, id)
+	g.in = g.in.DeleteWith(g.bulk, id)
 	g.emitNode(MutRemoveNode, n)
 }
 
@@ -299,17 +341,22 @@ func (g *Graph) Neighbors(id NodeID) []NodeID {
 
 // Clone returns a deep copy of the graph: node and link values are cloned;
 // the adjacency indexes — pure structure — stay structurally shared, which
-// is safe because adjacency slices are never mutated in place.
+// is safe because adjacency slices are never mutated in place. The value
+// rewrite runs in a bulk window: the clone's node and link tries are
+// rebuilt with transient in-place writes (one claim per trie node instead
+// of one path copy per element), sealed before the clone is returned.
 func (g *Graph) Clone() *Graph {
 	c := g.ShallowClone()
+	c.BeginBulk()
 	g.nodes.Range(func(id NodeID, n *Node) bool {
-		c.nodes = c.nodes.Set(id, n.Clone())
+		c.nodes = c.nodes.SetWith(c.bulk, id, n.Clone())
 		return true
 	})
 	g.links.Range(func(id LinkID, l *Link) bool {
-		c.links = c.links.Set(id, l.Clone())
+		c.links = c.links.SetWith(c.bulk, id, l.Clone())
 		return true
 	})
+	c.EndBulk()
 	return c
 }
 
@@ -319,7 +366,11 @@ func (g *Graph) Clone() *Graph {
 // mutating; copy-on-write guarantees the other never observes it.
 // Operators that only filter (and never mutate elements) use it to avoid
 // deep copies, and Engine.Apply builds its per-batch snapshots on it.
+//
+// Taking a snapshot seals any open bulk window on the receiver first:
+// once two Graphs share storage, neither may mutate it in place.
 func (g *Graph) ShallowClone() *Graph {
+	g.EndBulk()
 	return &Graph{
 		nodes:   g.nodes,
 		links:   g.links,
@@ -335,9 +386,10 @@ func (g *Graph) ShallowClone() *Graph {
 // link values are shared with g (callers clone before mutating).
 func (g *Graph) InducedByNodes(ids map[NodeID]struct{}) *Graph {
 	sub := New()
+	sub.BeginBulk()
 	for id := range ids {
 		if n, ok := g.nodes.Get(id); ok {
-			sub.nodes = sub.nodes.Set(id, n)
+			sub.nodes = sub.nodes.SetWith(sub.bulk, id, n)
 			sub.noteNodeID(id)
 		}
 	}
@@ -349,6 +401,7 @@ func (g *Graph) InducedByNodes(ids map[NodeID]struct{}) *Graph {
 		return true
 	})
 	sub.addInducedLinks(kept)
+	sub.EndBulk()
 	return sub
 }
 
@@ -357,6 +410,7 @@ func (g *Graph) InducedByNodes(ids map[NodeID]struct{}) *Graph {
 // "subgraph induced by those links"). Values are shared with g.
 func (g *Graph) InducedByLinks(ids map[LinkID]struct{}) *Graph {
 	sub := New()
+	sub.BeginBulk()
 	var kept []*Link
 	for lid := range ids {
 		l, ok := g.links.Get(lid)
@@ -364,16 +418,17 @@ func (g *Graph) InducedByLinks(ids map[LinkID]struct{}) *Graph {
 			continue
 		}
 		if !sub.HasNode(l.Src) {
-			sub.nodes = sub.nodes.Set(l.Src, g.nodes.At(l.Src))
+			sub.nodes = sub.nodes.SetWith(sub.bulk, l.Src, g.nodes.At(l.Src))
 			sub.noteNodeID(l.Src)
 		}
 		if !sub.HasNode(l.Tgt) {
-			sub.nodes = sub.nodes.Set(l.Tgt, g.nodes.At(l.Tgt))
+			sub.nodes = sub.nodes.SetWith(sub.bulk, l.Tgt, g.nodes.At(l.Tgt))
 			sub.noteNodeID(l.Tgt)
 		}
 		kept = append(kept, l)
 	}
 	sub.addInducedLinks(kept)
+	sub.EndBulk()
 	return sub
 }
 
@@ -387,16 +442,16 @@ func (g *Graph) addInducedLinks(ls []*Link) {
 	out := make(map[NodeID][]LinkID)
 	in := make(map[NodeID][]LinkID)
 	for _, l := range ls {
-		g.links = g.links.Set(l.ID, l)
+		g.links = g.links.SetWith(g.bulk, l.ID, l)
 		out[l.Src] = append(out[l.Src], l.ID)
 		in[l.Tgt] = append(in[l.Tgt], l.ID)
 		g.noteLinkID(l.ID)
 	}
 	for id, ids := range out {
-		g.out = g.out.Set(id, ids)
+		g.out = g.out.SetWith(g.bulk, id, ids)
 	}
 	for id, ids := range in {
-		g.in = g.in.Set(id, ids)
+		g.in = g.in.SetWith(g.bulk, id, ids)
 	}
 }
 

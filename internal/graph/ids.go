@@ -43,9 +43,14 @@ type Builder struct {
 	ids *IDSource
 }
 
-// NewBuilder returns a builder over a fresh graph.
+// NewBuilder returns a builder over a fresh graph. Construction runs in a
+// bulk-mutation window (the builder owns the graph until Graph() hands it
+// out), so large synthetic corpora and loaders built fluently pay
+// transient, not per-write path-copy, allocation costs.
 func NewBuilder() *Builder {
-	return &Builder{g: New(), ids: NewIDSource(0, 0)}
+	b := &Builder{g: New(), ids: NewIDSource(0, 0)}
+	b.g.BeginBulk()
+	return b
 }
 
 // Node adds a node with a fresh id, the given types, and alternating
@@ -84,9 +89,20 @@ func (b *Builder) Link(src, tgt NodeID, types []string, kv ...string) LinkID {
 	return id
 }
 
-// Graph returns the built graph. The builder remains usable; subsequent
-// additions keep mutating the same graph.
-func (b *Builder) Graph() *Graph { return b.g }
+// Graph returns the built graph, sealing the builder's bulk-mutation
+// window first so the result is safe to publish to concurrent readers.
+// The builder remains usable; subsequent additions keep mutating the same
+// graph through the ordinary persistent per-write path.
+func (b *Builder) Graph() *Graph {
+	b.g.EndBulk()
+	return b.g
+}
+
+// Peek returns the graph without sealing the bulk-mutation window. It is
+// for mid-construction reads by the builder's owner (looking up a node
+// just built, setting attributes on it); the result must not be handed to
+// other goroutines — publish through Graph instead, which seals.
+func (b *Builder) Peek() *Graph { return b.g }
 
 // IDs returns the builder's id allocator, positioned after everything built
 // so far.

@@ -166,8 +166,24 @@ func (g *Graph) Apply(m Mutation) error {
 	return ErrNilElement
 }
 
+// BulkApplyThreshold is the batch size at which ApplyAll switches to a
+// bulk-mutation window (persist transients). Below it the persistent
+// per-write path is used unchanged — small live batches keep their exact
+// O(delta · log n) profile and never claim trie nodes; at or above it the
+// batch amortizes one node claim across every write that lands in the
+// same trie region, cutting allocation on large replays (cold loads,
+// migration catch-up) several-fold.
+const BulkApplyThreshold = 32
+
 // ApplyAll replays mutations in order, stopping at the first error.
+// Batches of BulkApplyThreshold or more run inside a bulk-mutation
+// window (sealed again before returning, even on error); snapshots taken
+// before the call never observe the batch either way.
 func (g *Graph) ApplyAll(muts []Mutation) error {
+	if len(muts) >= BulkApplyThreshold && g.bulk == nil {
+		g.BeginBulk()
+		defer g.EndBulk()
+	}
 	for _, m := range muts {
 		if err := g.Apply(m); err != nil {
 			return err

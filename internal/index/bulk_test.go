@@ -1,0 +1,108 @@
+package index
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"socialscope/internal/cluster"
+	"socialscope/internal/graph"
+	"socialscope/internal/scoring"
+)
+
+// TestDifferentialBulkBatches drives batches past BulkDeltaThreshold —
+// the size at which ApplyDelta switches its map writes onto a transient
+// window — and holds the result to the same contract as every other
+// batch: byte-identical to a from-scratch rebuild, with the pre-batch
+// snapshot untouched.
+func TestDifferentialBulkBatches(t *testing.T) {
+	const (
+		batches   = 6
+		batchSize = 2 * BulkDeltaThreshold
+	)
+	if batchSize < BulkDeltaThreshold {
+		t.Fatal("test batch size must trigger the bulk window")
+	}
+	for seed := int64(0); seed < 3; seed++ {
+		rng := rand.New(rand.NewSource(seed*104729 + 3))
+		c := newDiffCorpus(t, rng, 16, 22, 6)
+		cl, err := cluster.Build(c.g, cluster.NetworkBased, 0.3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ix, err := Build(Extract(c.g), cl, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for batch := 0; batch < batches; batch++ {
+			prev := ix
+			prevEntries := prev.EntryCount()
+			frozen, err := Build(Extract(c.g.Clone()), prev.Clustering(), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			muts := make([]graph.Mutation, batchSize)
+			for i := range muts {
+				muts[i] = c.randMutation(rng)
+			}
+			if err := c.g.ApplyAll(muts); err != nil {
+				t.Fatalf("seed %d batch %d: %v", seed, batch, err)
+			}
+			ix = prev.ApplyDelta(muts)
+			ctx := fmt.Sprintf("bulk seed %d batch %d", seed, batch)
+			assertSorted(t, ix, ctx)
+			rebuilt, err := Build(Extract(c.g), ix.Clustering(), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSameLists(t, ix, rebuilt, ctx)
+			// The parent snapshot must not have observed the transient
+			// window: same entry count, same lists as its frozen twin.
+			if prev.EntryCount() != prevEntries {
+				t.Fatalf("%s: parent entry count changed under bulk delta", ctx)
+			}
+			assertSameLists(t, prev, frozen, ctx+" (parent snapshot)")
+		}
+	}
+}
+
+// TestExtractMatchesIncremental pins the transient-built Extract to the
+// incremental substrate path: folding a stream through AddTagging must
+// land on the same substrate (scores, universes) as re-extracting the
+// mutated graph, exactly as before the bulk rebase.
+func TestExtractMatchesIncremental(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	c := newDiffCorpus(t, rng, 12, 16, 5)
+	data := Extract(c.g)
+	reext := Extract(c.g)
+	// Fold 2*threshold fresh taggings both ways.
+	for i := 0; i < 2*BulkDeltaThreshold; i++ {
+		m := c.randTagging(rng)
+		if err := c.g.ApplyAll([]graph.Mutation{m}); err != nil {
+			t.Fatal(err)
+		}
+		l := m.Link
+		for _, tag := range l.Attrs.All("tags") {
+			data.AddTagging(l.Src, l.Tgt, tag)
+		}
+	}
+	reext = Extract(c.g)
+	if len(data.Users) != len(reext.Users) || len(data.Items) != len(reext.Items) ||
+		len(data.Tags) != len(reext.Tags) {
+		t.Fatalf("universes diverged: %d/%d users %d/%d items %d/%d tags",
+			len(data.Users), len(reext.Users), len(data.Items), len(reext.Items),
+			len(data.Tags), len(reext.Tags))
+	}
+	for _, tag := range reext.Tags {
+		for _, item := range reext.Items {
+			for _, u := range reext.Users[:min(len(reext.Users), 6)] {
+				got := data.ScoreTag(item, u, tag, scoring.CountF)
+				want := reext.ScoreTag(item, u, tag, scoring.CountF)
+				if got != want {
+					t.Fatalf("ScoreTag(%d,%d,%q) = %v incremental, %v re-extract",
+						item, u, tag, got, want)
+				}
+			}
+		}
+	}
+}

@@ -151,15 +151,26 @@ func (d *Data) noteConnDup(k edgeKey, delta int) int {
 // Extract walks the graph once and builds the tagging substrate. Tag
 // values come from the "tags" attribute of links typed act/tag; network
 // membership from connect links, symmetric.
+//
+// Construction is a cold bulk build, so every persistent structure is
+// assembled through transients — the top-level maps and one transient per
+// tag's inner item index — and sealed before the Data is returned. The
+// sealed maps are byte-identical (canonical trie shapes) to what
+// persistent per-write assembly produces, at a fraction of the
+// allocation.
 func Extract(g *graph.Graph) *Data {
 	d := NewData()
+	network := d.Network.Transient()
+	itemsOf := d.ItemsOf.Transient()
+	tagsOf := d.tagsOf.Transient()
+	inner := make(map[string]*persist.TMap[graph.NodeID, scoring.Set[graph.NodeID]])
 	userSet := make(map[graph.NodeID]struct{})
 	itemSet := make(map[graph.NodeID]struct{})
 	for _, n := range g.NodesOfType(graph.TypeUser) {
 		userSet[n.ID] = struct{}{}
-		d.Network = d.Network.Set(n.ID, scoring.NewSet[graph.NodeID]())
-		d.ItemsOf = d.ItemsOf.Set(n.ID, scoring.NewSet[graph.NodeID]())
-		d.tagsOf = d.tagsOf.Set(n.ID, scoring.NewSet[string]())
+		network.Set(n.ID, scoring.NewSet[graph.NodeID]())
+		itemsOf.Set(n.ID, scoring.NewSet[graph.NodeID]())
+		tagsOf.Set(n.ID, scoring.NewSet[string]())
 	}
 	for _, l := range g.Links() {
 		switch {
@@ -170,34 +181,34 @@ func Extract(g *graph.Graph) *Data {
 			if _, ok := userSet[l.Tgt]; !ok {
 				continue
 			}
-			if d.Network.At(l.Src).Has(l.Tgt) {
+			if network.At(l.Src).Has(l.Tgt) {
 				d.noteConnDup(edgeOf(l.Src, l.Tgt), 1)
 				continue
 			}
-			d.Network.At(l.Src).Add(l.Tgt)
-			d.Network.At(l.Tgt).Add(l.Src)
+			network.At(l.Src).Add(l.Tgt)
+			network.At(l.Tgt).Add(l.Src)
 		case l.HasType(graph.SubtypeTag):
 			tags := l.Attrs.All("tags")
 			if len(tags) == 0 {
 				continue
 			}
 			itemSet[l.Tgt] = struct{}{}
-			if s, ok := d.ItemsOf.Get(l.Src); ok {
+			if s, ok := itemsOf.Get(l.Src); ok {
 				s.Add(l.Tgt)
 			}
 			for _, tag := range tags {
-				if s, ok := d.tagsOf.Get(l.Src); ok {
+				if s, ok := tagsOf.Get(l.Src); ok {
 					s.Add(tag)
 				}
-				byItem, ok := d.Taggers.Get(tag)
-				if !ok {
-					byItem = NewItemTaggers()
+				byItem := inner[tag]
+				if byItem == nil {
+					byItem = NewItemTaggers().Transient()
+					inner[tag] = byItem
 				}
 				set, ok := byItem.Get(l.Tgt)
 				if !ok {
 					set = scoring.NewSet[graph.NodeID]()
-					byItem = byItem.Set(l.Tgt, set)
-					d.Taggers = d.Taggers.Set(tag, byItem)
+					byItem.Set(l.Tgt, set)
 				}
 				if set.Has(l.Src) {
 					d.noteTagDup(taggingKey{tag, l.Tgt, l.Src}, 1)
@@ -207,6 +218,14 @@ func Extract(g *graph.Graph) *Data {
 			}
 		}
 	}
+	taggers := d.Taggers.Transient()
+	for tag, byItem := range inner {
+		taggers.Set(tag, byItem.Persistent()) // seal once per tag shard
+	}
+	d.Taggers = taggers.Persistent()
+	d.Network = network.Persistent()
+	d.ItemsOf = itemsOf.Persistent()
+	d.tagsOf = tagsOf.Persistent()
 	for u := range userSet {
 		d.Users = append(d.Users, u)
 	}

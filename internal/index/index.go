@@ -114,17 +114,25 @@ func BuildWithWorkers(data *Data, clustering *cluster.Clustering, f scoring.User
 	close(tagCh)
 	wg.Wait()
 
+	// Seal the shards into the two persistent levels through transients:
+	// the by-tag map and each tag's cluster map are assembled with
+	// in-place writes (one node claim per trie region instead of one path
+	// copy per Set) and sealed — once per shard, once for the index —
+	// before anything is published. Trie shapes are canonical, so the
+	// result is byte-identical to a persistent-only assembly.
+	lists := ix.lists.Transient()
 	for ti, tag := range data.Tags {
 		if len(shards[ti]) == 0 {
 			continue
 		}
-		sh := newClusterLists()
+		sh := newClusterLists().Transient()
 		for cid, l := range shards[ti] {
-			sh = sh.Set(cid, l)
+			sh.Set(cid, l)
 			ix.entries += len(l)
 		}
-		ix.lists = ix.lists.Set(tag, sh)
+		lists.Set(tag, sh.Persistent())
 	}
+	ix.lists = lists.Persistent()
 	return ix, nil
 }
 
@@ -342,13 +350,6 @@ func (ix *Index) TopK(user graph.NodeID, tags []string, k int,
 		results = results[:k]
 	}
 	return results, stats, nil
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 // SizeReport summarizes an index build for the Section 6.2 tables.

@@ -62,12 +62,44 @@ func (ix *Index) ApplyDelta(muts []graph.Mutation) *Index {
 		ownedNets:    make(map[graph.NodeID]bool),
 		ownedItems:   make(map[graph.NodeID]bool),
 		ownedTags:    make(map[graph.NodeID]bool),
+		userDelta:    make(map[graph.NodeID]bool),
+		itemDelta:    make(map[graph.NodeID]bool),
+		tagDelta:     make(map[string]bool),
+	}
+	// Adaptive bulk window: batches of BulkDeltaThreshold or more route
+	// their map writes through a persist transient, so repeated writes
+	// into the same trie region (hot tag shards, the same user's sets)
+	// claim each node once instead of path-copying per mutation. Small
+	// batches keep the pure persistent path — their O(delta · log n)
+	// profile and allocation behavior are unchanged. Either way nothing
+	// the receiver (or any older snapshot) can reach is ever mutated: the
+	// edit token is born here, so every pre-existing node is claimed
+	// (copied) on first touch, and the token dies when this call returns —
+	// before the new index can be published to readers.
+	if len(muts) >= BulkDeltaThreshold {
+		d.edit = persist.NewEdit()
 	}
 	for _, m := range muts {
 		d.apply(m)
 	}
+	// Flush the buffered universe edits in one merge pass per slice.
+	// Per-mutation InsertSorted/RemoveSorted would copy the whole
+	// universe per arriving user/item/tag — O(batch x universe) on
+	// arrival-heavy catch-up batches; buffering keeps the slices
+	// O(universe) once per batch. Membership decisions above never read
+	// these slices (they consult the substrate maps), so deferral is
+	// invisible inside the batch.
+	d.ix.data.Users = persist.ApplySortedDelta(d.ix.data.Users, d.userDelta)
+	d.ix.data.Items = persist.ApplySortedDelta(d.ix.data.Items, d.itemDelta)
+	d.ix.data.Tags = persist.ApplySortedDelta(d.ix.data.Tags, d.tagDelta)
 	return d.ix
 }
+
+// BulkDeltaThreshold is the ApplyDelta batch size at which delta
+// application opens a transient window over the new snapshot's maps. It
+// mirrors graph.BulkApplyThreshold so one Engine.Apply batch switches
+// both layers together.
+const BulkDeltaThreshold = graph.BulkApplyThreshold
 
 // cowClone returns a Data sharing every structure with the receiver:
 // persistent top-level maps, copy-on-write universe slices, and the inner
@@ -93,6 +125,16 @@ type delta struct {
 	ownedNets    map[graph.NodeID]bool
 	ownedItems   map[graph.NodeID]bool // ItemsOf[user] set owned
 	ownedTags    map[graph.NodeID]bool // tagsOf[user] set owned
+	// edit is the transient ownership token of a large batch (nil below
+	// BulkDeltaThreshold: pure persistent writes). It never outlives the
+	// ApplyDelta call that created it.
+	edit *persist.Edit
+	// userDelta/itemDelta/tagDelta buffer the batch's sorted-universe
+	// edits (true = insert, false = remove; last write wins), flushed by
+	// ApplyDelta in one merge per slice.
+	userDelta map[graph.NodeID]bool
+	itemDelta map[graph.NodeID]bool
+	tagDelta  map[string]bool
 }
 
 func (d *delta) apply(m graph.Mutation) {
@@ -184,10 +226,10 @@ func (d *delta) addTagging(user, item graph.NodeID, tag string, countDup bool) {
 		return
 	}
 	if !hadTag {
-		data.Tags = persist.InsertSorted(data.Tags, tag)
+		d.tagDelta[tag] = true
 	}
 	if !hadItem {
-		data.Items = persist.InsertSorted(data.Items, item)
+		d.itemDelta[item] = true
 	}
 	set = d.ownTagSet(tag, item)
 	set.Add(user)
@@ -232,12 +274,12 @@ func (d *delta) removeTagging(user, item graph.NodeID, tag string) {
 	emptied := set.Len() == 0
 	if emptied {
 		byItem, _ = data.Taggers.Get(tag) // re-read: ownTagSet rebound it
-		byItem = byItem.Delete(item)
+		byItem = byItem.DeleteWith(d.edit, item)
 		if byItem.Len() == 0 {
-			data.Taggers = data.Taggers.Delete(tag)
-			data.Tags = persist.RemoveSorted(data.Tags, tag)
+			data.Taggers = data.Taggers.DeleteWith(d.edit, tag)
+			d.tagDelta[tag] = false
 		} else {
-			data.Taggers = data.Taggers.Set(tag, byItem)
+			data.Taggers = data.Taggers.SetWith(d.edit, tag, byItem)
 		}
 	}
 	if s, ok := data.ItemsOf.Get(user); ok && s.Has(item) && !d.stillTags(user, item) {
@@ -250,7 +292,7 @@ func (d *delta) removeTagging(user, item graph.NodeID, tag string) {
 	// vocabulary-wide scan is only needed once this (tag, item) cell
 	// drained.
 	if emptied && !d.itemTagged(item) {
-		data.Items = persist.RemoveSorted(data.Items, item)
+		d.itemDelta[item] = false
 	}
 	for v := range data.Network.At(user) {
 		cid := d.ix.clustering.Of(v)
@@ -307,7 +349,10 @@ func (d *delta) removeConnect(u, v graph.NodeID) {
 
 // tagsUsedBy returns the tags a user's maintenance loops must visit: the
 // user's own tag profile when tracked, the full vocabulary otherwise
-// (hand-built Data without profiles stays correct, just slower).
+// (hand-built Data without profiles stays correct, just slower). The
+// vocabulary comes from the Taggers map, not the Tags slice — slice
+// maintenance is deferred to the end of the batch, while the map always
+// reflects every mutation applied so far.
 func (d *delta) tagsUsedBy(u graph.NodeID) []string {
 	if s, ok := d.ix.data.tagsOf.Get(u); ok {
 		out := make([]string, 0, s.Len())
@@ -316,7 +361,7 @@ func (d *delta) tagsUsedBy(u graph.NodeID) []string {
 		}
 		return out
 	}
-	return d.ix.data.Tags
+	return d.ix.data.Taggers.Keys()
 }
 
 // raisePair raises x's entries for everything other tagged: x just gained
@@ -376,13 +421,13 @@ func (d *delta) addUser(u graph.NodeID) {
 	if data.Network.Has(u) {
 		return
 	}
-	data.Network = data.Network.Set(u, scoring.NewSet[graph.NodeID]())
-	data.ItemsOf = data.ItemsOf.Set(u, scoring.NewSet[graph.NodeID]())
-	data.tagsOf = data.tagsOf.Set(u, scoring.NewSet[string]())
+	data.Network = data.Network.SetWith(d.edit, u, scoring.NewSet[graph.NodeID]())
+	data.ItemsOf = data.ItemsOf.SetWith(d.edit, u, scoring.NewSet[graph.NodeID]())
+	data.tagsOf = data.tagsOf.SetWith(d.edit, u, scoring.NewSet[string]())
 	d.ownedNets[u] = true
 	d.ownedItems[u] = true
 	d.ownedTags[u] = true
-	data.Users = persist.InsertSorted(data.Users, u)
+	d.userDelta[u] = true
 	d.ix.clustering = d.ix.clustering.WithUser(u)
 }
 
@@ -412,10 +457,10 @@ func (d *delta) removeUser(u graph.NodeID) {
 			}
 		}
 	}
-	data.Network = data.Network.Delete(u)
-	data.ItemsOf = data.ItemsOf.Delete(u)
-	data.tagsOf = data.tagsOf.Delete(u)
-	data.Users = persist.RemoveSorted(data.Users, u)
+	data.Network = data.Network.DeleteWith(d.edit, u)
+	data.ItemsOf = data.ItemsOf.DeleteWith(d.edit, u)
+	data.tagsOf = data.tagsOf.DeleteWith(d.edit, u)
+	d.userDelta[u] = false
 }
 
 // removeItem retracts every tagging of a removed non-user node. Recorded
@@ -425,7 +470,7 @@ func (d *delta) removeUser(u graph.NodeID) {
 // for an item the graph no longer holds.
 func (d *delta) removeItem(item graph.NodeID) {
 	data := d.ix.data
-	for _, tag := range append([]string(nil), data.Tags...) {
+	for _, tag := range data.Taggers.Keys() {
 		set := data.Taggers.At(tag).At(item)
 		if set == nil {
 			continue
@@ -471,18 +516,18 @@ func (d *delta) storeList(k listKey, l []Entry, entryDelta int) {
 	switch {
 	case len(l) == 0:
 		if ok {
-			shard = shard.Delete(k.cluster) // Build never stores empty lists
+			shard = shard.DeleteWith(d.edit, k.cluster) // Build never stores empty lists
 			if shard.Len() == 0 {
-				d.ix.lists = d.ix.lists.Delete(k.tag)
+				d.ix.lists = d.ix.lists.DeleteWith(d.edit, k.tag)
 			} else {
-				d.ix.lists = d.ix.lists.Set(k.tag, shard)
+				d.ix.lists = d.ix.lists.SetWith(d.edit, k.tag, shard)
 			}
 		}
 	default:
 		if !ok {
 			shard = newClusterLists()
 		}
-		d.ix.lists = d.ix.lists.Set(k.tag, shard.Set(k.cluster, l))
+		d.ix.lists = d.ix.lists.SetWith(d.edit, k.tag, shard.SetWith(d.edit, k.cluster, l))
 	}
 	d.ix.entries += entryDelta
 }
@@ -527,7 +572,7 @@ func (d *delta) ownTagSet(tag string, item graph.NodeID) scoring.Set[graph.NodeI
 	} else {
 		set = set.Clone()
 	}
-	data.Taggers = data.Taggers.Set(tag, byItem.Set(item, set))
+	data.Taggers = data.Taggers.SetWith(d.edit, tag, byItem.SetWith(d.edit, item, set))
 	return set
 }
 
@@ -543,7 +588,7 @@ func (d *delta) ownNet(u graph.NodeID) scoring.Set[graph.NodeID] {
 	} else {
 		s = s.Clone()
 	}
-	data.Network = data.Network.Set(u, s)
+	data.Network = data.Network.SetWith(d.edit, u, s)
 	return s
 }
 
@@ -559,7 +604,7 @@ func (d *delta) ownItemsOf(u graph.NodeID) scoring.Set[graph.NodeID] {
 	} else {
 		s = s.Clone()
 	}
-	data.ItemsOf = data.ItemsOf.Set(u, s)
+	data.ItemsOf = data.ItemsOf.SetWith(d.edit, u, s)
 	return s
 }
 
@@ -575,7 +620,7 @@ func (d *delta) ownTagsOf(u graph.NodeID) scoring.Set[string] {
 	} else {
 		s = s.Clone()
 	}
-	data.tagsOf = data.tagsOf.Set(u, s)
+	data.tagsOf = data.tagsOf.SetWith(d.edit, u, s)
 	return s
 }
 

@@ -60,6 +60,39 @@ func BenchmarkSnapshotVsClone(b *testing.B) {
 	})
 }
 
+// BenchmarkBulkBuild contrasts cold construction through persistent Sets
+// (one path copy per write, O(n log n) discarded nodes) with the
+// transient mode (claim-once, mutate in place). b.ReportAllocs makes the
+// allocation gap — the reason every bulk path in graph/index goes through
+// transients — visible in CI's bench smoke.
+func BenchmarkBulkBuild(b *testing.B) {
+	const size = 100000
+	b.Run("persistent", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m := NewIntMap[int64, int]()
+			for j := 0; j < size; j++ {
+				m = m.Set(int64(j), j)
+			}
+			if m.Len() != size {
+				b.Fatal("bad build")
+			}
+		}
+	})
+	b.Run("transient", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			t := NewIntMap[int64, int]().Transient()
+			for j := 0; j < size; j++ {
+				t.Set(int64(j), j)
+			}
+			if m := t.Persistent(); m.Len() != size {
+				b.Fatal("bad build")
+			}
+		}
+	})
+}
+
 func BenchmarkRange(b *testing.B) {
 	m := NewIntMap[int64, int]()
 	for i := 0; i < 100000; i++ {

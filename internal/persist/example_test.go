@@ -1,0 +1,48 @@
+package persist_test
+
+import (
+	"fmt"
+
+	"socialscope/internal/persist"
+)
+
+// Bulk-build a map through a transient, then seal it back into an
+// immutable Map. The transient mutates trie nodes it owns in place, so
+// the build allocates O(n) nodes instead of the O(n log n) a chain of
+// persistent Sets would; the sealed result — and every Map that existed
+// before the transient was opened — carries the usual persistent
+// guarantees (O(1) snapshots, lock-free concurrent readers).
+func ExampleMap_Transient() {
+	base := persist.NewStringMap[int]().Set("seed", 1)
+
+	t := base.Transient()
+	for i, tag := range []string{"denver", "museum", "hiking"} {
+		t.Set(tag, i)
+	}
+	t.Delete("seed")
+	m := t.Persistent() // seals: the transient is dead, m is immutable
+
+	fmt.Println("built:", m.Len(), "entries; has hiking:", m.Has("hiking"))
+	fmt.Println("base untouched:", base.Len(), "entry; has hiking:", base.Has("hiking"))
+	// Output:
+	// built: 3 entries; has hiking: true
+	// base untouched: 1 entry; has hiking: false
+}
+
+// Sealing is what makes a transient's result shareable: after
+// Persistent returns, no write can reach the sealed nodes — further
+// mutation of the transient panics instead.
+func ExampleTMap_Persistent() {
+	t := persist.NewIntMap[int, string]().Transient()
+	t.Set(1, "a")
+	sealed := t.Persistent()
+
+	defer func() {
+		fmt.Println("recovered:", recover() != nil)
+		fmt.Println("sealed still holds:", sealed.At(1))
+	}()
+	t.Set(2, "b") // panics: the transient was sealed
+	// Output:
+	// recovered: true
+	// sealed still holds: a
+}

@@ -20,6 +20,11 @@
 //
 // The zero Map is not ready for use: construct with NewMap (explicit hash
 // function), NewIntMap or NewStringMap.
+//
+// Bulk construction should go through the transient mode (Map.Transient /
+// TMap, or the SetWith/DeleteWith embedding API — see transient.go): same
+// resulting Maps, same canonical trie shapes, a fraction of the
+// allocation.
 package persist
 
 import "math/bits"
@@ -114,6 +119,12 @@ type node[K comparable, V any] struct {
 	vals    []V
 	subs    []*node[K, V]
 	coll    bool
+	// edit, when non-nil, is the ownership token of the transient that
+	// created (or claimed) this node; writes carrying the same token may
+	// mutate the node in place (see transient.go). Nodes reachable from a
+	// sealed Map are never owned by any live transient, so the field is
+	// inert outside a bulk-mutation window.
+	edit *Edit
 }
 
 // Len returns the number of entries. O(1).
@@ -213,7 +224,7 @@ func (m Map[K, V]) set(n *node[K, V], shift uint, h uint64, k K, v V) (*node[K, 
 		}
 		// Slot conflict: push the resident entry and the new one down
 		// into a fresh subtree keyed by deeper hash bits.
-		sub := m.merge(shift+branchBits, m.hash(n.keys[i]), n.keys[i], n.vals[i], h, k, v)
+		sub := m.merge(nil, shift+branchBits, m.hash(n.keys[i]), n.keys[i], n.vals[i], h, k, v)
 		j := bits.OnesCount64(n.nodemap & (bit - 1))
 		return &node[K, V]{
 			datamap: n.datamap &^ bit,
@@ -242,17 +253,19 @@ func (m Map[K, V]) set(n *node[K, V], shift uint, h uint64, k K, v V) (*node[K, 
 
 // merge builds the minimal subtree holding two distinct keys, descending
 // while their hash chunks collide and dropping into a collision bucket
-// once the hash is exhausted.
-func (m Map[K, V]) merge(shift uint, h1 uint64, k1 K, v1 V, h2 uint64, k2 K, v2 V) *node[K, V] {
+// once the hash is exhausted. The fresh nodes are stamped with e (nil on
+// the persistent path) so a transient build keeps owning the region.
+func (m Map[K, V]) merge(e *Edit, shift uint, h1 uint64, k1 K, v1 V, h2 uint64, k2 K, v2 V) *node[K, V] {
 	if shift > maxShift {
-		return &node[K, V]{coll: true, keys: []K{k1, k2}, vals: []V{v1, v2}}
+		return &node[K, V]{coll: true, keys: []K{k1, k2}, vals: []V{v1, v2}, edit: e}
 	}
 	i1 := (h1 >> shift) & branchMask
 	i2 := (h2 >> shift) & branchMask
 	if i1 == i2 {
 		return &node[K, V]{
 			nodemap: 1 << i1,
-			subs:    []*node[K, V]{m.merge(shift+branchBits, h1, k1, v1, h2, k2, v2)},
+			subs:    []*node[K, V]{m.merge(e, shift+branchBits, h1, k1, v1, h2, k2, v2)},
+			edit:    e,
 		}
 	}
 	if i1 > i2 {
@@ -264,6 +277,7 @@ func (m Map[K, V]) merge(shift uint, h1 uint64, k1 K, v1 V, h2 uint64, k2 K, v2 
 		datamap: 1<<i1 | 1<<i2,
 		keys:    []K{k1, k2},
 		vals:    []V{v1, v2},
+		edit:    e,
 	}
 }
 

@@ -33,3 +33,39 @@ func RemoveSorted[T cmp.Ordered](s []T, v T) []T {
 	copy(out[i:], s[i+1:])
 	return out
 }
+
+// ApplySortedDelta returns a fresh ascending-sorted slice with a batch of
+// edits applied in one merge pass: keys mapped to true are inserted
+// (no-op when already present, like InsertSorted), keys mapped to false
+// removed (no-op when absent, like RemoveSorted). This is the bulk
+// counterpart for callers that buffer a batch of universe edits and flush
+// once — one allocation per batch instead of one O(len(s)) copy per edit.
+// The input is never modified; an empty delta returns it unchanged.
+func ApplySortedDelta[T cmp.Ordered](s []T, delta map[T]bool) []T {
+	if len(delta) == 0 {
+		return s
+	}
+	ins := make([]T, 0, len(delta))
+	for k, add := range delta {
+		if add {
+			ins = append(ins, k)
+		}
+	}
+	sort.Slice(ins, func(i, j int) bool { return ins[i] < ins[j] })
+	out := make([]T, 0, len(s)+len(ins))
+	j := 0
+	for _, v := range s {
+		for j < len(ins) && ins[j] < v {
+			out = append(out, ins[j])
+			j++
+		}
+		if j < len(ins) && ins[j] == v {
+			j++ // insert of a present key: keep the resident one
+		}
+		if del, ok := delta[v]; ok && !del {
+			continue // removal
+		}
+		out = append(out, v)
+	}
+	return append(out, ins[j:]...)
+}

@@ -1,0 +1,71 @@
+package persist
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+func TestInsertRemoveSorted(t *testing.T) {
+	s := []int{2, 4, 6}
+	if got := InsertSorted(s, 4); !sameSlice(got, s) {
+		t.Fatalf("inserting present key rebuilt the slice: %v", got)
+	}
+	if got := InsertSorted(s, 5); !reflect.DeepEqual(got, []int{2, 4, 5, 6}) {
+		t.Fatalf("InsertSorted = %v", got)
+	}
+	if got := RemoveSorted(s, 5); !sameSlice(got, s) {
+		t.Fatalf("removing absent key rebuilt the slice: %v", got)
+	}
+	if got := RemoveSorted(s, 4); !reflect.DeepEqual(got, []int{2, 6}) {
+		t.Fatalf("RemoveSorted = %v", got)
+	}
+	if !reflect.DeepEqual(s, []int{2, 4, 6}) {
+		t.Fatalf("input mutated: %v", s)
+	}
+}
+
+// TestApplySortedDelta holds the batch merge to the per-edit reference:
+// any delta map applied at once must equal the same edits applied one by
+// one through InsertSorted/RemoveSorted (order-independent by
+// construction — one entry per key).
+func TestApplySortedDelta(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		base := make([]int, 0, 40)
+		for _, k := range rng.Perm(100)[:rng.Intn(40)] {
+			base = InsertSorted(base, k)
+		}
+		delta := make(map[int]bool)
+		for i := 0; i < rng.Intn(20); i++ {
+			delta[rng.Intn(120)] = rng.Intn(2) == 0
+		}
+		want := append([]int(nil), base...)
+		for k, add := range delta {
+			if add {
+				want = InsertSorted(want, k)
+			} else {
+				want = RemoveSorted(want, k)
+			}
+		}
+		got := ApplySortedDelta(base, delta)
+		if len(got) == 0 && len(want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: base %v delta %v\n got %v\nwant %v", trial, base, delta, got, want)
+		}
+		if !sort.IntsAreSorted(got) {
+			t.Fatalf("trial %d: result unsorted: %v", trial, got)
+		}
+	}
+	s := []int{1, 2, 3}
+	if got := ApplySortedDelta(s, nil); !sameSlice(got, s) {
+		t.Fatal("empty delta must return the input unchanged")
+	}
+}
+
+func sameSlice[T comparable](a, b []T) bool {
+	return len(a) == len(b) && (len(a) == 0 || &a[0] == &b[0])
+}

@@ -1,0 +1,337 @@
+// Transient (batch-mutation) mode: the Clojure-style escape hatch that
+// makes bulk construction allocation-lean without giving up persistence.
+//
+// A persistent Set copies one root-to-leaf path per write, so building an
+// N-entry map allocates O(N log N) trie nodes and immediately discards
+// all but the last path — pure GC churn. A transient instead carries an
+// ownership token (an Edit): trie nodes created or first-touched under
+// the token are stamped with it and may be mutated in place by later
+// writes of the same transient; nodes reachable from previously published
+// Maps are never stamped, so the first write through them falls back to
+// copy-on-write. The effect is that a bulk build pays one copy per
+// *touched node*, not one per *write*, while every Map snapshot taken
+// before the transient was created stays exactly as immutable as always.
+//
+// Sealing (TMap.Persistent) is O(1): the token is dropped, the current
+// root becomes an ordinary immutable Map. Stamped edit pointers remain in
+// the nodes but are inert — ownership tests compare against a live
+// transient's token, and every NewEdit allocation is distinct — so a
+// sealed result is safe to share across goroutines like any other Map.
+//
+// Contract: a transient is single-goroutine; a sealed transient panics on
+// further mutation. Structures embedding persistent maps (graph.Graph,
+// the index) open bulk windows through the lower-level SetWith/DeleteWith
+// edit-parameter API instead of TMap, so their read paths keep working on
+// ordinary Map headers mid-batch.
+package persist
+
+import "math/bits"
+
+// Edit is a transient ownership token. Trie nodes stamped with a live
+// Edit may be mutated in place by writes carrying the same token; all
+// other nodes are copied first. Obtain one with NewEdit (for the
+// SetWith/DeleteWith embedding API) or implicitly via Map.Transient.
+type Edit struct {
+	_ int8 // non-zero size: every NewEdit allocation is a distinct identity
+}
+
+// NewEdit returns a fresh ownership token for one bulk-mutation window.
+func NewEdit() *Edit { return &Edit{} }
+
+// DisableTransients, when true, makes SetWith/DeleteWith (and therefore
+// TMap and every bulk path built on them) ignore their edit token and run
+// the pure persistent path. It exists so benchmarks (ssbench -exp
+// bulkload) can measure the transient mode against the exact
+// persistent-only code it replaces. Not for concurrent toggling.
+var DisableTransients bool
+
+// owned reports whether the node may be mutated in place under e.
+func (n *node[K, V]) owned(e *Edit) bool { return e != nil && n.edit == e }
+
+// claim returns a node the edit may freely write: n itself when already
+// owned, otherwise a copy — slices included, since in-place mutation of a
+// shared backing array would corrupt published versions — stamped with e.
+func claim[K comparable, V any](e *Edit, n *node[K, V]) *node[K, V] {
+	if n.owned(e) {
+		return n
+	}
+	c := &node[K, V]{
+		datamap: n.datamap,
+		nodemap: n.nodemap,
+		coll:    n.coll,
+		edit:    e,
+	}
+	if n.keys != nil {
+		c.keys = append(make([]K, 0, len(n.keys)+1), n.keys...)
+		c.vals = append(make([]V, 0, len(n.vals)+1), n.vals...)
+	}
+	if n.subs != nil {
+		c.subs = append(make([]*node[K, V], 0, len(n.subs)+1), n.subs...)
+	}
+	return c
+}
+
+// SetWith is Set carrying a transient ownership token: nodes owned by e
+// are mutated in place, everything else is copied first (and the copy
+// stamped with e, so the next write through it is free). A nil e — or
+// DisableTransients — is exactly Set. This is the embedding API for
+// structures that hold Maps as fields and want a bulk window without
+// routing reads through a TMap; the single-goroutine transient contract
+// applies to the whole window, and the final headers must only be
+// published (shared with readers) after the window closes.
+func (m Map[K, V]) SetWith(e *Edit, k K, v V) Map[K, V] {
+	if e == nil || DisableTransients {
+		return m.Set(k, v)
+	}
+	h := m.hash(k)
+	if m.root == nil {
+		return Map[K, V]{
+			root: &node[K, V]{
+				datamap: 1 << (h & branchMask),
+				keys:    []K{k},
+				vals:    []V{v},
+				edit:    e,
+			},
+			size: 1,
+			hash: m.hash,
+		}
+	}
+	root, added := m.setT(e, m.root, 0, h, k, v)
+	size := m.size
+	if added {
+		size++
+	}
+	return Map[K, V]{root: root, size: size, hash: m.hash}
+}
+
+// setT is the transient write: claim-then-mutate instead of copy-per-path.
+// It mirrors Map.set case for case; TestTransientEquivalence holds the two
+// implementations to identical observable behavior.
+func (m Map[K, V]) setT(e *Edit, n *node[K, V], shift uint, h uint64, k K, v V) (*node[K, V], bool) {
+	if n.coll {
+		for i := range n.keys {
+			if n.keys[i] == k {
+				n = claim(e, n)
+				n.vals[i] = v
+				return n, false
+			}
+		}
+		n = claim(e, n)
+		n.keys = append(n.keys, k)
+		n.vals = append(n.vals, v)
+		return n, true
+	}
+	bit := uint64(1) << ((h >> shift) & branchMask)
+	switch {
+	case n.datamap&bit != 0:
+		i := bits.OnesCount64(n.datamap & (bit - 1))
+		if n.keys[i] == k {
+			n = claim(e, n)
+			n.vals[i] = v
+			return n, false
+		}
+		// Slot conflict: push the resident entry and the new one down into
+		// a fresh subtree (merge stamps it with e, so follow-up writes into
+		// the same region stay in place).
+		sub := m.merge(e, shift+branchBits, m.hash(n.keys[i]), n.keys[i], n.vals[i], h, k, v)
+		j := bits.OnesCount64(n.nodemap & (bit - 1))
+		n = claim(e, n)
+		n.datamap &^= bit
+		n.nodemap |= bit
+		n.keys = removeInPlace(n.keys, i)
+		n.vals = removeInPlace(n.vals, i)
+		n.subs = insertInPlace(n.subs, j, sub)
+		return n, true
+	case n.nodemap&bit != 0:
+		j := bits.OnesCount64(n.nodemap & (bit - 1))
+		sub, added := m.setT(e, n.subs[j], shift+branchBits, h, k, v)
+		n = claim(e, n)
+		n.subs[j] = sub
+		return n, added
+	default:
+		i := bits.OnesCount64(n.datamap & (bit - 1))
+		n = claim(e, n)
+		n.datamap |= bit
+		n.keys = insertInPlace(n.keys, i, k)
+		n.vals = insertInPlace(n.vals, i, v)
+		return n, true
+	}
+}
+
+// DeleteWith is Delete carrying a transient ownership token; see SetWith.
+func (m Map[K, V]) DeleteWith(e *Edit, k K) Map[K, V] {
+	if e == nil || DisableTransients {
+		return m.Delete(k)
+	}
+	if m.root == nil {
+		return m
+	}
+	root, removed := m.delT(e, m.root, 0, m.hash(k), k)
+	if !removed {
+		return m
+	}
+	return Map[K, V]{root: root, size: m.size - 1, hash: m.hash}
+}
+
+// delT is the transient delete, mirroring Map.del with claim-then-mutate.
+// Canonicalization (inlining single-entry subtrees) is preserved so
+// transient and persistent histories converge on identical trie shapes.
+func (m Map[K, V]) delT(e *Edit, n *node[K, V], shift uint, h uint64, k K) (*node[K, V], bool) {
+	if n.coll {
+		for i := range n.keys {
+			if n.keys[i] != k {
+				continue
+			}
+			if len(n.keys) == 1 {
+				return nil, true
+			}
+			n = claim(e, n)
+			n.keys = removeInPlace(n.keys, i)
+			n.vals = removeInPlace(n.vals, i)
+			return n, true
+		}
+		return n, false
+	}
+	bit := uint64(1) << ((h >> shift) & branchMask)
+	switch {
+	case n.datamap&bit != 0:
+		i := bits.OnesCount64(n.datamap & (bit - 1))
+		if n.keys[i] != k {
+			return n, false
+		}
+		if len(n.keys) == 1 && n.nodemap == 0 {
+			return nil, true
+		}
+		n = claim(e, n)
+		n.datamap &^= bit
+		n.keys = removeInPlace(n.keys, i)
+		n.vals = removeInPlace(n.vals, i)
+		return n, true
+	case n.nodemap&bit != 0:
+		j := bits.OnesCount64(n.nodemap & (bit - 1))
+		sub, removed := m.delT(e, n.subs[j], shift+branchBits, h, k)
+		if !removed {
+			return n, false
+		}
+		switch {
+		case sub == nil:
+			if len(n.subs) == 1 && n.datamap == 0 {
+				return nil, true
+			}
+			n = claim(e, n)
+			n.nodemap &^= bit
+			n.subs = removeInPlace(n.subs, j)
+			return n, true
+		case sub.inlineable():
+			i := bits.OnesCount64(n.datamap & (bit - 1))
+			key, val := sub.keys[0], sub.vals[0]
+			n = claim(e, n)
+			n.datamap |= bit
+			n.nodemap &^= bit
+			n.keys = insertInPlace(n.keys, i, key)
+			n.vals = insertInPlace(n.vals, i, val)
+			n.subs = removeInPlace(n.subs, j)
+			return n, true
+		default:
+			n = claim(e, n)
+			n.subs[j] = sub
+			return n, true
+		}
+	default:
+		return n, false
+	}
+}
+
+// TMap is a transient view of a Map: a mutable builder that shares all
+// storage with the Map it came from, mutates in place what it alone owns,
+// and seals back into an immutable Map in O(1). Use it for bulk
+// construction — build, seal, publish:
+//
+//	t := persist.NewIntMap[int, string]().Transient()
+//	for k, v := range input {
+//		t.Set(k, v)
+//	}
+//	m := t.Persistent() // immutable from here on
+//
+// A TMap is single-goroutine by contract (mutation is in place; there is
+// nothing to snapshot mid-build), and every mutating method panics once
+// the transient has been sealed. Maps obtained from Persistent, and every
+// Map that existed before Transient was called, carry the full persistent
+// guarantees: concurrent readers, O(1) snapshots, total immunity to the
+// transient's edits.
+type TMap[K comparable, V any] struct {
+	m    Map[K, V]
+	edit *Edit
+}
+
+// Transient opens a batch-mutation window over the map's current
+// contents. O(1): no storage is copied up front; the receiver — like
+// every other published version — is never modified by the transient's
+// writes (shared nodes are copied on first touch).
+func (m Map[K, V]) Transient() *TMap[K, V] {
+	return &TMap[K, V]{m: m, edit: NewEdit()}
+}
+
+func (t *TMap[K, V]) mustBeLive() {
+	if t.edit == nil {
+		panic("persist: mutation of a sealed TMap (Persistent was called)")
+	}
+}
+
+// Set binds k to v, mutating owned trie nodes in place. Panics if sealed.
+func (t *TMap[K, V]) Set(k K, v V) {
+	t.mustBeLive()
+	t.m = t.m.SetWith(t.edit, k, v)
+}
+
+// Delete removes k (no-op when absent). Panics if sealed.
+func (t *TMap[K, V]) Delete(k K) {
+	t.mustBeLive()
+	t.m = t.m.DeleteWith(t.edit, k)
+}
+
+// Get returns the value stored under k and whether it is present.
+func (t *TMap[K, V]) Get(k K) (V, bool) { return t.m.Get(k) }
+
+// At returns the value stored under k, or V's zero value when absent.
+func (t *TMap[K, V]) At(k K) V { return t.m.At(k) }
+
+// Has reports whether k is present.
+func (t *TMap[K, V]) Has(k K) bool { return t.m.Has(k) }
+
+// Len returns the number of entries. O(1).
+func (t *TMap[K, V]) Len() int { return t.m.Len() }
+
+// Range calls fn for every entry until fn returns false, in the same
+// canonical hash order as Map.Range. fn must not mutate the transient.
+func (t *TMap[K, V]) Range(fn func(K, V) bool) { t.m.Range(fn) }
+
+// Persistent seals the transient and returns its contents as an immutable
+// Map. O(1): the ownership token is dropped, so no node can be mutated in
+// place anymore and the result is safe to share across goroutines. The
+// TMap is dead afterwards — further Set/Delete calls panic.
+func (t *TMap[K, V]) Persistent() Map[K, V] {
+	t.mustBeLive()
+	t.edit = nil
+	return t.m
+}
+
+// insertInPlace inserts v before index i, shifting in place (the slice
+// must be transient-owned; growth via append is fine, the backing array
+// is private).
+func insertInPlace[T any](s []T, i int, v T) []T {
+	var zero T
+	s = append(s, zero)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+// removeInPlace removes the element at index i, shifting in place and
+// zeroing the vacated tail slot so owned slices never pin dead values.
+func removeInPlace[T any](s []T, i int) []T {
+	copy(s[i:], s[i+1:])
+	var zero T
+	s[len(s)-1] = zero
+	return s[:len(s)-1]
+}

@@ -1,0 +1,265 @@
+package persist
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// TestTransientEquivalence is the contract test the transient
+// implementation lives under: any interleaving of Set/Delete on a TMap
+// must observably equal the same ops on a persistent Map (and a built-in
+// map), including the canonical trie shape — checked through iteration
+// order — and Len.
+func TestTransientEquivalence(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 4, 5} {
+		rng := rand.New(rand.NewSource(seed))
+		p := NewIntMap[int64, int]()
+		tr := NewIntMap[int64, int]().Transient()
+		ref := make(map[int64]int)
+		const ops = 8000
+		for i := 0; i < ops; i++ {
+			k := int64(rng.Intn(1500))
+			switch rng.Intn(3) {
+			case 0, 1:
+				p = p.Set(k, i)
+				tr.Set(k, i)
+				ref[k] = i
+			case 2:
+				p = p.Delete(k)
+				tr.Delete(k)
+				delete(ref, k)
+			}
+			if p.Len() != tr.Len() {
+				t.Fatalf("seed %d op %d: persistent Len %d != transient Len %d",
+					seed, i, p.Len(), tr.Len())
+			}
+		}
+		m := tr.Persistent()
+		if !reflect.DeepEqual(p.Keys(), m.Keys()) {
+			t.Fatalf("seed %d: iteration order diverged — trie shapes differ", seed)
+		}
+		if m.Len() != len(ref) {
+			t.Fatalf("seed %d: Len %d, want %d", seed, m.Len(), len(ref))
+		}
+		for k, v := range ref {
+			if got, ok := m.Get(k); !ok || got != v {
+				t.Fatalf("seed %d: Get(%d) = %d, %v; want %d", seed, k, got, ok, v)
+			}
+		}
+	}
+}
+
+// TestTransientCollisions drives the equivalence property through the
+// collision-bucket paths by forcing every key onto one hash.
+func TestTransientCollisions(t *testing.T) {
+	badHash := func(int) uint64 { return 42 }
+	p := NewMap[int, int](badHash)
+	tr := NewMap[int, int](badHash).Transient()
+	ref := make(map[int]int)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 2000; i++ {
+		k := rng.Intn(150)
+		if rng.Intn(3) == 0 {
+			p = p.Delete(k)
+			tr.Delete(k)
+			delete(ref, k)
+		} else {
+			p = p.Set(k, i)
+			tr.Set(k, i)
+			ref[k] = i
+		}
+	}
+	m := tr.Persistent()
+	if m.Len() != len(ref) || p.Len() != len(ref) {
+		t.Fatalf("Len: transient %d persistent %d ref %d", m.Len(), p.Len(), len(ref))
+	}
+	for k, v := range ref {
+		if got := m.At(k); got != v {
+			t.Fatalf("At(%d) = %d, want %d", k, got, v)
+		}
+	}
+}
+
+// TestTransientSnapshotIsolation is the safety property the bulk paths
+// rely on: no persistent snapshot — the base the transient was opened
+// over, or any Map sealed earlier — ever observes transient edits.
+func TestTransientSnapshotIsolation(t *testing.T) {
+	base := NewIntMap[int, int]()
+	for i := 0; i < 3000; i++ {
+		base = base.Set(i, i*7)
+	}
+	tr := base.Transient()
+	for i := 0; i < 3000; i += 2 {
+		tr.Delete(i)
+	}
+	mid := tr.Persistent() // seal a checkpoint...
+	tr2 := mid.Transient() // ...and keep building from it
+	for i := 5000; i < 9000; i++ {
+		tr2.Set(i, -i)
+	}
+	for i := 1; i < 3000; i += 2 {
+		tr2.Set(i, 0)
+	}
+	final := tr2.Persistent()
+
+	if base.Len() != 3000 {
+		t.Fatalf("base Len changed to %d", base.Len())
+	}
+	for i := 0; i < 3000; i++ {
+		if got := base.At(i); got != i*7 {
+			t.Fatalf("base entry %d = %d, want %d (transient edit leaked)", i, got, i*7)
+		}
+	}
+	if mid.Len() != 1500 {
+		t.Fatalf("sealed checkpoint Len changed to %d", mid.Len())
+	}
+	mid.Range(func(k, v int) bool {
+		if k%2 == 0 || v != k*7 {
+			t.Fatalf("sealed checkpoint entry (%d,%d) corrupted by later transient", k, v)
+		}
+		return true
+	})
+	if final.Len() != 1500+4000 {
+		t.Fatalf("final Len = %d", final.Len())
+	}
+}
+
+// TestTransientSealedPanics: a sealed transient must refuse mutation
+// loudly rather than corrupt the Map it handed out.
+func TestTransientSealedPanics(t *testing.T) {
+	tr := NewIntMap[int, int]().Transient()
+	tr.Set(1, 1)
+	_ = tr.Persistent()
+	for name, fn := range map[string]func(){
+		"Set":        func() { tr.Set(2, 2) },
+		"Delete":     func() { tr.Delete(1) },
+		"Persistent": func() { tr.Persistent() },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s on sealed TMap did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestSealedSafeToShare builds maps transiently, seals them, and hands
+// them to concurrent readers while a sibling transient keeps mutating —
+// run under -race this proves sealing really does end in-place mutation
+// of anything a reader can reach.
+func TestSealedSafeToShare(t *testing.T) {
+	tr := NewIntMap[int, int]().Transient()
+	for i := 0; i < 4096; i++ {
+		tr.Set(i, i)
+	}
+	sealed := tr.Persistent()
+
+	// A second transient over the sealed map mutates concurrently with
+	// the readers below; claim-on-first-touch must keep them disjoint.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tr2 := sealed.Transient()
+		for i := 0; i < 4096; i++ {
+			tr2.Set(i, -i)
+			tr2.Set(i+10000, i)
+		}
+		_ = tr2.Persistent()
+	}()
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sum := 0
+			sealed.Range(func(_, v int) bool {
+				sum += v
+				return true
+			})
+			for i := 0; i < 4096; i++ {
+				if got := sealed.At(i); got != i {
+					t.Errorf("sealed map entry %d = %d", i, got)
+					return
+				}
+			}
+			_ = sum
+		}()
+	}
+	wg.Wait()
+}
+
+// TestTransientFromPopulatedBase checks claim-on-first-touch against a
+// shared base: repeated writes into one region must converge to in-place
+// mutation while the base stays whole.
+func TestTransientFromPopulatedBase(t *testing.T) {
+	base := NewStringMap[int]()
+	for _, k := range []string{"a", "b", "c", "d", "e"} {
+		base = base.Set(k, 1)
+	}
+	tr := base.Transient()
+	for i := 0; i < 100; i++ {
+		tr.Set("a", i)
+		tr.Set("z", i)
+	}
+	m := tr.Persistent()
+	if m.At("a") != 99 || m.At("z") != 99 || m.Len() != 6 {
+		t.Fatalf("transient result wrong: a=%d z=%d len=%d", m.At("a"), m.At("z"), m.Len())
+	}
+	if base.At("a") != 1 || base.Has("z") || base.Len() != 5 {
+		t.Fatalf("base observed transient edits: a=%d has(z)=%v len=%d",
+			base.At("a"), base.Has("z"), base.Len())
+	}
+}
+
+// TestTransientReads: reads on a live transient see its own writes.
+func TestTransientReads(t *testing.T) {
+	tr := NewIntMap[int, string]().Transient()
+	tr.Set(1, "one")
+	tr.Set(2, "two")
+	tr.Delete(1)
+	if tr.Has(1) || !tr.Has(2) || tr.Len() != 1 {
+		t.Fatalf("transient reads wrong: has1=%v has2=%v len=%d", tr.Has(1), tr.Has(2), tr.Len())
+	}
+	if v, ok := tr.Get(2); !ok || v != "two" {
+		t.Fatalf("Get(2) = %q, %v", v, ok)
+	}
+	n := 0
+	tr.Range(func(int, string) bool { n++; return true })
+	if n != 1 {
+		t.Fatalf("Range visited %d entries", n)
+	}
+	if tr.At(2) != "two" {
+		t.Fatalf("At(2) = %q", tr.At(2))
+	}
+}
+
+// TestSetWithNilEditIsSet: the embedding API with no open window must be
+// exactly the persistent path.
+func TestSetWithNilEditIsSet(t *testing.T) {
+	m := NewIntMap[int, int]()
+	m2 := m.SetWith(nil, 1, 10).SetWith(nil, 2, 20).DeleteWith(nil, 1)
+	if m.Len() != 0 || m2.Len() != 1 || m2.At(2) != 20 {
+		t.Fatalf("nil-edit path diverged: base=%d new=%d", m.Len(), m2.Len())
+	}
+}
+
+// TestDisableTransients: the benchmark escape hatch must leave behavior
+// identical while routing everything through the persistent path.
+func TestDisableTransients(t *testing.T) {
+	DisableTransients = true
+	defer func() { DisableTransients = false }()
+	tr := NewIntMap[int, int]().Transient()
+	for i := 0; i < 500; i++ {
+		tr.Set(i, i)
+	}
+	tr.Delete(100)
+	m := tr.Persistent()
+	if m.Len() != 499 || m.Has(100) || m.At(3) != 3 {
+		t.Fatalf("DisableTransients changed behavior: len=%d", m.Len())
+	}
+}

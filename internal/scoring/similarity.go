@@ -82,10 +82,7 @@ func Dice[T comparable](s, t Set[T]) float64 {
 
 // Overlap returns |s∩t| / min(|s|,|t|); 0 when either set is empty.
 func Overlap[T comparable](s, t Set[T]) float64 {
-	m := len(s)
-	if len(t) < m {
-		m = len(t)
-	}
+	m := min(len(s), len(t))
 	if m == 0 {
 		return 0
 	}

@@ -133,7 +133,7 @@ func Travel(cfg TravelConfig) (*TravelCorpus, error) {
 	byCategory := make(map[string][]graph.NodeID)
 	if cfg.InterestBias > 0 {
 		for _, d := range dests {
-			cat := b.Graph().Node(d).Attrs.Get("category")
+			cat := b.Peek().Node(d).Attrs.Get("category")
 			byCategory[cat] = append(byCategory[cat], d)
 		}
 		// Interests are homophilous: contiguous ring blocks share a
@@ -142,7 +142,7 @@ func Travel(cfg TravelConfig) (*TravelCorpus, error) {
 		for i, u := range users {
 			cat := Categories[i*len(Categories)/len(users)]
 			interests[u] = cat
-			b.Graph().Node(u).Attrs.Set("interests", cat)
+			b.Peek().Node(u).Attrs.Set("interests", cat)
 		}
 	}
 

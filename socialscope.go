@@ -308,6 +308,17 @@ func (e *Engine) Analyze() error {
 // scales with graph size. Batching still amortizes per-call constants,
 // but one-mutation batches are no longer penalized by corpus-sized
 // copies.
+//
+// Batch size also selects the storage write mode, adaptively: batches of
+// graph.BulkApplyThreshold (== index.BulkDeltaThreshold) mutations or
+// more run their graph replay and index delta inside a transient window
+// (persist bulk mode) that mutates batch-private trie nodes in place
+// instead of path-copying per write — several-fold less allocation on
+// catch-up and migration sized batches. Smaller batches keep the pure
+// persistent path untouched. The choice is invisible to readers either
+// way: the transient window is born and sealed inside this call, before
+// the new state is published, so in-flight queries and O(1) snapshots
+// behave identically under both modes.
 func (e *Engine) Apply(muts []graph.Mutation) error {
 	if len(muts) == 0 {
 		return nil
