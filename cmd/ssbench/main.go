@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	ssbench [-exp all|table1|table2|example4|figure2|index|topk|sync|presentation|analyzer|pipeline|fusion|liveupdate|bulkload] [-scale N] [-seed S] [-benchdir DIR]
+//	ssbench [-exp all|table1|table2|example4|figure2|index|topk|sync|presentation|analyzer|pipeline|fusion|liveupdate|bulkload|serving] [-scale N] [-seed S] [-benchdir DIR]
 //
 // Besides the printed tables, experiments that record metrics write them
 // as BENCH_<exp>.json into -benchdir so successive runs can be diffed.
@@ -54,10 +54,11 @@ func main() {
 		"fusion":       runFusion,
 		"liveupdate":   runLiveUpdate,
 		"bulkload":     runBulkload,
+		"serving":      runServing,
 	}
 	order := []string{"table1", "table2", "example4", "figure2", "index",
 		"topk", "sync", "presentation", "analyzer", "pipeline", "fusion",
-		"liveupdate", "bulkload"}
+		"liveupdate", "bulkload", "serving"}
 
 	run := func(name string) {
 		fmt.Printf("\n===== %s =====\n", name)

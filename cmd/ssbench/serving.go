@@ -1,0 +1,340 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"socialscope"
+	"socialscope/internal/graph"
+	"socialscope/internal/serve"
+	"socialscope/internal/workload"
+)
+
+// servingCell is one serving-sweep measurement: a fresh engine + HTTP
+// server over the (immutable) corpus graph, driven by a closed-loop
+// mixed workload. A fresh engine per cell keeps the comparison fair:
+// Engine.Apply advances private copy-on-write state, the corpus graph
+// itself never mutates, so every cell starts from the identical world
+// instead of querying whatever the previous cell's writes grew.
+type servingCell struct {
+	srv    *serve.Server
+	ln     net.Listener
+	base   string
+	client *http.Client
+	stream *workload.TaggingStream
+}
+
+func newServingCell(corpus *workload.TravelCorpus, seed int64, client *http.Client) (*servingCell, error) {
+	eng, err := socialscope.New(corpus.Graph, socialscope.Config{
+		ItemType: "destination", TopK: socialscope.TopKTA, ClusterStrategy: "peruser",
+	})
+	if err != nil {
+		return nil, err
+	}
+	srv := serve.New(eng, serve.Config{
+		RequestTimeout: 30 * time.Second,
+		MaxConcurrent:  256,
+		MaxQueue:       1024,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		srv.Close()
+		return nil, err
+	}
+	go srv.Serve(ln)
+	stream, err := workload.NewTaggingStream(corpus.Graph, corpus.Users, corpus.Destinations,
+		workload.Categories, seed)
+	if err != nil {
+		srv.Close()
+		ln.Close()
+		return nil, err
+	}
+	c := &servingCell{
+		srv: srv, ln: ln, base: "http://" + ln.Addr().String(),
+		client: client, stream: stream,
+	}
+	// Warm-up: the first tagged query pays the one-time cluster+index
+	// build; keep it out of every measurement.
+	if _, _, err := c.search(corpus.Users[0], workload.Categories[0], true); err != nil {
+		c.close()
+		return nil, err
+	}
+	return c, nil
+}
+
+func (c *servingCell) close() {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	c.srv.Shutdown(ctx)
+	c.ln.Close()
+}
+
+func (c *servingCell) search(user graph.NodeID, q string, nocache bool) ([]byte, string, error) {
+	v := url.Values{"user": {strconv.FormatInt(int64(user), 10)}, "q": {q}, "k": {"10"}}
+	if nocache {
+		v.Set("nocache", "1")
+	}
+	u := c.base + "/search?" + v.Encode()
+	resp, err := c.client.Get(u)
+	if err != nil {
+		return nil, "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, "", fmt.Errorf("GET %s: %s: %s", u, resp.Status, body)
+	}
+	return body, resp.Header.Get("X-SS-Cache"), nil
+}
+
+func (c *servingCell) apply(muts []graph.Mutation) error {
+	req := serve.ApplyRequest{Mutations: make([]serve.MutationWire, len(muts))}
+	for i, m := range muts {
+		req.Mutations[i] = serve.MutationToWire(m)
+	}
+	buf, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	resp, err := c.client.Post(c.base+"/apply", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("POST /apply: %s: %s", resp.Status, body)
+	}
+	return nil
+}
+
+func (c *servingCell) stats() (serve.StatsResponse, error) {
+	var stats serve.StatsResponse
+	resp, err := c.client.Get(c.base + "/stats")
+	if err != nil {
+		return stats, err
+	}
+	defer resp.Body.Close()
+	err = json.NewDecoder(resp.Body).Decode(&stats)
+	return stats, err
+}
+
+// runServing measures the query-serving subsystem end-to-end: a real
+// ssserve-equivalent HTTP server over a live engine, driven by a
+// closed-loop mixed read/write workload at rising concurrency, with the
+// snapshot-version-keyed result cache on versus off. Reported per cell:
+// read p50/p99 latency and total throughput. Before the sweep, the
+// cached and uncached paths are cross-checked byte-for-byte on a sample
+// of queries — including across an /apply version bump — and the run
+// fails hard if they ever diverge, so the cache can never trade
+// correctness for speed silently.
+func runServing(scale int, seed int64) error {
+	corpus, err := workload.Travel(workload.TravelConfig{
+		Users: 300 * scale, Destinations: 100 * scale, Seed: seed,
+		VisitsPerUser: 8, TagFraction: 0.8,
+	})
+	if err != nil {
+		return err
+	}
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns: 512, MaxIdleConnsPerHost: 512,
+	}}
+
+	fmt.Printf("Serving — HTTP front end over the live engine (%s)\n", corpus.Graph)
+	if err := checkByteIdentity(corpus, seed, client); err != nil {
+		return err
+	}
+
+	// Closed-loop mixed workload: read-heavy (98% reads over a hot query
+	// set — the shape a result cache exists for, and the shape of the
+	// paper's content-site traffic), 2% writes in 8-mutation /apply
+	// batches that the server coalesces. Total ops per cell is fixed so
+	// the comparison across concurrency is work-for-work.
+	const (
+		readFraction = 0.98
+		totalOps     = 2000
+		hotPairs     = 16
+		writeBatch   = 8
+	)
+	type hotQuery struct {
+		user graph.NodeID
+		q    string
+	}
+	hotRng := rand.New(rand.NewSource(seed + 1))
+	hot := make([]hotQuery, hotPairs)
+	for i := range hot {
+		hot[i] = hotQuery{
+			user: corpus.Users[hotRng.Intn(len(corpus.Users))],
+			q:    workload.Categories[hotRng.Intn(len(workload.Categories))],
+		}
+	}
+
+	fmt.Printf("closed-loop mixed workload: %.0f%% reads over %d hot (user,query) pairs,\n",
+		readFraction*100, hotPairs)
+	fmt.Printf("%.0f%% writes (%d-mutation /apply batches, server-coalesced), %d ops per cell,\n",
+		(1-readFraction)*100, writeBatch, totalOps)
+	fmt.Printf("fresh engine per cell (identical starting state)\n\n")
+	fmt.Printf("%-6s %-7s %-12s %-12s %-12s %-10s %-10s %-8s\n",
+		"conc", "cache", "read p50", "read p99", "write p99", "ops/s", "hit-rate", "errors")
+
+	type cellResult struct {
+		p99        time.Duration
+		throughput float64
+	}
+	results := make(map[string]cellResult)
+	for _, conc := range []int{1, 4, 16, 32} {
+		for _, cached := range []bool{false, true} {
+			cell, err := newServingCell(corpus, seed, client)
+			if err != nil {
+				return err
+			}
+			res, err := workload.ClosedLoop(conc, totalOps/conc, seed+int64(conc),
+				func(w, i int, rng *rand.Rand) (bool, error) {
+					if rng.Float64() < readFraction {
+						hq := hot[rng.Intn(len(hot))]
+						_, _, err := cell.search(hq.user, hq.q, !cached)
+						return true, err
+					}
+					return false, cell.apply(cell.stream.Batch(writeBatch))
+				})
+			if err != nil {
+				cell.close()
+				return err
+			}
+			stats, err := cell.stats()
+			cell.close()
+			if err != nil {
+				return err
+			}
+			if res.Errors > 0 {
+				return fmt.Errorf("serving cell conc=%d cache=%v: %d failed ops", conc, cached, res.Errors)
+			}
+			mode := "off"
+			hitRate := 0.0
+			if cached {
+				mode = "on"
+				if tot := stats.Cache.Hits + stats.Cache.Misses + stats.Cache.Shared; tot > 0 {
+					hitRate = float64(stats.Cache.Hits+stats.Cache.Shared) / float64(tot)
+				}
+			}
+			fmt.Printf("%-6d %-7s %-12v %-12v %-12v %-10.0f %-10.2f %-8d\n",
+				conc, mode, res.ReadLat.P(0.50), res.ReadLat.P(0.99),
+				res.WriteLat.P(0.99), res.Throughput(), hitRate, res.Errors)
+			key := fmt.Sprintf("c%d.cache_%s", conc, mode)
+			benchMetric(key+".read_p50_us", float64(res.ReadLat.P(0.50).Microseconds()))
+			benchMetric(key+".read_p99_us", float64(res.ReadLat.P(0.99).Microseconds()))
+			benchMetric(key+".write_p99_us", float64(res.WriteLat.P(0.99).Microseconds()))
+			benchMetric(key+".throughput_rps", res.Throughput())
+			if cached {
+				benchMetric(key+".hit_rate", hitRate)
+				benchMetric(key+".coalesced_per_flush",
+					float64(stats.Coalescer.Requests)/float64(max(stats.Coalescer.Flushes, 1)))
+			}
+			results[key] = cellResult{p99: res.ReadLat.P(0.99), throughput: res.Throughput()}
+		}
+	}
+
+	// The claim under test: at meaningful concurrency the cache must win
+	// on both tail latency and throughput for a read-heavy mix.
+	pass := true
+	for _, conc := range []int{16, 32} {
+		on := results[fmt.Sprintf("c%d.cache_on", conc)]
+		off := results[fmt.Sprintf("c%d.cache_off", conc)]
+		better := on.p99 < off.p99 && on.throughput > off.throughput
+		verdict := "PASS"
+		if !better {
+			verdict = "WARNING"
+			pass = false
+		}
+		fmt.Printf("%s: conc=%d cache-on p99 %v vs off %v (%.1f×), throughput %.0f vs %.0f ops/s (%.1f×)\n",
+			verdict, conc, on.p99, off.p99,
+			float64(off.p99)/float64(max(on.p99, 1)),
+			on.throughput, off.throughput, on.throughput/off.throughput)
+		benchMetric(fmt.Sprintf("c%d.p99_speedup", conc), float64(off.p99)/float64(max(on.p99, 1)))
+		benchMetric(fmt.Sprintf("c%d.throughput_speedup", conc), on.throughput/off.throughput)
+	}
+	if !pass {
+		fmt.Println("WARNING: cache did not strictly win at high concurrency — investigate")
+	}
+	return nil
+}
+
+// checkByteIdentity asserts the cache can never change an answer: for a
+// sample of queries the cold miss, the warm hit and an explicit
+// ?nocache=1 bypass must produce identical bytes — and after an /apply
+// version bump, the re-computed answer must be served (the old entry is
+// orphaned by its version key), again byte-identical to an uncached
+// evaluation of the new state.
+func checkByteIdentity(corpus *workload.TravelCorpus, seed int64, client *http.Client) error {
+	cell, err := newServingCell(corpus, seed, client)
+	if err != nil {
+		return err
+	}
+	defer cell.close()
+	checked := 0
+	for i, u := range corpus.Users {
+		if checked >= 20 {
+			break
+		}
+		if i%7 != 0 {
+			continue
+		}
+		q := workload.Categories[i%len(workload.Categories)]
+		miss, o1, err := cell.search(u, q, false)
+		if err != nil {
+			return err
+		}
+		hit, o2, err := cell.search(u, q, false)
+		if err != nil {
+			return err
+		}
+		bypass, o3, err := cell.search(u, q, true)
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(miss, hit) || !bytes.Equal(miss, bypass) {
+			return fmt.Errorf("byte-identity violation for user=%d q=%q (outcomes %s/%s/%s):\n  miss:   %s\n  hit:    %s\n  bypass: %s",
+				u, q, o1, o2, o3, miss, hit, bypass)
+		}
+		checked++
+	}
+	// Freshness leg: bump the version, then verify the cached path serves
+	// the new world, not the orphaned entry.
+	u, q := corpus.Users[0], workload.Categories[0]
+	if _, _, err := cell.search(u, q, false); err != nil { // ensure an entry exists
+		return err
+	}
+	if err := cell.apply(cell.stream.Batch(4)); err != nil {
+		return err
+	}
+	fresh, outcome, err := cell.search(u, q, false)
+	if err != nil {
+		return err
+	}
+	if outcome == string(serve.OutcomeHit) {
+		return fmt.Errorf("stale cache: post-apply search for user=%d q=%q served a hit from the old version", u, q)
+	}
+	bypass, _, err := cell.search(u, q, true)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(fresh, bypass) {
+		return fmt.Errorf("byte-identity violation after apply for user=%d q=%q:\n  cached: %s\n  bypass: %s",
+			u, q, fresh, bypass)
+	}
+	fmt.Printf("cache correctness: %d query samples byte-identical across miss/hit/bypass paths,\n", checked)
+	fmt.Printf("post-apply freshness verified (version bump orphans old entries)\n\n")
+	return nil
+}

@@ -1,11 +1,14 @@
 // Command ssquery answers one query end-to-end against a social content
 // graph: load (or generate) a site, run the Content Analyzer, discover,
 // present, and explain — the full Figure 1 flow on the command line.
+// With -addr it instead issues the same query against a running ssserve
+// instance over HTTP, sharing the wire types of internal/serve.
 //
 // Usage:
 //
 //	ssquery -data travel.json -user 1 -q "denver attractions"
 //	ssquery -gen -users 120 -items 60 -user 1 -q "family museum" -analyze=false
+//	ssquery -addr localhost:8080 -user 1 -q "denver attractions"
 package main
 
 import (
@@ -19,6 +22,7 @@ import (
 )
 
 func main() {
+	addr := flag.String("addr", "", "host:port of a running ssserve; queries remotely instead of locally")
 	data := flag.String("data", "", "JSON graph file (from ssgen); empty with -gen generates one")
 	gen := flag.Bool("gen", false, "generate a travel corpus instead of loading")
 	users := flag.Int("users", 120, "generated users (with -gen)")
@@ -30,6 +34,13 @@ func main() {
 	analyze := flag.Bool("analyze", true, "run the content analyzer before querying")
 	k := flag.Int("k", 10, "results wanted")
 	flag.Parse()
+
+	if *addr != "" {
+		if err := queryRemote(*addr, *userID, *q, *k); err != nil {
+			fail(err)
+		}
+		return
+	}
 
 	g, err := loadGraph(*data, *gen, *users, *items, *seed)
 	if err != nil {

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"socialscope/internal/serve"
+)
+
+// queryRemote issues the query against a running ssserve instance and
+// prints the answer in the same layout the local path uses, plus the
+// serving metadata the wire carries (state version, cache outcome).
+func queryRemote(addr string, userID int64, q string, k int) error {
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	u, err := url.Parse(base)
+	if err != nil {
+		return fmt.Errorf("bad -addr: %w", err)
+	}
+	u.Path = "/search"
+	u.RawQuery = url.Values{
+		"user": {strconv.FormatInt(userID, 10)},
+		"q":    {q},
+		"k":    {strconv.Itoa(k)},
+	}.Encode()
+
+	httpResp, err := http.Get(u.String())
+	if err != nil {
+		return err
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusOK {
+		var e serve.ErrorResponse
+		if json.NewDecoder(httpResp.Body).Decode(&e) == nil && e.Error != "" {
+			return fmt.Errorf("server: %s (%s)", e.Error, httpResp.Status)
+		}
+		return fmt.Errorf("server: %s", httpResp.Status)
+	}
+	var resp serve.SearchResponse
+	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
+		return fmt.Errorf("decoding response: %w", err)
+	}
+
+	fmt.Printf("query %q for user %d against %s (version %d, cache %s)\n",
+		q, userID, addr, resp.Version, httpResp.Header.Get("X-SS-Cache"))
+	if resp.Basis != "" {
+		fmt.Printf("social basis: %s\n", resp.Basis)
+	}
+	if resp.Stats != nil {
+		fmt.Printf("index work: strategy=%s postings=%d rescores=%d early=%v\n",
+			resp.Stats.Strategy, resp.Stats.PostingsScanned,
+			resp.Stats.ExactScores, resp.Stats.EarlyTerminated)
+	}
+	fmt.Println()
+	if len(resp.Results) == 0 {
+		fmt.Println("no results")
+		return nil
+	}
+	for i, r := range resp.Results {
+		fmt.Printf("%2d. %-28s score=%.3f sem=%.3f soc=%.3f — %s\n",
+			i+1, orID(r.Name, int64(r.Item)), r.Score, r.Semantic, r.Social, r.Explanation)
+	}
+	if resp.Groups.Criterion != "" {
+		fmt.Printf("\ngrouping (%s):\n", resp.Groups.Criterion)
+		for _, grp := range resp.Groups.Groups {
+			fmt.Printf("  [%s] %d item(s), quality %.3f\n", grp.Label, len(grp.Items), grp.Quality)
+		}
+	}
+	if len(resp.Related.Topics)+len(resp.Related.Users) > 0 {
+		fmt.Println("\nexplore further:")
+		for _, rt := range resp.Related.Topics {
+			fmt.Printf("  topic %-24s (%d results belong to it)\n", orID(rt.Name, int64(rt.ID)), rt.Count)
+		}
+		for _, ru := range resp.Related.Users {
+			fmt.Printf("  user  %-24s (acted on %d results)\n", orID(ru.Name, int64(ru.ID)), ru.Count)
+		}
+	}
+	return nil
+}
+
+func orID(name string, id int64) string {
+	if name != "" {
+		return name
+	}
+	return fmt.Sprintf("node-%d", id)
+}

@@ -1,0 +1,149 @@
+// Command ssserve runs the SocialScope query-serving subsystem: an HTTP
+// JSON server over a live Engine, with a snapshot-version-keyed result
+// cache, write coalescing onto the storage layer's bulk path, admission
+// control and graceful shutdown. It is the request-serving front end of
+// the paper's Figure 1 site architecture.
+//
+// Usage:
+//
+//	ssserve -addr :8080 -data travel.json
+//	ssserve -addr :8080 -gen -users 500 -items 200 -topk ta
+//
+// Endpoints:
+//
+//	GET  /search?user=ID&q=QUERY[&k=N][&alpha=A][&nocache=1]
+//	POST /query      {"user":ID,"query":"...","k":N,"alpha":A}
+//	GET  /recommend?user=ID[&variant=stepwise|pattern]
+//	POST /apply      {"mutations":[{"op":"add-link","link":{...}},...]}
+//	GET  /stats
+//	GET  /healthz
+//
+// SIGINT/SIGTERM drain gracefully: in-flight requests finish (bounded by
+// -drain), buffered writes flush, then the process exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"socialscope"
+	"socialscope/internal/graph"
+	"socialscope/internal/serve"
+	"socialscope/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	data := flag.String("data", "", "JSON graph file (from ssgen); empty with -gen generates one")
+	gen := flag.Bool("gen", false, "generate a travel corpus instead of loading")
+	users := flag.Int("users", 200, "generated users (with -gen)")
+	items := flag.Int("items", 80, "generated destinations (with -gen)")
+	seed := flag.Int64("seed", 42, "generator seed")
+	itemType := flag.String("itemtype", "destination", "node type of candidate results")
+	analyze := flag.Bool("analyze", false, "run the content analyzer before serving")
+	topkFlag := flag.String("topk", "ta", "keyword-query strategy: off|exhaustive|ta|nra")
+	clusterStrat := flag.String("cluster", "peruser", "index clustering: peruser|network|behavior|hybrid|global")
+	theta := flag.Float64("theta", 0.3, "clustering similarity threshold")
+	timeout := flag.Duration("timeout", 2*time.Second, "per-request deadline")
+	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown drain bound")
+	cacheSize := flag.Int("cachesize", serve.DefaultCacheEntries, "result cache entries (0 = default)")
+	noCache := flag.Bool("nocache", false, "disable the result cache")
+	flush := flag.Duration("flush", serve.DefaultFlushInterval, "write-coalescer flush interval")
+	maxBatch := flag.Int("maxbatch", graph.BulkApplyThreshold, "mutations that trigger an immediate flush")
+	maxConc := flag.Int("maxconc", serve.DefaultMaxConcurrent, "admitted concurrent requests")
+	maxQueue := flag.Int("maxqueue", serve.DefaultMaxQueue, "admission queue depth")
+	flag.Parse()
+
+	g, err := loadGraph(*data, *gen, *users, *items, *seed)
+	if err != nil {
+		fail(err)
+	}
+	strat, err := socialscope.ParseTopKStrategy(*topkFlag)
+	if err != nil {
+		fail(err)
+	}
+	eng, err := socialscope.New(g, socialscope.Config{
+		ItemType:        *itemType,
+		TopK:            strat,
+		ClusterStrategy: *clusterStrat,
+		ClusterTheta:    *theta,
+	})
+	if err != nil {
+		fail(err)
+	}
+	if *analyze {
+		fmt.Fprintln(os.Stderr, "ssserve: analyzing...")
+		if err := eng.Analyze(); err != nil {
+			fail(err)
+		}
+	}
+
+	srv := serve.New(eng, serve.Config{
+		RequestTimeout: *timeout,
+		CacheEntries:   *cacheSize,
+		DisableCache:   *noCache,
+		FlushInterval:  *flush,
+		MaxBatch:       *maxBatch,
+		MaxConcurrent:  *maxConc,
+		MaxQueue:       *maxQueue,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "ssserve: serving %s on http://%s (topk=%s cluster=%s cache=%v)\n",
+		g, ln.Addr(), strat, *clusterStrat, !*noCache)
+
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "ssserve: %v — draining...\n", s)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fail(err)
+		}
+		<-done // http.ErrServerClosed
+	case err := <-done:
+		if err != nil && err != http.ErrServerClosed {
+			fail(err)
+		}
+	}
+	fmt.Fprintln(os.Stderr, "ssserve: bye")
+}
+
+func loadGraph(path string, gen bool, users, items int, seed int64) (*graph.Graph, error) {
+	if gen || path == "" {
+		corpus, err := workload.Travel(workload.TravelConfig{
+			Users: users, Destinations: items, Seed: seed,
+			VisitsPerUser: 8, TagFraction: 0.8,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return corpus.Graph, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return graph.Decode(f)
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "ssserve: %v\n", err)
+	os.Exit(1)
+}

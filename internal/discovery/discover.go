@@ -1,6 +1,7 @@
 package discovery
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -9,6 +10,11 @@ import (
 	"socialscope/internal/graph"
 	"socialscope/internal/scoring"
 )
+
+// ErrUnknownUser reports a query or recommendation for a user absent
+// from the graph. A sentinel (matched with errors.Is) so serving layers
+// can map it to a 404 without string inspection.
+var ErrUnknownUser = errors.New("discovery: unknown user")
 
 // Result is one ranked discovery: an item with its semantic and social
 // relevance legs, the fused score, and the endorsing users (provenance).
@@ -109,7 +115,7 @@ func (d *Discoverer) WithGraph(g *graph.Graph) *Discoverer {
 //  5. assemble the MSG with provenance links.
 func (d *Discoverer) Discover(user graph.NodeID, q Query) (*MSG, error) {
 	if !d.g.HasNode(user) {
-		return nil, fmt.Errorf("discovery: unknown user %d", user)
+		return nil, fmt.Errorf("%w %d", ErrUnknownUser, user)
 	}
 	if q.K <= 0 {
 		q.K = 10

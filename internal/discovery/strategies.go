@@ -79,7 +79,7 @@ func (c *CFConfig) fill() {
 func CollaborativeFiltering(g *graph.Graph, user graph.NodeID, cfg CFConfig) ([]Recommendation, error) {
 	cfg.fill()
 	if !g.HasNode(user) {
-		return nil, fmt.Errorf("discovery: unknown user %d", user)
+		return nil, fmt.Errorf("%w %d", ErrUnknownUser, user)
 	}
 	ids := graph.IDSourceFor(g)
 	act := core.NewCondition(core.Cond("type", cfg.ActType))
@@ -186,7 +186,7 @@ func CollaborativeFiltering(g *graph.Graph, user graph.NodeID, cfg CFConfig) ([]
 // empty (content-based explanations cite items, not users).
 func ContentBased(g *graph.Graph, user graph.NodeID, itemType string, minSim float64) ([]Recommendation, error) {
 	if !g.HasNode(user) {
-		return nil, fmt.Errorf("discovery: unknown user %d", user)
+		return nil, fmt.Errorf("%w %d", ErrUnknownUser, user)
 	}
 	if itemType == "" {
 		itemType = graph.TypeItem

@@ -1,6 +1,7 @@
 package discovery
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -28,11 +29,20 @@ import (
 // newer world.
 func (d *Discoverer) DiscoverTagged(user graph.NodeID, q Query, proc *topk.Processor,
 	strategy topk.Strategy) (*MSG, topk.Stats, error) {
+	return d.DiscoverTaggedCtx(context.Background(), user, q, proc, strategy)
+}
+
+// DiscoverTaggedCtx is DiscoverTagged under a context: the processor's
+// accumulation loops poll ctx (see topk.TopKCtx), so a serving layer's
+// per-request deadline bounds the index scan. MSG assembly after a
+// successful evaluation is O(k) and runs to completion.
+func (d *Discoverer) DiscoverTaggedCtx(ctx context.Context, user graph.NodeID, q Query,
+	proc *topk.Processor, strategy topk.Strategy) (*MSG, topk.Stats, error) {
 	if proc == nil {
 		return nil, topk.Stats{}, fmt.Errorf("discovery: nil top-k processor")
 	}
 	if !d.g.HasNode(user) {
-		return nil, topk.Stats{}, fmt.Errorf("discovery: unknown user %d", user)
+		return nil, topk.Stats{}, fmt.Errorf("%w %d", ErrUnknownUser, user)
 	}
 	if q.K <= 0 {
 		q.K = 10
@@ -61,7 +71,7 @@ func (d *Discoverer) DiscoverTagged(user graph.NodeID, q Query, proc *topk.Proce
 			return true
 		})
 	}
-	ranked, stats, err := proc.TopK(user, tags, q.K, strategy)
+	ranked, stats, err := proc.TopKCtx(ctx, user, tags, q.K, strategy)
 	if err != nil {
 		return nil, stats, err
 	}

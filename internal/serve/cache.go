@@ -1,0 +1,198 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// cacheKey identifies one cacheable evaluation: the engine state version
+// the answer was computed against, the handler kind (search results and
+// recommendations never alias), the user's cache scope (see
+// Engine.CacheScope) and the normalized query. Keying on the version
+// makes invalidation free: an Apply batch bumps the engine version, new
+// requests carry the new version, and entries under older versions are
+// simply never read again — they are reclaimed by capacity eviction,
+// which prefers them.
+type cacheKey struct {
+	version uint64
+	kind    string
+	scope   string
+	query   string
+}
+
+// flight is one in-progress computation other requests for the same key
+// wait on instead of recomputing — singleflight deduplication of
+// concurrent identical misses.
+type flight struct {
+	done chan struct{}
+	body []byte
+	err  error
+}
+
+// Cache is the snapshot-version-keyed result cache. Values are fully
+// marshaled response bodies, so a hit costs one map lookup and one
+// write — and the cached and uncached paths are byte-identical by
+// construction. Safe for concurrent use.
+type Cache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[cacheKey][]byte
+	flights map[cacheKey]*flight
+
+	hits, misses, shared, evictions uint64
+}
+
+// DefaultCacheEntries bounds the cache when the configuration does not.
+const DefaultCacheEntries = 4096
+
+// NewCache returns a cache holding at most max marshaled bodies
+// (DefaultCacheEntries when max <= 0).
+func NewCache(max int) *Cache {
+	if max <= 0 {
+		max = DefaultCacheEntries
+	}
+	return &Cache{
+		max:     max,
+		entries: make(map[cacheKey][]byte),
+		flights: make(map[cacheKey]*flight),
+	}
+}
+
+// Outcome classifies how a Do call was answered, for the X-SS-Cache
+// response header and the hit-rate metrics.
+type Outcome string
+
+const (
+	// OutcomeHit: served from a stored entry.
+	OutcomeHit Outcome = "hit"
+	// OutcomeMiss: computed by this call (and stored if permitted).
+	OutcomeMiss Outcome = "miss"
+	// OutcomeShared: piggybacked on an identical concurrent computation.
+	OutcomeShared Outcome = "shared"
+	// OutcomeBypass: cache disabled or sidestepped for this request.
+	OutcomeBypass Outcome = "bypass"
+)
+
+// Do returns the body for key, computing it at most once across
+// concurrent callers. compute returns the marshaled body plus whether it
+// may be stored — the server declines storage when the engine version
+// advanced mid-computation, so a body computed against state v+1 is
+// never pinned under a version-v key. A compute error is returned to
+// every waiter of the flight and nothing is stored.
+//
+// Waiters honor their own ctx while parked on another request's flight,
+// and a leader whose compute fails with its *own* context error (the
+// leading client disconnected or ran out its per-request budget) does
+// not fail healthy piggybackers — they re-enter the flight protocol, so
+// exactly one of them becomes the new leader (whose result is stored)
+// and the rest share it. A panicking compute releases its waiters with
+// an error before propagating, so a key can never be wedged.
+func (c *Cache) Do(ctx context.Context, key cacheKey,
+	compute func() (body []byte, store bool, err error)) ([]byte, Outcome, error) {
+	var f *flight
+	for {
+		c.mu.Lock()
+		if body, ok := c.entries[key]; ok {
+			c.hits++
+			c.mu.Unlock()
+			return body, OutcomeHit, nil
+		}
+		prev, inFlight := c.flights[key]
+		if !inFlight {
+			f = &flight{done: make(chan struct{})}
+			c.flights[key] = f
+			c.misses++
+			c.mu.Unlock()
+			break // this caller leads
+		}
+		c.shared++
+		c.mu.Unlock()
+		select {
+		case <-prev.done:
+		case <-ctx.Done():
+			return nil, OutcomeShared, ctx.Err()
+		}
+		if isContextErr(prev.err) && ctx.Err() == nil {
+			// The leader died of its own request budget, not ours: go
+			// around — one healthy waiter becomes the new leader, the
+			// others pile onto its flight.
+			continue
+		}
+		return prev.body, OutcomeShared, prev.err
+	}
+
+	completed := false
+	defer func() {
+		if completed {
+			return
+		}
+		// compute panicked. Fail the flight so waiters unblock and the key
+		// is not wedged forever, then let the panic continue to the HTTP
+		// layer's recovery.
+		f.err = errors.New("serve: cache compute panicked")
+		c.mu.Lock()
+		delete(c.flights, key)
+		c.mu.Unlock()
+		close(f.done)
+	}()
+	body, store, err := compute()
+	completed = true
+	f.body, f.err = body, err
+
+	// Deregister before waking waiters, so a waiter that goes around the
+	// loop (failed-leader retry) finds either no flight or a successor's —
+	// never this finished one.
+	c.mu.Lock()
+	delete(c.flights, key)
+	if err == nil && store {
+		c.evictFor(key)
+		c.entries[key] = body
+	}
+	c.mu.Unlock()
+	close(f.done)
+	return body, OutcomeMiss, err
+}
+
+func isContextErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// evictFor makes room for one insertion under key. Entries from older
+// engine versions are orphans — no future request carries their key — so
+// they go first; only a cache full of current-version entries evicts
+// arbitrarily. Called with mu held.
+func (c *Cache) evictFor(key cacheKey) {
+	if len(c.entries) < c.max {
+		return
+	}
+	for k := range c.entries {
+		if k.version < key.version {
+			delete(c.entries, k)
+			c.evictions++
+			if len(c.entries) < c.max {
+				return
+			}
+		}
+	}
+	for k := range c.entries {
+		delete(c.entries, k)
+		c.evictions++
+		if len(c.entries) < c.max {
+			return
+		}
+	}
+}
+
+// Stats snapshots the cache gauges.
+func (c *Cache) Stats() CacheStatsWire {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStatsWire{
+		Entries:   len(c.entries),
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Shared:    c.shared,
+		Evictions: c.evictions,
+	}
+}

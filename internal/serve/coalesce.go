@@ -1,0 +1,222 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"socialscope"
+	"socialscope/internal/graph"
+)
+
+// applyOutcome is what one /apply request learns from the flush that
+// carried it.
+type applyOutcome struct {
+	version   uint64 // engine version after the flush
+	coalesced int    // requests that shared the flush
+	batched   int    // mutations in the whole flush
+	err       error
+}
+
+// applyReq is one enqueued mutation batch waiting for a flush.
+type applyReq struct {
+	muts []graph.Mutation
+	done chan applyOutcome // buffered; the flusher never blocks on it
+}
+
+// Coalescer buffers incoming mutation batches and flushes them into
+// Engine.Apply as one combined batch, so concurrent small writes ride
+// the storage layer's transient bulk path (graph.BulkApplyThreshold)
+// instead of paying per-write persistent path copies — and the engine
+// version bumps once per flush, not once per request, which keeps the
+// result cache's version keys stable under write bursts.
+//
+// A flush happens when the buffered mutation count reaches MaxBatch or
+// when the flush ticker fires, whichever comes first — the ticker bounds
+// the latency any single write can be held for. If the combined batch is
+// rejected (one request's mutations conflict with another's, or with the
+// engine), the flush degrades to applying each request's batch
+// individually so one bad request cannot poison the others; each request
+// then learns its own outcome.
+type Coalescer struct {
+	eng      *socialscope.Engine
+	maxBatch int
+	interval time.Duration
+
+	mu          sync.Mutex
+	pending     []applyReq
+	pendingMuts int
+	stopped     bool
+
+	kick chan struct{}
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	// gauges, guarded by mu
+	flushes     uint64
+	requests    uint64
+	mutations   uint64
+	maxFlush    int
+	bulkFlushes uint64
+	fallbacks   uint64
+}
+
+// DefaultFlushInterval bounds write latency when the configuration does
+// not: long enough for concurrent writers to pile into one flush, short
+// enough to stay invisible next to network latency.
+const DefaultFlushInterval = 10 * time.Millisecond
+
+// NewCoalescer starts a coalescer over the engine. maxBatch <= 0
+// defaults to graph.BulkApplyThreshold — the smallest batch that rides
+// the transient bulk path; interval <= 0 defaults to
+// DefaultFlushInterval. Stop must be called to release the flusher.
+func NewCoalescer(eng *socialscope.Engine, maxBatch int, interval time.Duration) *Coalescer {
+	if maxBatch <= 0 {
+		maxBatch = graph.BulkApplyThreshold
+	}
+	if interval <= 0 {
+		interval = DefaultFlushInterval
+	}
+	c := &Coalescer{
+		eng:      eng,
+		maxBatch: maxBatch,
+		interval: interval,
+		kick:     make(chan struct{}, 1),
+		stop:     make(chan struct{}),
+	}
+	c.wg.Add(1)
+	go c.loop()
+	return c
+}
+
+// Enqueue hands a mutation batch to the coalescer and waits for the
+// flush that carries it. The wait is bounded by the flush interval plus
+// one Engine.Apply. If ctx expires first the call returns ctx.Err() —
+// but the batch is already queued and will still be applied; a caller
+// that must know the outcome retries idempotently (re-adding an element
+// the engine absorbed is rejected loudly, not double-counted).
+func (c *Coalescer) Enqueue(ctx context.Context, muts []graph.Mutation) (applyOutcome, error) {
+	if len(muts) == 0 {
+		return applyOutcome{version: c.eng.Version()}, nil
+	}
+	req := applyReq{muts: muts, done: make(chan applyOutcome, 1)}
+	c.mu.Lock()
+	if c.stopped {
+		c.mu.Unlock()
+		return applyOutcome{}, context.Canceled
+	}
+	c.pending = append(c.pending, req)
+	c.pendingMuts += len(muts)
+	c.requests++
+	c.mutations += uint64(len(muts))
+	full := c.pendingMuts >= c.maxBatch
+	c.mu.Unlock()
+	if full {
+		select {
+		case c.kick <- struct{}{}:
+		default: // a kick is already pending
+		}
+	}
+	select {
+	case out := <-req.done:
+		return out, out.err
+	case <-ctx.Done():
+		return applyOutcome{}, ctx.Err()
+	}
+}
+
+func (c *Coalescer) loop() {
+	defer c.wg.Done()
+	ticker := time.NewTicker(c.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.stop:
+			c.flush()
+			return
+		case <-c.kick:
+			c.flush()
+		case <-ticker.C:
+			c.flush()
+		}
+	}
+}
+
+// flush applies everything pending as one batch, falling back to
+// per-request application when the combined batch is rejected.
+func (c *Coalescer) flush() {
+	c.mu.Lock()
+	reqs := c.pending
+	nmuts := c.pendingMuts
+	c.pending = nil
+	c.pendingMuts = 0
+	c.mu.Unlock()
+	if len(reqs) == 0 {
+		return
+	}
+
+	combined := make([]graph.Mutation, 0, nmuts)
+	for _, r := range reqs {
+		combined = append(combined, r.muts...)
+	}
+	err := c.eng.Apply(combined)
+	fellBack := false
+	if err == nil {
+		v := c.eng.Version()
+		for _, r := range reqs {
+			r.done <- applyOutcome{version: v, coalesced: len(reqs), batched: nmuts}
+		}
+	} else if len(reqs) == 1 {
+		reqs[0].done <- applyOutcome{err: err}
+	} else {
+		// Combined batch rejected: isolate the offender(s) by applying each
+		// request's batch on its own.
+		fellBack = true
+		for _, r := range reqs {
+			e := c.eng.Apply(r.muts)
+			out := applyOutcome{version: c.eng.Version(), coalesced: 1, batched: len(r.muts), err: e}
+			r.done <- out
+		}
+	}
+
+	c.mu.Lock()
+	c.flushes++
+	if nmuts > c.maxFlush {
+		c.maxFlush = nmuts
+	}
+	if nmuts >= graph.BulkApplyThreshold {
+		c.bulkFlushes++
+	}
+	if fellBack {
+		c.fallbacks++
+	}
+	c.mu.Unlock()
+}
+
+// Stop flushes whatever is pending and releases the flusher goroutine.
+// Subsequent Enqueue calls fail.
+func (c *Coalescer) Stop() {
+	c.mu.Lock()
+	if c.stopped {
+		c.mu.Unlock()
+		return
+	}
+	c.stopped = true
+	c.mu.Unlock()
+	close(c.stop)
+	c.wg.Wait()
+}
+
+// Stats snapshots the coalescer gauges.
+func (c *Coalescer) Stats() CoalescerStatsWire {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CoalescerStatsWire{
+		Flushes:     c.flushes,
+		Requests:    c.requests,
+		Mutations:   c.mutations,
+		MaxFlush:    c.maxFlush,
+		BulkFlushes: c.bulkFlushes,
+		Fallbacks:   c.fallbacks,
+	}
+}

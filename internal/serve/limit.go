@@ -1,0 +1,88 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// ErrOverloaded is returned when a request would exceed both the
+// concurrency limit and the waiting-queue bound; the server maps it to
+// 503 so load sheds at admission instead of piling latency onto every
+// in-flight request.
+var ErrOverloaded = errors.New("serve: overloaded — concurrency limit and queue depth exceeded")
+
+// Limiter is the admission controller: at most maxConcurrent requests
+// execute, at most maxQueue more wait, the rest are rejected
+// immediately. Queue-depth gauges make saturation observable through
+// /stats before it becomes an outage.
+type Limiter struct {
+	slots    chan struct{}
+	maxQueue int64
+
+	queued   atomic.Int64
+	admitted atomic.Uint64
+	rejected atomic.Uint64
+}
+
+// Defaults when the configuration leaves the limits unset.
+const (
+	DefaultMaxConcurrent = 64
+	DefaultMaxQueue      = 256
+)
+
+// NewLimiter returns a limiter admitting maxConcurrent concurrent
+// requests with a waiting queue of maxQueue (defaults applied for
+// non-positive maxConcurrent; maxQueue < 0 defaults, 0 means no queue).
+func NewLimiter(maxConcurrent, maxQueue int) *Limiter {
+	if maxConcurrent <= 0 {
+		maxConcurrent = DefaultMaxConcurrent
+	}
+	if maxQueue < 0 {
+		maxQueue = DefaultMaxQueue
+	}
+	return &Limiter{
+		slots:    make(chan struct{}, maxConcurrent),
+		maxQueue: int64(maxQueue),
+	}
+}
+
+// Acquire admits the request or reports why it cannot run: ErrOverloaded
+// when the queue bound is exceeded, ctx.Err() when the caller's deadline
+// expires while waiting. On success the returned release function must
+// be called exactly once.
+func (l *Limiter) Acquire(ctx context.Context) (release func(), err error) {
+	select {
+	case l.slots <- struct{}{}:
+		l.admitted.Add(1)
+		return l.release, nil
+	default:
+	}
+	if l.queued.Add(1) > l.maxQueue {
+		l.queued.Add(-1)
+		l.rejected.Add(1)
+		return nil, ErrOverloaded
+	}
+	select {
+	case l.slots <- struct{}{}:
+		l.queued.Add(-1)
+		l.admitted.Add(1)
+		return l.release, nil
+	case <-ctx.Done():
+		l.queued.Add(-1)
+		l.rejected.Add(1)
+		return nil, ctx.Err()
+	}
+}
+
+func (l *Limiter) release() { <-l.slots }
+
+// Stats snapshots the admission gauges.
+func (l *Limiter) Stats() LimiterStatsWire {
+	return LimiterStatsWire{
+		Inflight: len(l.slots),
+		Queued:   l.queued.Load(),
+		Admitted: l.admitted.Load(),
+		Rejected: l.rejected.Load(),
+	}
+}

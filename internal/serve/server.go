@@ -1,0 +1,412 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+
+	"socialscope"
+	"socialscope/internal/discovery"
+	"socialscope/internal/graph"
+	"socialscope/internal/topk"
+)
+
+// Config parameterizes a Server. The zero value serves with sane
+// defaults: 2s request deadline, DefaultCacheEntries cache,
+// bulk-threshold write coalescing, DefaultMaxConcurrent admission.
+type Config struct {
+	// RequestTimeout bounds each request's evaluation (default 2s). The
+	// deadline propagates into the engine's top-k accumulation loops via
+	// the request context.
+	RequestTimeout time.Duration
+	// CacheEntries bounds the result cache (default
+	// DefaultCacheEntries); DisableCache turns caching off entirely.
+	CacheEntries int
+	DisableCache bool
+	// MaxBatch is the buffered mutation count that triggers an immediate
+	// coalescer flush (default graph.BulkApplyThreshold, the smallest
+	// batch riding the storage layer's transient bulk path);
+	// FlushInterval bounds how long a write waits for company (default
+	// DefaultFlushInterval).
+	MaxBatch      int
+	FlushInterval time.Duration
+	// MaxConcurrent and MaxQueue shape admission control (defaults
+	// DefaultMaxConcurrent / DefaultMaxQueue).
+	MaxConcurrent int
+	MaxQueue      int
+}
+
+// Server is the HTTP query-serving subsystem over one Engine. Create
+// with New, expose with Handler (or Serve), release with Shutdown or
+// Close.
+type Server struct {
+	eng     *socialscope.Engine
+	cfg     Config
+	cache   *Cache
+	coal    *Coalescer
+	limiter *Limiter
+	mux     *http.ServeMux
+	httpSrv *http.Server
+	started time.Time
+}
+
+// New builds a server over the engine. The engine may already be serving
+// other callers; the server adds no constraints beyond Engine's own
+// concurrency contract.
+func New(eng *socialscope.Engine, cfg Config) *Server {
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 2 * time.Second
+	}
+	s := &Server{
+		eng:     eng,
+		cfg:     cfg,
+		coal:    NewCoalescer(eng, cfg.MaxBatch, cfg.FlushInterval),
+		limiter: NewLimiter(cfg.MaxConcurrent, cfg.MaxQueue),
+		mux:     http.NewServeMux(),
+		started: time.Now(),
+	}
+	if !cfg.DisableCache {
+		s.cache = NewCache(cfg.CacheEntries)
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /search", s.limited(s.handleSearch))
+	s.mux.HandleFunc("POST /query", s.limited(s.handleQuery))
+	s.mux.HandleFunc("GET /recommend", s.limited(s.handleRecommend))
+	s.mux.HandleFunc("POST /apply", s.limited(s.handleApply))
+	// Constructed here, not in Serve, so Shutdown never races the Serve
+	// goroutine's startup: a signal arriving before Serve runs still finds
+	// a server to shut down (whose Serve then returns ErrServerClosed
+	// immediately).
+	s.httpSrv = &http.Server{Handler: s.Handler()}
+	return s
+}
+
+// Handler returns the routed handler with per-request deadlines and
+// admission control applied. /healthz and /stats bypass admission so
+// they stay responsive under overload — that is when they matter most.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		s.mux.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
+
+// limited wraps a handler in the admission limiter.
+func (s *Server) limited(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		release, err := s.limiter.Acquire(r.Context())
+		if err != nil {
+			writeError(w, http.StatusServiceUnavailable, err)
+			return
+		}
+		defer release()
+		h(w, r)
+	}
+}
+
+// Serve accepts connections on ln until Shutdown. It returns the error
+// from the underlying http.Server (http.ErrServerClosed after a clean
+// Shutdown).
+func (s *Server) Serve(ln net.Listener) error {
+	return s.httpSrv.Serve(ln)
+}
+
+// Shutdown drains gracefully: stop accepting, wait for in-flight
+// requests (bounded by ctx), then flush the write coalescer so no
+// accepted mutation is lost.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.httpSrv.Shutdown(ctx)
+	s.coal.Stop()
+	return err
+}
+
+// Close releases the server's background resources without a listener
+// (the Handler-only usage, e.g. under httptest).
+func (s *Server) Close() { s.coal.Stop() }
+
+// Engine returns the served engine.
+func (s *Server) Engine() *socialscope.Engine { return s.eng }
+
+// parseQueryRequest extracts a QueryRequest from GET parameters
+// (/search) or a JSON body (/query).
+func parseQueryRequest(r *http.Request) (QueryRequest, error) {
+	if r.Method == http.MethodPost {
+		var req QueryRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			return QueryRequest{}, fmt.Errorf("serve: bad request body: %w", err)
+		}
+		return req, nil
+	}
+	var req QueryRequest
+	userStr := r.FormValue("user")
+	if userStr == "" {
+		return QueryRequest{}, errors.New("serve: missing user parameter")
+	}
+	uid, err := strconv.ParseInt(userStr, 10, 64)
+	if err != nil {
+		return QueryRequest{}, fmt.Errorf("serve: bad user parameter: %w", err)
+	}
+	req.User = graph.NodeID(uid)
+	req.Query = r.FormValue("q")
+	if ks := r.FormValue("k"); ks != "" {
+		k, err := strconv.Atoi(ks)
+		if err != nil {
+			return QueryRequest{}, fmt.Errorf("serve: bad k parameter: %w", err)
+		}
+		req.K = k
+	}
+	if as := r.FormValue("alpha"); as != "" {
+		a, err := strconv.ParseFloat(as, 64)
+		if err != nil {
+			return QueryRequest{}, fmt.Errorf("serve: bad alpha parameter: %w", err)
+		}
+		req.Alpha = &a
+	}
+	return req, nil
+}
+
+// handleSearch answers GET /search?user=&q=&k=&alpha=[&nocache=1].
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	s.answerQuery(w, r)
+}
+
+// handleQuery answers POST /query with a QueryRequest body.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	s.answerQuery(w, r)
+}
+
+func (s *Server) answerQuery(w http.ResponseWriter, r *http.Request) {
+	req, err := parseQueryRequest(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	q, err := discovery.ParseQuery(req.Query)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.K > 0 {
+		q.K = req.K
+	}
+	if req.Alpha != nil {
+		q.Alpha = *req.Alpha
+	}
+	version := s.eng.Version()
+	bodyVersion := version // what the served body was evaluated against
+	compute := func() ([]byte, bool, error) {
+		resp, err := s.eng.QueryCtx(r.Context(), req.User, q)
+		if err != nil {
+			return nil, false, err
+		}
+		var stats *QueryStatsWire
+		if resp.Stats != nil {
+			stats = &QueryStatsWire{
+				Strategy:        resp.Stats.Strategy.String(),
+				PostingsScanned: resp.Stats.PostingsScanned,
+				ExactScores:     resp.Stats.ExactScores,
+				Candidates:      resp.Stats.Candidates,
+				EarlyTerminated: resp.Stats.EarlyTerminated,
+			}
+		}
+		// The response carries the exact snapshot version the evaluation
+		// read — which may be newer than this request's cache key if an
+		// Apply landed in between.
+		bodyVersion = resp.Version
+		body, err := json.Marshal(SearchResponseFromEngine(s.eng, resp.Version, q, resp, stats))
+		if err != nil {
+			return nil, false, err
+		}
+		// Store only if the keyed version held through evaluation AND body
+		// assembly: the wire shaping's name fallback reads the live graph,
+		// so a version bump between evaluation and marshal could otherwise
+		// pin a mixed-version body under this version's key.
+		return body, resp.Version == version && s.eng.Version() == version, nil
+	}
+	s.respondCached(w, r, cacheKey{
+		version: version,
+		kind:    "search",
+		scope:   s.eng.CacheScope(req.User),
+		query:   NormalizeQuery(q),
+	}, compute, &bodyVersion)
+}
+
+// handleRecommend answers GET /recommend?user=&variant=stepwise|pattern.
+func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
+	userStr := r.FormValue("user")
+	uid, err := strconv.ParseInt(userStr, 10, 64)
+	if userStr == "" || err != nil {
+		writeError(w, http.StatusBadRequest, errors.New("serve: missing or bad user parameter"))
+		return
+	}
+	user := graph.NodeID(uid)
+	variant := discovery.CFStepwise
+	switch v := r.FormValue("variant"); v {
+	case "", "stepwise":
+	case "pattern":
+		variant = discovery.CFPattern
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: unknown variant %q", v))
+		return
+	}
+	version := s.eng.Version()
+	bodyVersion := version
+	compute := func() ([]byte, bool, error) {
+		recs, err := s.eng.RecommendCtx(r.Context(), user, variant)
+		if err != nil {
+			return nil, false, err
+		}
+		g := s.eng.Graph()
+		// If the engine advanced mid-evaluation, label the body with the
+		// post-evaluation version (best effort — CF reads the then-current
+		// graph) and veto the store; when the version is unchanged around
+		// the evaluation, the label is exact.
+		after := s.eng.Version()
+		bodyVersion = after
+		out := RecommendResponse{
+			Version:         after,
+			User:            user,
+			Variant:         variant.String(),
+			Recommendations: make([]RecommendationWire, 0, len(recs)),
+		}
+		for _, rec := range recs {
+			name := ""
+			if n := g.Node(rec.Item); n != nil {
+				name = n.Attrs.Get("name")
+			}
+			out.Recommendations = append(out.Recommendations, RecommendationWire{
+				Item: rec.Item, Name: name, Score: rec.Score, Basis: rec.Basis,
+			})
+		}
+		body, err := json.Marshal(out)
+		if err != nil {
+			return nil, false, err
+		}
+		return body, after == version, nil
+	}
+	s.respondCached(w, r, cacheKey{
+		version: version,
+		kind:    "recommend",
+		scope:   s.eng.CacheScope(user),
+		query:   variant.String(),
+	}, compute, &bodyVersion)
+}
+
+// respondCached answers through the result cache (unless disabled or
+// bypassed with ?nocache=1) and reports the outcome in the X-SS-Cache
+// header — kept out of the body so cached and uncached bodies stay
+// byte-identical. bodyVersion points at the version the served body was
+// evaluated against: updated by compute when it runs here; for hits it
+// keeps the key version, which is exactly what stored bodies were
+// evaluated at (a mid-compute version bump vetoes the store). A shared
+// flight whose leader straddled a bump may label the header with the key
+// version while the body carries the exact one — the body is
+// authoritative.
+func (s *Server) respondCached(w http.ResponseWriter, r *http.Request,
+	key cacheKey, compute func() ([]byte, bool, error), bodyVersion *uint64) {
+	var (
+		body    []byte
+		outcome Outcome
+		err     error
+	)
+	if s.cache == nil || r.FormValue("nocache") != "" {
+		outcome = OutcomeBypass
+		body, _, err = compute()
+	} else {
+		body, outcome, err = s.cache.Do(r.Context(), key, compute)
+	}
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-SS-Cache", string(outcome))
+	w.Header().Set("X-SS-Version", strconv.FormatUint(*bodyVersion, 10))
+	w.Write(body)
+}
+
+// handleApply folds POST /apply mutation batches into the engine through
+// the write coalescer.
+func (s *Server) handleApply(w http.ResponseWriter, r *http.Request) {
+	var req ApplyRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad request body: %w", err))
+		return
+	}
+	muts := make([]graph.Mutation, 0, len(req.Mutations))
+	for i, mw := range req.Mutations {
+		m, err := mw.Mutation()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("mutation %d: %w", i, err))
+			return
+		}
+		muts = append(muts, m)
+	}
+	out, err := s.coal.Enqueue(r.Context(), muts)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ApplyResponse{
+		Version:   out.version,
+		Applied:   len(muts),
+		Coalesced: out.coalesced,
+		Batched:   out.batched,
+	})
+}
+
+// handleStats answers GET /stats.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	g := s.eng.Graph()
+	var cs CacheStatsWire
+	if s.cache != nil {
+		cs = s.cache.Stats()
+	}
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Version:   s.eng.Version(),
+		MaxNodeID: g.MaxNodeID(),
+		MaxLinkID: g.MaxLinkID(),
+		UptimeSec: time.Since(s.started).Seconds(),
+		Cache:     cs,
+		Coalescer: s.coal.Stats(),
+		Limiter:   s.limiter.Stats(),
+	})
+}
+
+// handleHealthz answers GET /healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok", Version: s.eng.Version()})
+}
+
+// statusFor maps evaluation errors to HTTP statuses: deadline and
+// cancellation to 504 (the per-request budget ran out), admission
+// rejection to 503, unknown users to 404, everything else to 422 (the
+// request was syntactically fine but the engine rejected it).
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, discovery.ErrUnknownUser), errors.Is(err, topk.ErrUnknownUser):
+		return http.StatusNotFound
+	}
+	return http.StatusUnprocessableEntity
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}

@@ -1,0 +1,356 @@
+// Package serve is SocialScope's query-serving subsystem: an HTTP JSON
+// front end over the facade Engine that turns the storage layer's RCU
+// snapshots, O(delta) live updates and transient bulk mutation into
+// end-to-end request latency. It comprises
+//
+//   - handlers for /search, /query, /recommend, /apply, /stats and
+//     /healthz with per-request deadlines and graceful shutdown
+//     (server.go);
+//   - a snapshot-version-keyed result cache with singleflight
+//     deduplication of concurrent identical misses — invalidation is
+//     free, a version bump from Apply simply orphans old entries
+//     (cache.go);
+//   - a write coalescer that buffers incoming mutation batches and
+//     flushes them sized to ride the storage layer's transient bulk
+//     path, with a ticker bounding flush latency (coalesce.go);
+//   - an admission limiter with queue-depth metrics (limit.go).
+//
+// This file defines the JSON wire types, shared by cmd/ssserve (the
+// server) and cmd/ssquery -addr (the client).
+package serve
+
+import (
+	"fmt"
+
+	"socialscope"
+	"socialscope/internal/discovery"
+	"socialscope/internal/graph"
+)
+
+// NodeWire is a graph node on the wire; the shape matches the graph's
+// JSON encoding (Encode/Decode), so corpora and mutations speak one
+// dialect.
+type NodeWire struct {
+	ID    graph.NodeID        `json:"id"`
+	Types []string            `json:"types,omitempty"`
+	Attrs map[string][]string `json:"attrs,omitempty"`
+}
+
+// LinkWire is a graph link on the wire.
+type LinkWire struct {
+	ID    graph.LinkID        `json:"id"`
+	Src   graph.NodeID        `json:"src"`
+	Tgt   graph.NodeID        `json:"tgt"`
+	Types []string            `json:"types,omitempty"`
+	Attrs map[string][]string `json:"attrs,omitempty"`
+}
+
+// MutationWire is one graph mutation on the wire. Op is the changelog
+// kind's string form: add-node, put-node, add-link, put-link,
+// remove-node, remove-link. Node is set for node ops, Link for link ops;
+// Prev optionally carries the pre-merge state of a put-link.
+type MutationWire struct {
+	Op   string    `json:"op"`
+	Node *NodeWire `json:"node,omitempty"`
+	Link *LinkWire `json:"link,omitempty"`
+	Prev *LinkWire `json:"prev,omitempty"`
+}
+
+func (w NodeWire) node() *graph.Node {
+	n := graph.NewNode(w.ID, w.Types...)
+	for k, vs := range w.Attrs {
+		n.Attrs.Set(k, vs...)
+	}
+	return n
+}
+
+func (w LinkWire) link() *graph.Link {
+	l := graph.NewLink(w.ID, w.Src, w.Tgt, w.Types...)
+	for k, vs := range w.Attrs {
+		l.Attrs.Set(k, vs...)
+	}
+	return l
+}
+
+// NodeToWire and LinkToWire convert graph elements for transmission.
+func NodeToWire(n *graph.Node) NodeWire {
+	return NodeWire{ID: n.ID, Types: n.Types, Attrs: n.Attrs}
+}
+
+func LinkToWire(l *graph.Link) LinkWire {
+	return LinkWire{ID: l.ID, Src: l.Src, Tgt: l.Tgt, Types: l.Types, Attrs: l.Attrs}
+}
+
+// MutationToWire converts a changelog entry for transmission.
+func MutationToWire(m graph.Mutation) MutationWire {
+	w := MutationWire{Op: m.Kind.String()}
+	if m.Node != nil {
+		nw := NodeToWire(m.Node)
+		w.Node = &nw
+	}
+	if m.Link != nil {
+		lw := LinkToWire(m.Link)
+		w.Link = &lw
+	}
+	if m.Prev != nil {
+		pw := LinkToWire(m.Prev)
+		w.Prev = &pw
+	}
+	return w
+}
+
+// Mutation converts the wire form back into a changelog entry.
+func (w MutationWire) Mutation() (graph.Mutation, error) {
+	var kind graph.MutationKind
+	switch w.Op {
+	case graph.MutAddNode.String():
+		kind = graph.MutAddNode
+	case graph.MutPutNode.String():
+		kind = graph.MutPutNode
+	case graph.MutAddLink.String():
+		kind = graph.MutAddLink
+	case graph.MutPutLink.String():
+		kind = graph.MutPutLink
+	case graph.MutRemoveNode.String():
+		kind = graph.MutRemoveNode
+	case graph.MutRemoveLink.String():
+		kind = graph.MutRemoveLink
+	default:
+		return graph.Mutation{}, fmt.Errorf("serve: unknown mutation op %q", w.Op)
+	}
+	m := graph.Mutation{Kind: kind}
+	switch kind {
+	case graph.MutAddNode, graph.MutPutNode, graph.MutRemoveNode:
+		if w.Node == nil {
+			return graph.Mutation{}, fmt.Errorf("serve: %s mutation without node", w.Op)
+		}
+		m.Node = w.Node.node()
+	default:
+		if w.Link == nil {
+			return graph.Mutation{}, fmt.Errorf("serve: %s mutation without link", w.Op)
+		}
+		m.Link = w.Link.link()
+		if w.Prev != nil {
+			m.Prev = w.Prev.link()
+		}
+	}
+	return m, nil
+}
+
+// QueryRequest is the body of POST /query (and the parameter set of
+// GET /search). Query uses the search-box syntax of discovery.ParseQuery;
+// K and Alpha override the parser defaults when positive / non-nil.
+type QueryRequest struct {
+	User  graph.NodeID `json:"user"`
+	Query string       `json:"query"`
+	K     int          `json:"k,omitempty"`
+	Alpha *float64     `json:"alpha,omitempty"`
+}
+
+// ResultWire is one ranked result.
+type ResultWire struct {
+	Item        graph.NodeID   `json:"item"`
+	Name        string         `json:"name,omitempty"`
+	Score       float64        `json:"score"`
+	Semantic    float64        `json:"semantic"`
+	Social      float64        `json:"social"`
+	Endorsers   []graph.NodeID `json:"endorsers,omitempty"`
+	Explanation string         `json:"explanation,omitempty"`
+}
+
+// GroupWire is one presentation group.
+type GroupWire struct {
+	Label   string         `json:"label"`
+	Items   []graph.NodeID `json:"items"`
+	Quality float64        `json:"quality"`
+}
+
+// GroupingWire is the chosen grouping of the presentation layer.
+type GroupingWire struct {
+	Criterion string      `json:"criterion,omitempty"`
+	Groups    []GroupWire `json:"groups,omitempty"`
+}
+
+// RelatedWire is Example 3's onward exploration payload.
+type RelatedWire struct {
+	Topics []RelatedEntryWire `json:"topics,omitempty"`
+	Users  []RelatedEntryWire `json:"users,omitempty"`
+}
+
+// RelatedEntryWire is one related entity with its result-set count.
+type RelatedEntryWire struct {
+	ID    graph.NodeID `json:"id"`
+	Name  string       `json:"name,omitempty"`
+	Count int          `json:"count"`
+}
+
+// QueryStatsWire is the work report of an index-backed evaluation.
+type QueryStatsWire struct {
+	Strategy        string `json:"strategy"`
+	PostingsScanned int    `json:"postings_scanned"`
+	ExactScores     int    `json:"exact_scores"`
+	Candidates      int    `json:"candidates"`
+	EarlyTerminated bool   `json:"early_terminated"`
+}
+
+// SearchResponse is the body of /search and /query answers. It is
+// deterministic for a given engine state and query — maps are avoided in
+// favor of ordered slices — so the cached and uncached paths produce
+// byte-identical bodies.
+type SearchResponse struct {
+	Version uint64          `json:"version"`
+	Query   string          `json:"query"`
+	Basis   string          `json:"basis,omitempty"`
+	Results []ResultWire    `json:"results"`
+	Groups  GroupingWire    `json:"grouping"`
+	Related RelatedWire     `json:"related"`
+	Stats   *QueryStatsWire `json:"stats,omitempty"`
+}
+
+// SearchResponseFromEngine shapes a facade Response for the wire. Names
+// are resolved against the MSG's own snapshot-consistent graph, falling
+// back to the serving graph for entities the MSG does not carry.
+func SearchResponseFromEngine(eng *socialscope.Engine, version uint64,
+	q discovery.Query, resp *socialscope.Response, stats *QueryStatsWire) SearchResponse {
+	g := eng.Graph()
+	name := func(id graph.NodeID) string {
+		if resp.MSG.Graph != nil {
+			if n := resp.MSG.Graph.Node(id); n != nil {
+				if nm := n.Attrs.Get("name"); nm != "" {
+					return nm
+				}
+			}
+		}
+		if n := g.Node(id); n != nil {
+			return n.Attrs.Get("name")
+		}
+		return ""
+	}
+	out := SearchResponse{
+		Version: version,
+		Query:   q.String(),
+		Basis:   resp.MSG.Basis.Kind.String(),
+		Results: make([]ResultWire, 0, len(resp.MSG.Results)),
+		Stats:   stats,
+	}
+	for _, r := range resp.MSG.Results {
+		out.Results = append(out.Results, ResultWire{
+			Item:        r.Item,
+			Name:        name(r.Item),
+			Score:       r.Score,
+			Semantic:    r.Semantic,
+			Social:      r.Social,
+			Endorsers:   r.Endorsers,
+			Explanation: resp.Explanations[r.Item].Summary,
+		})
+	}
+	out.Groups.Criterion = resp.Presentation.Chosen.Criterion
+	for _, grp := range resp.Presentation.Chosen.Groups {
+		out.Groups.Groups = append(out.Groups.Groups, GroupWire{
+			Label: grp.Label, Items: grp.Items, Quality: grp.Quality,
+		})
+	}
+	for _, rt := range resp.Related.Topics {
+		out.Related.Topics = append(out.Related.Topics, RelatedEntryWire{
+			ID: rt.Topic, Name: name(rt.Topic), Count: rt.Count,
+		})
+	}
+	for _, ru := range resp.Related.Users {
+		out.Related.Users = append(out.Related.Users, RelatedEntryWire{
+			ID: ru.User, Name: name(ru.User), Count: ru.Count,
+		})
+	}
+	return out
+}
+
+// RecommendationWire is one collaborative-filtering recommendation.
+type RecommendationWire struct {
+	Item  graph.NodeID   `json:"item"`
+	Name  string         `json:"name,omitempty"`
+	Score float64        `json:"score"`
+	Basis []graph.NodeID `json:"basis,omitempty"`
+}
+
+// RecommendResponse is the body of /recommend answers.
+type RecommendResponse struct {
+	Version         uint64               `json:"version"`
+	User            graph.NodeID         `json:"user"`
+	Variant         string               `json:"variant"`
+	Recommendations []RecommendationWire `json:"recommendations"`
+}
+
+// ApplyRequest is the body of POST /apply: a batch of mutations to fold
+// into the live engine. The server coalesces concurrent batches before
+// applying (see Coalescer), so the response's Coalesced reports how many
+// requests shared the flush that carried this one.
+type ApplyRequest struct {
+	Mutations []MutationWire `json:"mutations"`
+}
+
+// ApplyResponse reports the outcome of an apply: the engine version
+// after the flush that carried the batch, and how the flush was shaped.
+type ApplyResponse struct {
+	Version   uint64 `json:"version"`
+	Applied   int    `json:"applied"`   // mutations in this request
+	Coalesced int    `json:"coalesced"` // requests that shared the flush
+	Batched   int    `json:"batched"`   // mutations in the whole flush
+}
+
+// CacheStatsWire reports result-cache effectiveness.
+type CacheStatsWire struct {
+	Entries   int    `json:"entries"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Shared    uint64 `json:"shared"` // misses that piggybacked on an identical in-flight compute
+	Evictions uint64 `json:"evictions"`
+}
+
+// CoalescerStatsWire reports write-coalescing effectiveness.
+type CoalescerStatsWire struct {
+	Flushes     uint64 `json:"flushes"`
+	Requests    uint64 `json:"requests"`
+	Mutations   uint64 `json:"mutations"`
+	MaxFlush    int    `json:"max_flush"`    // largest single flush, in mutations
+	BulkFlushes uint64 `json:"bulk_flushes"` // flushes large enough for the transient bulk path
+	Fallbacks   uint64 `json:"fallbacks"`    // flushes that degraded to per-request applies
+}
+
+// LimiterStatsWire reports admission control state.
+type LimiterStatsWire struct {
+	Inflight int    `json:"inflight"`
+	Queued   int64  `json:"queued"`
+	Admitted uint64 `json:"admitted"`
+	Rejected uint64 `json:"rejected"`
+}
+
+// StatsResponse is the body of /stats: engine and subsystem gauges. Max
+// ids let remote writers allocate fresh element ids without a round trip
+// per element.
+type StatsResponse struct {
+	Version   uint64             `json:"version"`
+	MaxNodeID graph.NodeID       `json:"max_node_id"`
+	MaxLinkID graph.LinkID       `json:"max_link_id"`
+	UptimeSec float64            `json:"uptime_sec"`
+	Cache     CacheStatsWire     `json:"cache"`
+	Coalescer CoalescerStatsWire `json:"coalescer"`
+	Limiter   LimiterStatsWire   `json:"limiter"`
+}
+
+// HealthResponse is the body of /healthz.
+type HealthResponse struct {
+	Status  string `json:"status"`
+	Version uint64 `json:"version"`
+}
+
+// ErrorResponse is the body every non-2xx answer carries.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// NormalizeQuery renders the cache-key form of a parsed query: the
+// canonical string (tokenized keywords, ordered predicates) plus the
+// result-shaping parameters, so two textual spellings of the same
+// evaluation share one cache entry and different k or α never collide.
+func NormalizeQuery(q discovery.Query) string {
+	return fmt.Sprintf("%s|k=%d|a=%g", q.String(), q.K, q.Alpha)
+}

@@ -27,6 +27,8 @@
 package topk
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 
@@ -34,6 +36,11 @@ import (
 	"socialscope/internal/index"
 	"socialscope/internal/scoring"
 )
+
+// ErrUnknownUser reports a query for a user the index's clustering does
+// not know. A sentinel (matched with errors.Is) so serving layers can
+// map it to a 404 without string inspection.
+var ErrUnknownUser = errors.New("topk: unknown user")
 
 // Strategy selects the query-processing algorithm.
 type Strategy uint8
@@ -130,32 +137,62 @@ func (p *Processor) Index() *index.Index { return p.ix }
 // identical ranking; they differ only in the Stats.
 func (p *Processor) TopK(user graph.NodeID, tags []string, k int,
 	strategy Strategy) ([]index.Result, Stats, error) {
+	return p.TopKCtx(context.Background(), user, tags, k, strategy)
+}
+
+// cancelCheckEvery is how many accumulation-loop iterations pass between
+// context checks: frequent enough that a request deadline bounds the scan
+// within microseconds, sparse enough that the atomic load disappears
+// against the posting work between checks.
+const cancelCheckEvery = 256
+
+// TopKCtx is TopK under a context: the accumulation loops of every
+// strategy poll ctx and abandon the evaluation with ctx.Err() once it is
+// cancelled, so a serving layer's per-request deadline bounds even an
+// exhaustive scan over a large corpus. Stats reflect the work actually
+// performed up to the abort.
+func (p *Processor) TopKCtx(ctx context.Context, user graph.NodeID, tags []string, k int,
+	strategy Strategy) ([]index.Result, Stats, error) {
 	stats := Stats{Strategy: strategy, SnapshotVersion: p.ix.Version()}
 	if k <= 0 {
 		return nil, stats, fmt.Errorf("topk: k must be positive, got %d", k)
 	}
 	if p.ix.Clustering().Of(user) < 0 {
-		return nil, stats, fmt.Errorf("topk: unknown user %d", user)
+		return nil, stats, fmt.Errorf("%w %d", ErrUnknownUser, user)
 	}
+	var (
+		results []index.Result
+		err     error
+	)
 	switch strategy {
 	case Exhaustive:
-		return p.exhaustive(user, tags, k, &stats), stats, nil
+		results, err = p.exhaustive(ctx, user, tags, k, &stats)
 	case TA:
-		return p.ta(user, tags, k, &stats), stats, nil
+		results, err = p.ta(ctx, user, tags, k, &stats)
 	case NRA:
-		return p.nra(user, tags, k, &stats), stats, nil
+		results, err = p.nra(ctx, user, tags, k, &stats)
+	default:
+		err = fmt.Errorf("topk: unknown strategy %d", strategy)
 	}
-	return nil, stats, fmt.Errorf("topk: unknown strategy %d", strategy)
+	if err != nil {
+		return nil, stats, err
+	}
+	return results, stats, nil
 }
 
 // exhaustive is the full scan: every (item, tag) cell is computed.
-func (p *Processor) exhaustive(user graph.NodeID, tags []string, k int,
-	stats *Stats) []index.Result {
+func (p *Processor) exhaustive(ctx context.Context, user graph.NodeID, tags []string, k int,
+	stats *Stats) ([]index.Result, error) {
 	data := p.ix.Data()
 	f := p.ix.UserFn()
 	results := make([]index.Result, 0, len(data.Items))
 	per := make([]float64, len(tags))
-	for _, item := range data.Items {
+	for n, item := range data.Items {
+		if n%cancelCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		for i, tag := range tags {
 			per[i] = data.ScoreTag(item, user, tag, f)
 			stats.PostingsScanned++
@@ -170,7 +207,7 @@ func (p *Processor) exhaustive(user graph.NodeID, tags []string, k int,
 	if k < len(results) {
 		results = results[:k]
 	}
-	return results
+	return results, nil
 }
 
 // ta runs the threshold algorithm: sorted round-robin access, immediate
@@ -181,8 +218,8 @@ func (p *Processor) exhaustive(user graph.NodeID, tags []string, k int,
 // index.(*Index).TopK is the single-shot sibling of this loop (kept there
 // because index cannot import this package); changes to the termination
 // rule must be mirrored in both.
-func (p *Processor) ta(user graph.NodeID, tags []string, k int,
-	stats *Stats) []index.Result {
+func (p *Processor) ta(ctx context.Context, user graph.NodeID, tags []string, k int,
+	stats *Stats) ([]index.Result, error) {
 	data := p.ix.Data()
 	f := p.ix.UserFn()
 	lists := make([][]index.Entry, len(tags))
@@ -194,6 +231,11 @@ func (p *Processor) ta(user graph.NodeID, tags []string, k int,
 	frontiers := make([]float64, len(tags))
 	var results []index.Result
 	for {
+		if stats.Rounds%cancelCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		advanced := false
 		stats.Rounds++
 		for i := range lists {
@@ -246,7 +288,7 @@ func (p *Processor) ta(user graph.NodeID, tags []string, k int,
 	if k < len(results) {
 		results = results[:k]
 	}
-	return results
+	return results, nil
 }
 
 // candidate is NRA bookkeeping for one item met during sorted access.
@@ -280,8 +322,8 @@ func (c *candidate) upperBound(g scoring.AggregateFn, frontiers []float64) float
 // candidate's upper bound still reaches the current k-th exact score.
 // Candidates whose bounds decay below the waterline are discarded without
 // a single random access, which is where NRA beats TA on rescoring work.
-func (p *Processor) nra(user graph.NodeID, tags []string, k int,
-	stats *Stats) []index.Result {
+func (p *Processor) nra(ctx context.Context, user graph.NodeID, tags []string, k int,
+	stats *Stats) ([]index.Result, error) {
 	data := p.ix.Data()
 	f := p.ix.UserFn()
 	lists := make([][]index.Entry, len(tags))
@@ -326,6 +368,11 @@ func (p *Processor) nra(user graph.NodeID, tags []string, k int,
 	}
 
 	for {
+		if stats.Rounds%cancelCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		advanced := false
 		stats.Rounds++
 		for i := range lists {
@@ -398,7 +445,7 @@ func (p *Processor) nra(user graph.NodeID, tags []string, k int,
 	if k < len(results) {
 		results = results[:k]
 	}
-	return results
+	return results, nil
 }
 
 func anyRemaining(lists [][]index.Entry, pos []int) bool {

@@ -1,0 +1,66 @@
+package workload
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestLatenciesNearestRank pins the percentile definition: nearest-rank
+// (ceil(q·n)) over the sorted samples.
+func TestLatenciesNearestRank(t *testing.T) {
+	l := &Latencies{}
+	for _, d := range []time.Duration{3 * time.Millisecond, time.Millisecond, 2 * time.Millisecond} {
+		l.Add(d)
+	}
+	if got := l.P(0.50); got != 2*time.Millisecond {
+		t.Fatalf("median of [1ms 2ms 3ms] = %v, want 2ms", got)
+	}
+	if got := l.P(1.0); got != 3*time.Millisecond {
+		t.Fatalf("P100 = %v, want 3ms", got)
+	}
+	if got := l.P(0.01); got != time.Millisecond {
+		t.Fatalf("P1 = %v, want 1ms", got)
+	}
+	if got := (&Latencies{}).P(0.99); got != 0 {
+		t.Fatalf("empty P99 = %v, want 0", got)
+	}
+	if got := l.Mean(); got != 2*time.Millisecond {
+		t.Fatalf("mean = %v, want 2ms", got)
+	}
+}
+
+// TestClosedLoop verifies the driver's accounting: op counts by class,
+// errors excluded from latencies, deterministic per-worker rngs.
+func TestClosedLoop(t *testing.T) {
+	res, err := ClosedLoop(3, 40, 1, func(w, i int, rng *rand.Rand) (bool, error) {
+		switch {
+		case i%10 == 9:
+			return true, errors.New("transient")
+		case rng.Float64() < 0.75:
+			return true, nil
+		default:
+			return false, nil
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 3*4 {
+		t.Fatalf("errors = %d, want 12", res.Errors)
+	}
+	if res.Reads+res.Writes+res.Errors != 3*40 {
+		t.Fatalf("ops accounted %d+%d+%d, want 120", res.Reads, res.Writes, res.Errors)
+	}
+	if res.ReadLat.Len() != res.Reads || res.WriteLat.Len() != res.Writes {
+		t.Fatalf("latency sample counts (%d, %d) disagree with op counts (%d, %d)",
+			res.ReadLat.Len(), res.WriteLat.Len(), res.Reads, res.Writes)
+	}
+	if res.Throughput() <= 0 {
+		t.Fatal("non-positive throughput")
+	}
+	if _, err := ClosedLoop(0, 1, 1, nil); err == nil {
+		t.Fatal("zero workers accepted")
+	}
+}

@@ -24,6 +24,7 @@
 package socialscope
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -113,6 +114,17 @@ func (s TopKStrategy) String() string {
 		return "nra"
 	}
 	return "unknown"
+}
+
+// ParseTopKStrategy maps a strategy name (off, exhaustive, ta, nra)
+// back to a TopKStrategy.
+func ParseTopKStrategy(name string) (TopKStrategy, error) {
+	for _, s := range []TopKStrategy{TopKOff, TopKExhaustive, TopKTA, TopKNRA} {
+		if s.String() == name {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("socialscope: unknown top-k strategy %q", name)
 }
 
 func (s TopKStrategy) internal() topk.Strategy {
@@ -332,8 +344,15 @@ func (e *Engine) Apply(muts []graph.Mutation) error {
 	// would double-count its activity in the index's duplicate refcounts,
 	// and colliding with an analyzer-derived element (Analyze allocates
 	// ids past the base maxima) would silently merge unrelated entities.
+	// Duplicate additions *within* the batch are rejected for the same
+	// reason: graph replay would silently consolidate the second add while
+	// the index delta counted both — the shape two concurrent writers
+	// produce when they allocate the same fresh id (e.g. both reading one
+	// max-id snapshot) and their batches are coalesced.
 	removedNodes := make(map[NodeID]bool)
 	removedLinks := make(map[LinkID]bool)
+	addedNodes := make(map[NodeID]bool)
+	addedLinks := make(map[LinkID]bool)
 	present := func(hasBase, hasAnalyzed bool) string {
 		switch {
 		case hasBase:
@@ -348,13 +367,24 @@ func (e *Engine) Apply(muts []graph.Mutation) error {
 		case graph.MutRemoveNode:
 			if m.Node != nil {
 				removedNodes[m.Node.ID] = true
+				delete(addedNodes, m.Node.ID)
 			}
 		case graph.MutRemoveLink:
 			if m.Link != nil {
 				removedLinks[m.Link.ID] = true
+				delete(addedLinks, m.Link.ID)
 			}
 		case graph.MutAddLink:
-			if m.Link == nil || removedLinks[m.Link.ID] {
+			if m.Link == nil {
+				continue
+			}
+			if addedLinks[m.Link.ID] {
+				return fmt.Errorf("socialscope: apply: mutation %d adds link %d already added earlier "+
+					"in the batch — concurrent writers must allocate distinct ids", i, m.Link.ID)
+			}
+			if removedLinks[m.Link.ID] {
+				delete(removedLinks, m.Link.ID)
+				addedLinks[m.Link.ID] = true
 				continue
 			}
 			if where := present(st.base.HasLink(m.Link.ID),
@@ -362,8 +392,18 @@ func (e *Engine) Apply(muts []graph.Mutation) error {
 				return fmt.Errorf("socialscope: apply: mutation %d adds link %d already present in %s",
 					i, m.Link.ID, where)
 			}
+			addedLinks[m.Link.ID] = true
 		case graph.MutAddNode:
-			if m.Node == nil || removedNodes[m.Node.ID] {
+			if m.Node == nil {
+				continue
+			}
+			if addedNodes[m.Node.ID] {
+				return fmt.Errorf("socialscope: apply: mutation %d adds node %d already added earlier "+
+					"in the batch — concurrent writers must allocate distinct ids", i, m.Node.ID)
+			}
+			if removedNodes[m.Node.ID] {
+				delete(removedNodes, m.Node.ID)
+				addedNodes[m.Node.ID] = true
 				continue
 			}
 			if where := present(st.base.HasNode(m.Node.ID),
@@ -371,6 +411,7 @@ func (e *Engine) Apply(muts []graph.Mutation) error {
 				return fmt.Errorf("socialscope: apply: mutation %d adds node %d already present in %s",
 					i, m.Node.ID, where)
 			}
+			addedNodes[m.Node.ID] = true
 		case graph.MutPutNode:
 			// Promoting an already-linked non-user node to user cannot be
 			// maintained incrementally: the index would have to discover
@@ -519,6 +560,16 @@ type Response struct {
 	// Related holds Example 3's onward exploration: topics and users
 	// adjacent to the result set.
 	Related discovery.Related
+	// Stats is this evaluation's own work report when the query went
+	// through the activity-driven index, nil otherwise. Unlike
+	// LastSearchStats — a last-writer-wins engine-wide report — it is
+	// race-free under concurrent queries, which the serving layer's
+	// response cache relies on for deterministic bodies.
+	Stats *SearchStats
+	// Version is the engine state version this response was evaluated
+	// against — exact even when a concurrent Apply advances the engine
+	// mid-evaluation, because the whole evaluation reads one snapshot.
+	Version uint64
 }
 
 // Results returns the ranked discovery results.
@@ -528,11 +579,22 @@ func (r *Response) Results() []discovery.Result { return r.MSG.Results }
 // presentation. An empty query string yields pure social recommendations
 // (the paper's empty-query semantics).
 func (e *Engine) Search(user NodeID, query string) (*Response, error) {
+	return e.SearchCtx(context.Background(), user, query)
+}
+
+// SearchCtx is Search under a context: the evaluation is abandoned with
+// ctx.Err() once the context is cancelled — inside the index-backed
+// top-k accumulation loops (see topk.TopKCtx), and on the fusion path at
+// each stage boundary (discovery → presentation → per-item explanations)
+// plus between explanations; the fusion scoring stage itself runs to
+// completion. A serving layer's per-request deadline therefore bounds
+// index-backed query work tightly and fusion work at stage granularity.
+func (e *Engine) SearchCtx(ctx context.Context, user NodeID, query string) (*Response, error) {
 	q, err := discovery.ParseQuery(query)
 	if err != nil {
 		return nil, err
 	}
-	return e.Query(user, q)
+	return e.QueryCtx(ctx, user, q)
 }
 
 // Query answers a parsed query. Keyword-only queries go through the
@@ -541,21 +603,30 @@ func (e *Engine) Search(user NodeID, query string) (*Response, error) {
 // whole evaluation — discovery, presentation, explanations — reads one
 // state snapshot, so a concurrent Apply can never show it half a batch.
 func (e *Engine) Query(user NodeID, q discovery.Query) (*Response, error) {
+	return e.QueryCtx(context.Background(), user, q)
+}
+
+// QueryCtx is Query under a context; see SearchCtx for the cancellation
+// contract.
+func (e *Engine) QueryCtx(ctx context.Context, user NodeID, q discovery.Query) (*Response, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	st := e.state.Load()
 	var msg *discovery.MSG
 	var err error
+	var evalStats *SearchStats
 	if e.cfg.TopK != TopKOff && len(q.Keywords) > 0 && len(q.Structural) == 0 {
 		st, err = e.ensureProcessor()
 		if err != nil {
 			return nil, err
 		}
 		var ts topk.Stats
-		msg, ts, err = st.disc.DiscoverTagged(user, q, st.proc, e.cfg.TopK.internal())
+		msg, ts, err = st.disc.DiscoverTaggedCtx(ctx, user, q, st.proc, e.cfg.TopK.internal())
 		if err != nil {
 			return nil, err
 		}
-		e.statsMu.Lock()
-		e.stats = SearchStats{
+		evalStats = &SearchStats{
 			Strategy:        e.cfg.TopK,
 			PostingsScanned: ts.PostingsScanned,
 			ExactScores:     ts.ExactScores,
@@ -563,6 +634,8 @@ func (e *Engine) Query(user NodeID, q discovery.Query) (*Response, error) {
 			EarlyTerminated: ts.EarlyTerminated,
 			SnapshotVersion: ts.SnapshotVersion,
 		}
+		e.statsMu.Lock()
+		e.stats = *evalStats
 		e.hasStats = true
 		e.statsMu.Unlock()
 	} else {
@@ -571,8 +644,16 @@ func (e *Engine) Query(user NodeID, q discovery.Query) (*Response, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	g := st.current()
-	resp := &Response{MSG: msg, Explanations: make(map[NodeID]presentation.Explanation)}
+	resp := &Response{
+		MSG:          msg,
+		Explanations: make(map[NodeID]presentation.Explanation),
+		Stats:        evalStats,
+		Version:      st.version,
+	}
 	if len(msg.Results) == 0 {
 		return resp, nil
 	}
@@ -591,7 +672,13 @@ func (e *Engine) Query(user NodeID, q discovery.Query) (*Response, error) {
 	}
 	resp.Presentation = pres
 	for _, it := range items {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		resp.Explanations[it] = presentation.ExplainCF(g, user, it)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	resp.Related = discovery.RelatedEntities(g, msg, 2, 5)
 	return resp, nil
@@ -599,9 +686,62 @@ func (e *Engine) Query(user NodeID, q discovery.Query) (*Response, error) {
 
 // Recommend runs pure collaborative filtering (Example 5) for the user.
 func (e *Engine) Recommend(user NodeID, variant discovery.CFVariant) ([]discovery.Recommendation, error) {
+	return e.RecommendCtx(context.Background(), user, variant)
+}
+
+// RecommendCtx is Recommend under a context. Collaborative filtering is
+// one algebra program without an incremental accumulation loop, so the
+// context is checked at the call boundary; the per-request deadline still
+// rejects work that arrives already expired.
+func (e *Engine) RecommendCtx(ctx context.Context, user NodeID, variant discovery.CFVariant) ([]discovery.Recommendation, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return discovery.CollaborativeFiltering(e.Graph(), user, discovery.CFConfig{
 		SimThreshold: e.cfg.MatchThreshold,
 		Variant:      variant,
 		ItemType:     e.cfg.ItemType,
 	})
+}
+
+// ClusterOf reports the activity-index cluster the user belongs to, and
+// whether that partition exists at all: false when the engine runs with
+// TopK off (the fusion path has no clustering), when the index cannot be
+// built, or when the user is unknown to the partition. A serving layer
+// uses it to key per-cluster result caching — under the default peruser
+// strategy every user is their own cluster, so cluster-granular sharing
+// degenerates to exactly per-user sharing.
+func (e *Engine) ClusterOf(user NodeID) (int, bool) {
+	if e.cfg.TopK == TopKOff {
+		return 0, false
+	}
+	st, err := e.ensureProcessor()
+	if err != nil {
+		return 0, false
+	}
+	cl := st.proc.Index().Clustering().Of(user)
+	if cl < 0 {
+		return 0, false
+	}
+	return cl, true
+}
+
+// CacheScope returns an opaque key component identifying the widest set
+// of users guaranteed byte-identical responses for identical queries
+// against one engine version — the sharing granularity a result cache
+// may use. The component is the user's activity-index cluster where one
+// exists; under the default peruser strategy the cluster is the user
+// (stored scores are exact per user), so the bare cluster id suffices,
+// while coarser strategies refine the scope by the user id because exact
+// rescoring, endorser provenance and explanations remain user-specific
+// within a cluster. Without a clustering (TopK off, unknown user) the
+// scope is the user alone.
+func (e *Engine) CacheScope(user NodeID) string {
+	if cl, ok := e.ClusterOf(user); ok {
+		if e.cfg.ClusterStrategy == cluster.PerUser.String() {
+			return fmt.Sprintf("c%d", cl)
+		}
+		return fmt.Sprintf("c%d.u%d", cl, user)
+	}
+	return fmt.Sprintf("u%d", user)
 }
