@@ -51,6 +51,9 @@ func writeBenchJSON(dir, exp string, scale int, seed int64) error {
 	if err != nil {
 		return err
 	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
 	path := filepath.Join(dir, "BENCH_"+exp+".json")
 	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
 		return err

@@ -8,6 +8,7 @@
 //
 //	ssserve -addr :8080 -data travel.json
 //	ssserve -addr :8080 -gen -users 500 -items 200 -topk ta
+//	ssserve -addr :8080 -gen -durable /var/lib/socialscope
 //
 // Endpoints:
 //
@@ -59,6 +60,8 @@ func main() {
 	maxBatch := flag.Int("maxbatch", graph.BulkApplyThreshold, "mutations that trigger an immediate flush")
 	maxConc := flag.Int("maxconc", serve.DefaultMaxConcurrent, "admitted concurrent requests")
 	maxQueue := flag.Int("maxqueue", serve.DefaultMaxQueue, "admission queue depth")
+	durableDir := flag.String("durable", "", "durability directory (WAL + checkpoints); empty = in-memory only")
+	ckptEvery := flag.Int("ckptevery", 64, "with -durable: checkpoint after this many applied batches (0 = only on shutdown)")
 	flag.Parse()
 
 	g, err := loadGraph(*data, *gen, *users, *items, *seed)
@@ -69,16 +72,31 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	eng, err := socialscope.New(g, socialscope.Config{
+	cfg := socialscope.Config{
 		ItemType:        *itemType,
 		TopK:            strat,
 		ClusterStrategy: *clusterStrat,
 		ClusterTheta:    *theta,
-	})
+	}
+	var eng *socialscope.Engine
+	if *durableDir != "" {
+		// On a fresh directory the loaded/generated graph seeds the durable
+		// state; on an existing one it is ignored — the engine resumes from
+		// its checkpoints and WAL at the exact version it last acknowledged.
+		eng, err = socialscope.OpenDurable(*durableDir, g, cfg, socialscope.DurableOptions{
+			CheckpointEvery: *ckptEvery,
+		})
+		if err == nil {
+			fmt.Fprintf(os.Stderr, "ssserve: durable in %s, recovered version %d\n",
+				*durableDir, eng.Version())
+		}
+	} else {
+		eng, err = socialscope.New(g, cfg)
+	}
 	if err != nil {
 		fail(err)
 	}
-	if *analyze {
+	if *analyze && !eng.Analyzed() {
 		fmt.Fprintln(os.Stderr, "ssserve: analyzing...")
 		if err := eng.Analyze(); err != nil {
 			fail(err)
@@ -100,7 +118,7 @@ func main() {
 		fail(err)
 	}
 	fmt.Fprintf(os.Stderr, "ssserve: serving %s on http://%s (topk=%s cluster=%s cache=%v)\n",
-		g, ln.Addr(), strat, *clusterStrat, !*noCache)
+		eng.Graph(), ln.Addr(), strat, *clusterStrat, !*noCache)
 
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(ln) }()
@@ -116,6 +134,10 @@ func main() {
 			fail(err)
 		}
 		<-done // http.ErrServerClosed
+		// Writes are flushed; seal the durable state with a final checkpoint.
+		if err := eng.Close(); err != nil {
+			fail(err)
+		}
 	case err := <-done:
 		if err != nil && err != http.ErrServerClosed {
 			fail(err)

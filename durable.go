@@ -1,0 +1,227 @@
+package socialscope
+
+// Durability: write-ahead logging and checkpointing for the engine.
+//
+// Every Apply batch is encoded and fsynced to the WAL *before* the new
+// state is published; Analyze appends a marker record (the derivation
+// is deterministic given the base graph and Config, so the record
+// carries no payload). Checkpoints capture the base and analyzed graphs
+// through structural-sharing deltas (internal/store) together with the
+// engine version and the WAL position they cover; recovery loads the
+// latest checkpoint chain and replays the WAL tail through the same
+// Apply/Analyze code paths that produced it, so a recovered engine
+// resumes at exactly the version and state the last acknowledged write
+// left behind.
+//
+// Guarantee: when Apply (or Analyze) returns nil on a durable engine,
+// the change survives a crash. The converse is one-directional — a
+// batch whose Apply errored mid-sync may still be on disk and will
+// replay after a crash, which is safe: it was validated before logging,
+// and replay applies a consistent prefix of attempted writes.
+
+import (
+	"fmt"
+	"path"
+
+	"socialscope/internal/discovery"
+	"socialscope/internal/graph"
+	"socialscope/internal/store"
+	"socialscope/internal/vfs"
+	"socialscope/internal/wal"
+)
+
+// WAL record kinds.
+const (
+	recBatch   byte = 1 // payload: a graph.AppendMutations-encoded batch
+	recAnalyze byte = 2 // no payload: re-derive (deterministic) on replay
+)
+
+const (
+	walSubdir  = "wal"
+	ckptSubdir = "ckpt"
+)
+
+// DurableOptions tunes the durability subsystem. The zero value is
+// ready to use.
+type DurableOptions struct {
+	// SegmentBytes rotates WAL segments past this size
+	// (wal.DefaultSegmentBytes when 0).
+	SegmentBytes int64
+	// CheckpointEvery writes a checkpoint automatically after this many
+	// Apply batches; 0 means checkpoints happen only on Checkpoint() and
+	// Close().
+	CheckpointEvery int
+	// MaxChain bounds how many delta checkpoints stack on a full one
+	// (store.DefaultMaxChain when 0).
+	MaxChain int
+	// FS overrides the filesystem — the fault-injection harness plugs in
+	// here. Nil means the real one (vfs.OS).
+	FS vfs.FS
+}
+
+// durable is the engine's durability state, guarded by Engine.mu.
+type durable struct {
+	fsys      vfs.FS
+	log       *wal.Log
+	ckpt      *store.Checkpointer
+	every     int
+	sinceCkpt int
+}
+
+// OpenDurable opens (or creates) a durable engine rooted at dir. On a
+// fresh directory the engine starts from genesis (nil means an empty
+// graph) and immediately checkpoints it, so the seed state — which
+// predates the WAL — survives crashes too. On an existing directory
+// genesis is ignored: the engine is rebuilt from the latest checkpoint
+// plus a replay of the WAL tail, resuming at the exact version the last
+// acknowledged write produced.
+func OpenDurable(dir string, genesis *Graph, cfg Config, opts DurableOptions) (*Engine, error) {
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = vfs.OS{}
+	}
+	cfg.fill()
+
+	rec, err := store.LoadLatest(fsys, path.Join(dir, ckptSubdir))
+	if err != nil {
+		return nil, fmt.Errorf("socialscope: recovery: %w", err)
+	}
+	firstLSN := uint64(1)
+	if rec != nil {
+		firstLSN = rec.Meta.WalLSN + 1
+	}
+	log, err := wal.Open(fsys, path.Join(dir, walSubdir), wal.Options{
+		SegmentBytes: opts.SegmentBytes,
+		FirstLSN:     firstLSN,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("socialscope: recovery: %w", err)
+	}
+
+	e := &Engine{cfg: cfg}
+	var st *engineState
+	var startSeq uint64
+	if rec == nil {
+		g := genesis
+		if g == nil {
+			g = graph.New()
+		}
+		st = &engineState{base: g}
+	} else {
+		st = &engineState{
+			base:     rec.Graph,
+			analyzed: rec.Analyzed,
+			version:  rec.Meta.Version,
+		}
+		startSeq = rec.Seq
+	}
+	st.disc = discovery.NewDiscoverer(st.current(), cfg.ItemType)
+	e.state.Store(st)
+	e.dur = &durable{
+		fsys:  fsys,
+		log:   log,
+		ckpt:  store.NewCheckpointer(fsys, path.Join(dir, ckptSubdir), opts.MaxChain, startSeq),
+		every: opts.CheckpointEvery,
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if rec == nil {
+		// Make the genesis state durable before acknowledging the open.
+		if err := e.checkpointLocked(); err != nil {
+			_ = log.Close()
+			return nil, fmt.Errorf("socialscope: genesis checkpoint: %w", err)
+		}
+	}
+	err = log.Replay(firstLSN, func(lsn uint64, kind byte, payload []byte) error {
+		switch kind {
+		case recBatch:
+			muts, derr := graph.DecodeMutations(payload)
+			if derr != nil {
+				return fmt.Errorf("record %d: %w", lsn, derr)
+			}
+			return e.applyLocked(muts, false)
+		case recAnalyze:
+			return e.analyzeLocked(false)
+		default:
+			return fmt.Errorf("record %d: unknown kind %d", lsn, kind)
+		}
+	})
+	if err != nil {
+		_ = log.Close()
+		return nil, fmt.Errorf("socialscope: wal replay: %w", err)
+	}
+	return e, nil
+}
+
+// logRecord appends and fsyncs one WAL record; called with e.mu held,
+// before the corresponding state is published. On error nothing was
+// acknowledged: the caller must not publish, and the log heals its tail
+// on the next append.
+func (e *Engine) logRecord(kind byte, payload []byte) error {
+	if e.dur == nil {
+		return nil
+	}
+	if _, err := e.dur.log.AppendSync(kind, payload); err != nil {
+		return fmt.Errorf("socialscope: wal append: %w", err)
+	}
+	return nil
+}
+
+// maybeCheckpointLocked counts an applied batch and, on a live (non-
+// replay) engine with CheckpointEvery set, cuts a checkpoint when due.
+// Checkpoint errors here are deliberately swallowed: the batch is
+// already durable in the WAL, recovery replays it, and the next
+// explicit Checkpoint or Close surfaces persistent trouble.
+func (e *Engine) maybeCheckpointLocked(live bool) {
+	if e.dur == nil {
+		return
+	}
+	e.dur.sinceCkpt++
+	if !live || e.dur.every <= 0 || e.dur.sinceCkpt < e.dur.every {
+		return
+	}
+	_ = e.checkpointLocked()
+}
+
+// Checkpoint durably captures the engine's current state and prunes WAL
+// segments the checkpoint made redundant. Only valid on engines opened
+// with OpenDurable.
+func (e *Engine) Checkpoint() error {
+	if e.dur == nil {
+		return fmt.Errorf("socialscope: Checkpoint on an engine without durability (use OpenDurable)")
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.checkpointLocked()
+}
+
+func (e *Engine) checkpointLocked() error {
+	st := e.state.Load()
+	meta := store.Meta{Version: st.version, WalLSN: e.dur.log.NextLSN() - 1}
+	if err := e.dur.ckpt.Save(st.base, st.analyzed, meta); err != nil {
+		return err
+	}
+	e.dur.sinceCkpt = 0
+	// Segments at or below the covered LSN are garbage now; a failure
+	// here only delays reclamation.
+	_ = e.dur.log.TruncateThrough(meta.WalLSN)
+	return nil
+}
+
+// Close cuts a final checkpoint and closes the WAL. The engine keeps
+// serving reads; subsequent writes fail. No-op on engines without
+// durability.
+func (e *Engine) Close() error {
+	if e.dur == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ckErr := e.checkpointLocked()
+	clErr := e.dur.log.Close()
+	if ckErr != nil {
+		return ckErr
+	}
+	return clErr
+}

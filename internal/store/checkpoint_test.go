@@ -1,0 +1,339 @@
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"testing"
+
+	"socialscope/internal/graph"
+	"socialscope/internal/vfs"
+)
+
+// bigGraph builds an append-heavy fixture: many users tagging many
+// items, the paper's collaborative-tagging shape.
+func bigGraph(t *testing.T, users, items int) *graph.Graph {
+	t.Helper()
+	g := graph.New()
+	ids := graph.IDSourceFor(g)
+	for i := 0; i < users; i++ {
+		n := graph.NewNode(ids.NextNode(), "user")
+		n.Attrs.Add("name", fmt.Sprintf("user-%d", i))
+		if err := g.AddNode(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < items; i++ {
+		n := graph.NewNode(ids.NextNode(), "item", "city")
+		n.Attrs.Add("name", fmt.Sprintf("city-%d", i))
+		if err := g.AddNode(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for u := 0; u < users; u++ {
+		for k := 0; k < 4; k++ {
+			l := graph.NewLink(ids.NextLink(),
+				graph.NodeID(u+1), graph.NodeID(users+1+(u*7+k*13)%items), "act", "tag")
+			l.Attrs.Add("tags", fmt.Sprintf("tag-%d", (u+k)%17))
+			if err := g.AddLink(l); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return g
+}
+
+func ckptSize(t *testing.T, fsys *vfs.FaultFS, dir string, name string) int64 {
+	t.Helper()
+	sz, err := fsys.Size(dir + "/" + name)
+	if err != nil {
+		t.Fatalf("size %s: %v", name, err)
+	}
+	return sz
+}
+
+// TestDeltaCheckpointsMeasurablySmaller is the acceptance check: on an
+// append-heavy stream, a delta checkpoint of a large graph after a
+// small batch must be a small fraction of the full checkpoint's size.
+func TestDeltaCheckpointsMeasurablySmaller(t *testing.T) {
+	fsys := vfs.NewFaultFS(vfs.DropUnsynced)
+	g := bigGraph(t, 200, 100)
+	c := NewCheckpointer(fsys, "ck", 16, 0)
+	if err := c.Save(g, nil, Meta{Version: 1, WalLSN: 10}); err != nil {
+		t.Fatal(err)
+	}
+	fullSize := ckptSize(t, fsys, "ck", ckptName(1))
+
+	ids := graph.IDSourceFor(g)
+	var deltaTotal int64
+	const steps = 5
+	for s := 0; s < steps; s++ {
+		// One small append batch: a new user tags a few existing items.
+		uid := ids.NextNode()
+		if err := g.AddNode(graph.NewNode(uid, "user")); err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < 3; k++ {
+			l := graph.NewLink(ids.NextLink(), uid, graph.NodeID(201+(s*3+k)%100), "act", "tag")
+			if err := g.AddLink(l); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := c.Save(g, nil, Meta{Version: uint64(s + 2), WalLSN: uint64(20 + s)}); err != nil {
+			t.Fatal(err)
+		}
+		deltaTotal += ckptSize(t, fsys, "ck", ckptName(uint64(s+2)))
+	}
+	avgDelta := deltaTotal / steps
+	if avgDelta*4 >= fullSize {
+		t.Fatalf("delta checkpoints not measurably smaller: avg delta %dB vs full %dB", avgDelta, fullSize)
+	}
+	t.Logf("full checkpoint %dB, average delta %dB (%.1f%%)",
+		fullSize, avgDelta, 100*float64(avgDelta)/float64(fullSize))
+
+	// And the chain still recovers the exact graph.
+	rec, err := LoadLatest(fsys, "ck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Graph.Equal(g) {
+		t.Fatal("recovered graph differs")
+	}
+	if rec.Meta.Version != steps+1 || rec.Meta.WalLSN != 20+steps-1 {
+		t.Fatalf("recovered meta %+v", rec.Meta)
+	}
+}
+
+func TestCheckpointChainResetAndRetention(t *testing.T) {
+	fsys := vfs.NewFaultFS(vfs.DropUnsynced)
+	g := bigGraph(t, 20, 10)
+	c := NewCheckpointer(fsys, "ck", 3, 0)
+	ids := graph.IDSourceFor(g)
+	for v := uint64(1); v <= 8; v++ {
+		if err := g.AddNode(graph.NewNode(ids.NextNode(), "user")); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Save(g, nil, Meta{Version: v, WalLSN: v * 10}); err != nil {
+			t.Fatal(err)
+		}
+		// Chains cap at 3: at most 3 checkpoint files + MANIFEST survive.
+		files, err := CkptFiles(fsys, "ck")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(files) > 4 {
+			t.Fatalf("after save %d: retention failed, %d files: %v", v, len(files), files)
+		}
+		rec, err := LoadLatest(fsys, "ck")
+		if err != nil {
+			t.Fatalf("load after save %d: %v", v, err)
+		}
+		if !rec.Graph.Equal(g) || rec.Meta.Version != v {
+			t.Fatalf("recovery after save %d diverged", v)
+		}
+	}
+}
+
+func TestCheckpointAfterRestartStartsFullChain(t *testing.T) {
+	fsys := vfs.NewFaultFS(vfs.DropUnsynced)
+	g := bigGraph(t, 30, 15)
+	c := NewCheckpointer(fsys, "ck", 8, 0)
+	if err := c.Save(g, nil, Meta{Version: 1, WalLSN: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Save(g, nil, Meta{Version: 2, WalLSN: 2}); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": recover, then continue with a fresh checkpointer seeded
+	// with the recovered sequence number.
+	rec, err := LoadLatest(fsys, "ck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := NewCheckpointer(fsys, "ck", 8, rec.Seq)
+	if err := c2.Save(rec.Graph, nil, Meta{Version: 3, WalLSN: 3}); err != nil {
+		t.Fatal(err)
+	}
+	rec2, err := LoadLatest(fsys, "ck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chainOf(t, fsys)) != 1 {
+		t.Fatalf("post-restart chain: %v", chainOf(t, fsys))
+	}
+	if !rec2.Graph.Equal(g) || rec2.Meta.Version != 3 {
+		t.Fatalf("post-restart recovery: version %d", rec2.Meta.Version)
+	}
+}
+
+func chainOf(t *testing.T, fsys vfs.FS) []string {
+	t.Helper()
+	rec, err := LoadLatest(fsys, "ck")
+	if err != nil || rec == nil {
+		t.Fatalf("load: %v", err)
+	}
+	// Re-read the raw manifest for its chain.
+	data, err := vfs.ReadFile(fsys, "ck/MANIFEST")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var man Manifest
+	if err := json.Unmarshal(data, &man); err != nil {
+		t.Fatal(err)
+	}
+	return man.Chain
+}
+
+func TestCheckpointCrashBetweenFileAndManifest(t *testing.T) {
+	fsys := vfs.NewFaultFS(vfs.DropUnsynced)
+	g := bigGraph(t, 20, 10)
+	c := NewCheckpointer(fsys, "ck", 8, 0)
+	if err := c.Save(g, nil, Meta{Version: 1, WalLSN: 5}); err != nil {
+		t.Fatal(err)
+	}
+	before := g.ShallowClone()
+	ids := graph.IDSourceFor(g)
+	if err := g.AddNode(graph.NewNode(ids.NextNode(), "user")); err != nil {
+		t.Fatal(err)
+	}
+	// Enumerate every crash point inside the second save: whatever the
+	// point, recovery must yield either the old or the new checkpoint —
+	// never an error, never a hybrid.
+	probe := NewCheckpointer(fsys, "ck", 8, 1)
+	opsBefore := fsys.Ops()
+	if err := probe.Save(g, nil, Meta{Version: 2, WalLSN: 9}); err != nil {
+		t.Fatal(err)
+	}
+	opsDuring := fsys.Ops() - opsBefore
+	for cp := int64(0); cp <= opsDuring; cp++ {
+		fs2 := vfs.NewFaultFS(vfs.DropUnsynced)
+		c2 := NewCheckpointer(fs2, "ck", 8, 0)
+		if err := c2.Save(before, nil, Meta{Version: 1, WalLSN: 5}); err != nil {
+			t.Fatal(err)
+		}
+		c3 := NewCheckpointer(fs2, "ck", 8, 1)
+		fs2.SetCrashAtOp(fs2.Ops() + cp)
+		err := c3.Save(g, nil, Meta{Version: 2, WalLSN: 9})
+		crashed := fs2.Crashed()
+		fs2.Recover()
+		rec, lerr := LoadLatest(fs2, "ck")
+		if lerr != nil {
+			t.Fatalf("crash point %d: recovery error: %v", cp, lerr)
+		}
+		switch rec.Meta.Version {
+		case 1:
+			if !rec.Graph.Equal(before) {
+				t.Fatalf("crash point %d: version 1 graph differs", cp)
+			}
+		case 2:
+			if !rec.Graph.Equal(g) {
+				t.Fatalf("crash point %d: version 2 graph differs", cp)
+			}
+		default:
+			t.Fatalf("crash point %d: version %d", cp, rec.Meta.Version)
+		}
+		if err == nil && !crashed && rec.Meta.Version != 2 {
+			t.Fatalf("crash point %d: save acked but old manifest served", cp)
+		}
+	}
+}
+
+// TestCheckpointCarriesAnalyzedGraph covers the two-section format: an
+// analyzed (enriched) graph rides along with the base graph, both as
+// deltas, and recovery returns both exactly.
+func TestCheckpointCarriesAnalyzedGraph(t *testing.T) {
+	fsys := vfs.NewFaultFS(vfs.DropUnsynced)
+	g := bigGraph(t, 30, 15)
+	c := NewCheckpointer(fsys, "ck", 8, 0)
+
+	// Not yet analyzed: no analyzed section.
+	if err := c.Save(g, nil, Meta{Version: 1, WalLSN: 1}); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := LoadLatest(fsys, "ck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Analyzed != nil || rec.Meta.Analyzed {
+		t.Fatal("unanalyzed checkpoint reported an analyzed graph")
+	}
+
+	// "Analyze": the enriched graph is a divergent copy of the base.
+	an := g.ShallowClone()
+	ids := graph.IDSourceFor(an)
+	topic := graph.NewNode(ids.NextNode(), "topic")
+	topic.Attrs.Add("name", "beaches")
+	if err := an.AddNode(topic); err != nil {
+		t.Fatal(err)
+	}
+	if err := an.AddLink(graph.NewLink(ids.NextLink(), 31, topic.ID, "assoc", "about")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Save(g, an, Meta{Version: 2, WalLSN: 2}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Both lineages then evolve; deltas must track each independently.
+	// (Allocate past the analyzed graph's marks, as the engine does.)
+	nid := an.MaxNodeID() + 1
+	if err := g.AddNode(graph.NewNode(nid, "user")); err != nil {
+		t.Fatal(err)
+	}
+	an = an.ShallowClone()
+	if err := an.AddNode(graph.NewNode(nid, "user")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Save(g, an, Meta{Version: 3, WalLSN: 3}); err != nil {
+		t.Fatal(err)
+	}
+
+	rec, err = LoadLatest(fsys, "ck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Graph.Equal(g) {
+		t.Fatal("recovered base graph differs")
+	}
+	if rec.Analyzed == nil || !rec.Analyzed.Equal(an) {
+		t.Fatal("recovered analyzed graph differs")
+	}
+	if rec.Meta.Version != 3 || !rec.Meta.Analyzed {
+		t.Fatalf("recovered meta %+v", rec.Meta)
+	}
+}
+
+func TestLoadLatestEmptyDir(t *testing.T) {
+	fsys := vfs.NewFaultFS(vfs.DropUnsynced)
+	rec, err := LoadLatest(fsys, "nothing-here")
+	if err != nil || rec != nil {
+		t.Fatalf("empty dir: rec=%v err=%v", rec, err)
+	}
+}
+
+func TestLoadLatestRejectsTamperedFile(t *testing.T) {
+	fsys := vfs.NewFaultFS(vfs.DropUnsynced)
+	g := bigGraph(t, 10, 5)
+	c := NewCheckpointer(fsys, "ck", 8, 0)
+	if err := c.Save(g, nil, Meta{Version: 1, WalLSN: 1}); err != nil {
+		t.Fatal(err)
+	}
+	name := "ck/" + ckptName(1)
+	raw := fsys.Bytes(name)
+	raw[len(raw)/2] ^= 0x01
+	if err := fsys.Truncate(name, 0); err != nil {
+		t.Fatal(err)
+	}
+	f, err := fsys.OpenFile(name, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(raw); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := LoadLatest(fsys, "ck"); !errors.Is(err, ErrCkptCorrupt) {
+		t.Fatalf("tampered file: %v", err)
+	}
+}

@@ -1,0 +1,388 @@
+package vfs
+
+import (
+	"errors"
+	"io"
+	"io/fs"
+	"os"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Injected fault errors. ErrCrashed is what every operation returns once
+// the simulated machine has gone down; ErrInjected is a transient error
+// (a failed fsync, a short write) after which the process is assumed to
+// keep running.
+var (
+	ErrCrashed  = errors.New("vfs: simulated crash")
+	ErrInjected = errors.New("vfs: injected fault")
+)
+
+// LossMode selects what a simulated crash does to data written but not
+// yet fsynced. Real crashes land somewhere between the two extremes —
+// the page cache flushes lazily and partially — so a recovery protocol
+// must survive both bounds.
+type LossMode int
+
+const (
+	// DropUnsynced loses every byte written since each file's last Sync:
+	// the page cache never reached the disk. Exercises ack semantics —
+	// anything acknowledged must have been synced.
+	DropUnsynced LossMode = iota
+	// KeepUnsynced retains every completed write chunk, including a
+	// partial chunk sequence cut mid-record: the page cache flushed
+	// eagerly and the crash tore the tail. Exercises torn-tail decoding.
+	KeepUnsynced
+)
+
+// DefaultWriteChunk is the granularity at which FaultFS splits writes:
+// every chunk is one fault-schedulable operation, so a crash point can
+// land inside a logical record and produce a torn tail.
+const DefaultWriteChunk = 7
+
+// FaultFS is an in-memory FS with deterministic fault injection. Every
+// mutating operation — a write chunk, a sync, a metadata change — is one
+// numbered "op"; SetCrashAtOp arms a crash that fires when the op
+// counter reaches the given index, after which all operations fail with
+// ErrCrashed until Recover is called. Recover applies the LossMode to
+// unsynced data and returns the filesystem to service, modeling the
+// reboot the recovery path then runs against.
+//
+// FaultFS is safe for concurrent use. Determinism holds when the
+// workload itself is deterministic (single-goroutine durability path).
+type FaultFS struct {
+	mu         sync.Mutex
+	mode       LossMode
+	files      map[string]*memFile
+	dirs       map[string]bool
+	ops        int64
+	crashAt    int64 // fire when ops reaches this index; -1 disarmed
+	crashed    bool
+	failSyncAt int64 // one-shot transient fsync failure; -1 disarmed
+	writeChunk int
+}
+
+type memFile struct {
+	data   []byte // current (possibly volatile) content
+	synced []byte // durable image as of the last Sync
+}
+
+// NewFaultFS returns an empty in-memory filesystem with the given crash
+// loss mode and no faults armed.
+func NewFaultFS(mode LossMode) *FaultFS {
+	return &FaultFS{
+		mode:       mode,
+		files:      make(map[string]*memFile),
+		dirs:       map[string]bool{".": true, "/": true},
+		crashAt:    -1,
+		failSyncAt: -1,
+		writeChunk: DefaultWriteChunk,
+	}
+}
+
+// SetCrashAtOp arms the crash to fire when the op counter reaches n
+// (that op and everything after it fails). Negative disarms.
+func (f *FaultFS) SetCrashAtOp(n int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.crashAt = n
+}
+
+// FailSyncAtOp arms a one-shot transient failure: the operation with
+// index n — if it is a Sync — returns ErrInjected without making data
+// durable, and the filesystem keeps running. Negative disarms.
+func (f *FaultFS) FailSyncAtOp(n int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failSyncAt = n
+}
+
+// SetWriteChunk overrides the write-splitting granularity (min 1).
+func (f *FaultFS) SetWriteChunk(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if n < 1 {
+		n = 1
+	}
+	f.writeChunk = n
+}
+
+// Ops returns the operations performed so far — the crash-point space a
+// differential harness enumerates.
+func (f *FaultFS) Ops() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops
+}
+
+// Crashed reports whether the armed crash has fired.
+func (f *FaultFS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// Recover models the reboot after a crash: unsynced data is resolved
+// per the LossMode, the crash is disarmed, and operations succeed again.
+// It is also safe to call without a crash (it then only disarms faults).
+func (f *FaultFS) Recover() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed && f.mode == DropUnsynced {
+		for _, mf := range f.files {
+			mf.data = append([]byte(nil), mf.synced...)
+		}
+	}
+	// KeepUnsynced: whatever was written — torn tails included — is what
+	// the disk holds. Either way the surviving image is now durable.
+	for _, mf := range f.files {
+		mf.synced = append([]byte(nil), mf.data...)
+	}
+	f.crashed = false
+	f.crashAt = -1
+	f.failSyncAt = -1
+}
+
+// op consumes one fault-schedulable operation. It returns ErrCrashed
+// when the filesystem is (or just went) down, and reports whether this
+// op was selected for a transient sync failure.
+func (f *FaultFS) op() (failSync bool, err error) {
+	if f.crashed {
+		return false, ErrCrashed
+	}
+	if f.crashAt >= 0 && f.ops >= f.crashAt {
+		f.crashed = true
+		return false, ErrCrashed
+	}
+	failSync = f.failSyncAt >= 0 && f.ops == f.failSyncAt
+	f.ops++
+	return failSync, nil
+}
+
+func clean(p string) string { return path.Clean(strings.ReplaceAll(p, "\\", "/")) }
+
+// OpenFile implements FS. Creation is a metadata op; opening an existing
+// file for read costs nothing.
+func (f *FaultFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	name = clean(name)
+	if f.crashed {
+		return nil, ErrCrashed
+	}
+	mf, ok := f.files[name]
+	switch {
+	case !ok && flag&os.O_CREATE == 0:
+		return nil, &fs.PathError{Op: "open", Path: name, Err: fs.ErrNotExist}
+	case !ok:
+		if _, err := f.op(); err != nil {
+			return nil, err
+		}
+		mf = &memFile{}
+		f.files[name] = mf
+		f.dirs[path.Dir(name)] = true
+	case flag&os.O_TRUNC != 0:
+		if _, err := f.op(); err != nil {
+			return nil, err
+		}
+		mf.data = nil
+		mf.synced = nil
+	}
+	return &faultHandle{fs: f, f: mf, writable: flag&(os.O_WRONLY|os.O_RDWR|os.O_APPEND) != 0}, nil
+}
+
+// ReadDir implements FS.
+func (f *FaultFS) ReadDir(dir string) ([]string, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return nil, ErrCrashed
+	}
+	dir = clean(dir)
+	var names []string
+	for p := range f.files {
+		if path.Dir(p) == dir {
+			names = append(names, path.Base(p))
+		}
+	}
+	if len(names) == 0 && !f.dirs[dir] {
+		return nil, &fs.PathError{Op: "readdir", Path: dir, Err: fs.ErrNotExist}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// MkdirAll implements FS. Directories are pure metadata here.
+func (f *FaultFS) MkdirAll(dir string, perm fs.FileMode) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrCrashed
+	}
+	dir = clean(dir)
+	for dir != "." && dir != "/" {
+		f.dirs[dir] = true
+		dir = path.Dir(dir)
+	}
+	return nil
+}
+
+// Remove implements FS as a durable metadata op.
+func (f *FaultFS) Remove(name string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	name = clean(name)
+	if _, err := f.op(); err != nil {
+		return err
+	}
+	if _, ok := f.files[name]; !ok {
+		return &fs.PathError{Op: "remove", Path: name, Err: fs.ErrNotExist}
+	}
+	delete(f.files, name)
+	return nil
+}
+
+// Rename implements FS as an atomic, durable metadata op.
+func (f *FaultFS) Rename(oldname, newname string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	oldname, newname = clean(oldname), clean(newname)
+	if _, err := f.op(); err != nil {
+		return err
+	}
+	mf, ok := f.files[oldname]
+	if !ok {
+		return &fs.PathError{Op: "rename", Path: oldname, Err: fs.ErrNotExist}
+	}
+	delete(f.files, oldname)
+	f.files[newname] = mf
+	f.dirs[path.Dir(newname)] = true
+	return nil
+}
+
+// Truncate implements FS as a durable metadata+data op.
+func (f *FaultFS) Truncate(name string, size int64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	name = clean(name)
+	if _, err := f.op(); err != nil {
+		return err
+	}
+	mf, ok := f.files[name]
+	if !ok {
+		return &fs.PathError{Op: "truncate", Path: name, Err: fs.ErrNotExist}
+	}
+	for int64(len(mf.data)) < size {
+		mf.data = append(mf.data, 0)
+	}
+	mf.data = mf.data[:size]
+	if int64(len(mf.synced)) > size {
+		mf.synced = mf.synced[:size]
+	}
+	return nil
+}
+
+// Size implements FS.
+func (f *FaultFS) Size(name string) (int64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return 0, ErrCrashed
+	}
+	mf, ok := f.files[clean(name)]
+	if !ok {
+		return 0, &fs.PathError{Op: "stat", Path: clean(name), Err: fs.ErrNotExist}
+	}
+	return int64(len(mf.data)), nil
+}
+
+// Bytes returns a copy of name's current content (test helper).
+func (f *FaultFS) Bytes(name string) []byte {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	mf, ok := f.files[clean(name)]
+	if !ok {
+		return nil
+	}
+	return append([]byte(nil), mf.data...)
+}
+
+// faultHandle is an open file on a FaultFS. Writes append (every caller
+// in the durability layer is append-only or write-once); reads run from
+// their own offset.
+type faultHandle struct {
+	fs       *FaultFS
+	f        *memFile
+	off      int64
+	writable bool
+	closed   bool
+}
+
+func (h *faultHandle) Read(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.fs.crashed {
+		return 0, ErrCrashed
+	}
+	if h.closed {
+		return 0, fs.ErrClosed
+	}
+	if h.off >= int64(len(h.f.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, h.f.data[h.off:])
+	h.off += int64(n)
+	return n, nil
+}
+
+// Write appends, split into writeChunk-sized fault-schedulable ops, so
+// a crash can land inside a logical record.
+func (h *faultHandle) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return 0, fs.ErrClosed
+	}
+	if !h.writable {
+		return 0, fs.ErrInvalid
+	}
+	written := 0
+	for written < len(p) {
+		end := written + h.fs.writeChunk
+		if end > len(p) {
+			end = len(p)
+		}
+		if _, err := h.fs.op(); err != nil {
+			return written, err
+		}
+		h.f.data = append(h.f.data, p[written:end]...)
+		written = end
+	}
+	return written, nil
+}
+
+func (h *faultHandle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return fs.ErrClosed
+	}
+	failSync, err := h.fs.op()
+	if err != nil {
+		return err
+	}
+	if failSync {
+		return ErrInjected
+	}
+	h.f.synced = append([]byte(nil), h.f.data...)
+	return nil
+}
+
+func (h *faultHandle) Close() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	h.closed = true
+	return nil
+}

@@ -239,6 +239,9 @@ type Engine struct {
 	statsMu  sync.Mutex
 	stats    SearchStats // work report of the last index-backed query
 	hasStats bool
+	// dur is the durability state (WAL + checkpointer) for engines opened
+	// with OpenDurable, nil otherwise. Guarded by mu.
+	dur *durable
 }
 
 // New builds an engine over the graph. The graph is used as-is (not
@@ -266,6 +269,10 @@ func (e *Engine) Graph() *Graph { return e.state.Load().current() }
 // by Analyze and by every Apply batch.
 func (e *Engine) Version() uint64 { return e.state.Load().version }
 
+// Analyzed reports whether the engine is serving from an enriched
+// (analyzer-derived) graph.
+func (e *Engine) Analyzed() bool { return e.state.Load().analyzed != nil }
+
 // Analyze runs the Content Analyzer: LDA topic derivation over the item
 // nodes and Jaccard match derivation between users. The engine then serves
 // queries from the enriched graph. Idempotent: re-running re-derives from
@@ -274,6 +281,13 @@ func (e *Engine) Version() uint64 { return e.state.Load().version }
 func (e *Engine) Analyze() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	return e.analyzeLocked(true)
+}
+
+// analyzeLocked is Analyze's body; callers hold e.mu. live is false
+// during WAL replay, when the record driving this call is already
+// durable and must not be re-logged.
+func (e *Engine) analyzeLocked(live bool) error {
 	st := e.state.Load()
 	withTopics, _, err := analyzer.DeriveTopics(st.base, e.cfg.ItemType, analyzer.LDAConfig{
 		Topics: e.cfg.Topics, Seed: e.cfg.Seed, Alpha: 0.1,
@@ -282,6 +296,14 @@ func (e *Engine) Analyze() error {
 		return fmt.Errorf("socialscope: topic derivation: %w", err)
 	}
 	enriched := analyzer.DeriveMatches(withTopics, e.cfg.MatchThreshold)
+	// The derivation is deterministic (seeded LDA over the base graph), so
+	// the WAL marker carries no payload; replay re-derives. The record is
+	// durable before the state is visible.
+	if live {
+		if err := e.logRecord(recAnalyze, nil); err != nil {
+			return err
+		}
+	}
 	e.state.Store(&engineState{
 		base:     st.base,
 		analyzed: enriched,
@@ -337,6 +359,13 @@ func (e *Engine) Apply(muts []graph.Mutation) error {
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	return e.applyLocked(muts, true)
+}
+
+// applyLocked is Apply's body; callers hold e.mu. live is false during
+// WAL replay, when the batch comes from an already-durable record and
+// must be neither re-logged nor re-checkpointed.
+func (e *Engine) applyLocked(muts []graph.Mutation, live bool) error {
 	st := e.state.Load()
 	// Validate additions against the graphs the batch will land on. IDs
 	// already present — except ones an earlier mutation in this same
@@ -469,7 +498,16 @@ func (e *Engine) Apply(muts []graph.Mutation) error {
 		}
 		ns.proc = proc
 	}
+	// Durability barrier: the batch is on disk before the state readers
+	// can observe becomes current. A WAL failure leaves the engine on the
+	// prior state; the log heals its tail on the next append.
+	if live {
+		if err := e.logRecord(recBatch, graph.AppendMutations(nil, muts)); err != nil {
+			return err
+		}
+	}
 	e.state.Store(ns)
+	e.maybeCheckpointLocked(live)
 	return nil
 }
 
