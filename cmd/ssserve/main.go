@@ -9,6 +9,7 @@
 //	ssserve -addr :8080 -data travel.json
 //	ssserve -addr :8080 -gen -users 500 -items 200 -topk ta
 //	ssserve -addr :8080 -gen -durable /var/lib/socialscope
+//	ssserve -addr :8081 -follow /var/lib/socialscope
 //
 // Endpoints:
 //
@@ -16,6 +17,7 @@
 //	POST /query      {"user":ID,"query":"...","k":N,"alpha":A}
 //	GET  /recommend?user=ID[&variant=stepwise|pattern]
 //	POST /apply      {"mutations":[{"op":"add-link","link":{...}},...]}
+//	POST /promote    (follower only: become the writable leader)
 //	GET  /stats
 //	GET  /healthz
 //
@@ -62,12 +64,10 @@ func main() {
 	maxQueue := flag.Int("maxqueue", serve.DefaultMaxQueue, "admission queue depth")
 	durableDir := flag.String("durable", "", "durability directory (WAL + checkpoints); empty = in-memory only")
 	ckptEvery := flag.Int("ckptevery", 64, "with -durable: checkpoint after this many applied batches (0 = only on shutdown)")
+	follow := flag.String("follow", "", "follow a leader's durability directory as a read-only replica (POST /promote to take over)")
+	followPoll := flag.Duration("followpoll", 50*time.Millisecond, "with -follow: leader WAL/manifest poll interval")
 	flag.Parse()
 
-	g, err := loadGraph(*data, *gen, *users, *items, *seed)
-	if err != nil {
-		fail(err)
-	}
 	strat, err := socialscope.ParseTopKStrategy(*topkFlag)
 	if err != nil {
 		fail(err)
@@ -79,10 +79,31 @@ func main() {
 		ClusterTheta:    *theta,
 	}
 	var eng *socialscope.Engine
-	if *durableDir != "" {
+	switch {
+	case *follow != "":
+		// A follower's entire state comes from the leader's checkpoints
+		// and WAL: no graph is loaded, and analysis arrives by replaying
+		// the leader's analyze record rather than running locally.
+		if *durableDir != "" {
+			fail(fmt.Errorf("-follow and -durable are mutually exclusive (a replica tails the leader's directory)"))
+		}
+		if *analyze {
+			fail(fmt.Errorf("-follow replicates analysis from the leader; drop -analyze"))
+		}
+		eng, err = socialscope.OpenFollower(*follow, cfg, socialscope.DurableOptions{})
+		if err == nil {
+			fmt.Fprintf(os.Stderr, "ssserve: following %s from version %d (poll %v)\n",
+				*follow, eng.Version(), *followPoll)
+		}
+	case *durableDir != "":
 		// On a fresh directory the loaded/generated graph seeds the durable
 		// state; on an existing one it is ignored — the engine resumes from
 		// its checkpoints and WAL at the exact version it last acknowledged.
+		var g *graph.Graph
+		g, err = loadGraph(*data, *gen, *users, *items, *seed)
+		if err != nil {
+			fail(err)
+		}
 		eng, err = socialscope.OpenDurable(*durableDir, g, cfg, socialscope.DurableOptions{
 			CheckpointEvery: *ckptEvery,
 		})
@@ -90,11 +111,19 @@ func main() {
 			fmt.Fprintf(os.Stderr, "ssserve: durable in %s, recovered version %d\n",
 				*durableDir, eng.Version())
 		}
-	} else {
+	default:
+		var g *graph.Graph
+		g, err = loadGraph(*data, *gen, *users, *items, *seed)
+		if err != nil {
+			fail(err)
+		}
 		eng, err = socialscope.New(g, cfg)
 	}
 	if err != nil {
 		fail(err)
+	}
+	if *follow != "" {
+		go followLoop(eng, *followPoll)
 	}
 	if *analyze && !eng.Analyzed() {
 		fmt.Fprintln(os.Stderr, "ssserve: analyzing...")
@@ -144,6 +173,26 @@ func main() {
 		}
 	}
 	fmt.Fprintln(os.Stderr, "ssserve: bye")
+}
+
+// followLoop tails the leader on a timer until the engine stops being a
+// follower (POST /promote) or the process exits. Transient errors — the
+// leader mid-rotation, a checkpoint truncation racing the poll — are
+// retried on the next tick; only the role change ends the loop.
+func followLoop(eng *socialscope.Engine, every time.Duration) {
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for range tick.C {
+		if !eng.IsFollower() {
+			return
+		}
+		if _, err := eng.CatchUp(0); err != nil {
+			if !eng.IsFollower() {
+				return // lost the race with /promote; not an error
+			}
+			fmt.Fprintf(os.Stderr, "ssserve: catch-up: %v (retrying)\n", err)
+		}
+	}
 }
 
 func loadGraph(path string, gen bool, users, items int, seed int64) (*graph.Graph, error) {

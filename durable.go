@@ -20,6 +20,7 @@ package socialscope
 // and replay applies a consistent prefix of attempted writes.
 
 import (
+	"errors"
 	"fmt"
 	"path"
 
@@ -29,6 +30,10 @@ import (
 	"socialscope/internal/vfs"
 	"socialscope/internal/wal"
 )
+
+// ErrFollower rejects writes on a follower engine: it replicates a
+// leader's WAL and cannot originate changes until Promote.
+var ErrFollower = errors.New("socialscope: follower engine is read-only (Promote to accept writes)")
 
 // WAL record kinds.
 const (
@@ -133,25 +138,36 @@ func OpenDurable(dir string, genesis *Graph, cfg Config, opts DurableOptions) (*
 			return nil, fmt.Errorf("socialscope: genesis checkpoint: %w", err)
 		}
 	}
-	err = log.Replay(firstLSN, func(lsn uint64, kind byte, payload []byte) error {
-		switch kind {
-		case recBatch:
-			muts, derr := graph.DecodeMutations(payload)
-			if derr != nil {
-				return fmt.Errorf("record %d: %w", lsn, derr)
-			}
-			return e.applyLocked(muts, false)
-		case recAnalyze:
-			return e.analyzeLocked(false)
-		default:
-			return fmt.Errorf("record %d: unknown kind %d", lsn, kind)
-		}
-	})
-	if err != nil {
+	if err := log.Replay(firstLSN, e.replayRecord); err != nil {
 		_ = log.Close()
 		return nil, fmt.Errorf("socialscope: wal replay: %w", err)
 	}
+	// Replayed records count toward CheckpointEvery but never cut a
+	// checkpoint mid-replay; settle the accumulated debt here so it does
+	// not fire inside the first live write's critical section — and so
+	// the WAL tail shrinks even if no write ever arrives.
+	if e.dur.every > 0 && e.dur.sinceCkpt >= e.dur.every {
+		_ = e.checkpointLocked()
+	}
 	return e, nil
+}
+
+// replayRecord decodes and applies one WAL record through the same
+// paths a live write takes, with live=false so nothing is re-logged.
+// Called with e.mu held, by recovery replay and by follower tailing.
+func (e *Engine) replayRecord(lsn uint64, kind byte, payload []byte) error {
+	switch kind {
+	case recBatch:
+		muts, derr := graph.DecodeMutations(payload)
+		if derr != nil {
+			return fmt.Errorf("record %d: %w", lsn, derr)
+		}
+		return e.applyLocked(muts, false)
+	case recAnalyze:
+		return e.analyzeLocked(false)
+	default:
+		return fmt.Errorf("record %d: unknown kind %d", lsn, kind)
+	}
 }
 
 // logRecord appends and fsyncs one WAL record; called with e.mu held,
@@ -211,7 +227,7 @@ func (e *Engine) checkpointLocked() error {
 
 // Close cuts a final checkpoint and closes the WAL. The engine keeps
 // serving reads; subsequent writes fail. No-op on engines without
-// durability.
+// durability and on followers (a follower owns nothing on disk).
 func (e *Engine) Close() error {
 	if e.dur == nil {
 		return nil
@@ -224,4 +240,209 @@ func (e *Engine) Close() error {
 		return ckErr
 	}
 	return clErr
+}
+
+// follower is the replication state of an engine opened with
+// OpenFollower, guarded by Engine.mu. It owns no WAL handle and no
+// checkpointer — only read paths over the leader's durable tree.
+type follower struct {
+	fsys  vfs.FS
+	dir   string
+	opts  DurableOptions
+	watch *store.Watcher
+	tail  *wal.Tailer
+	// Latest manifest observed (or folded): its WAL watermark doubles as
+	// the external confirmation for tail records, its seq seeds the
+	// checkpointer on promotion, and its LSN sets the checkpoint debt.
+	manSeq  uint64
+	manLSN  uint64
+	confirm uint64
+}
+
+// OpenFollower opens a read-only engine over a leader's durable tree:
+// it folds the latest checkpoint chain, then replays new WAL records as
+// the leader fsyncs them — each CatchUp publishing fresh state through
+// the same RCU pointer queries read. Writes are rejected with
+// ErrFollower until Promote. The leader process keeps exclusive
+// ownership of the tree; the follower only ever reads it, so any number
+// of followers can share one tree (a network filesystem, a replicated
+// blob store) without coordination.
+//
+// The directory must already hold a checkpoint — start the leader
+// first. genesis is deliberately absent from the signature: a follower
+// has no authority to seed state.
+func OpenFollower(dir string, cfg Config, opts DurableOptions) (*Engine, error) {
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = vfs.OS{}
+	}
+	cfg.fill()
+	rec, err := store.LoadLatest(fsys, path.Join(dir, ckptSubdir))
+	if err != nil {
+		return nil, fmt.Errorf("socialscope: follower: %w", err)
+	}
+	if rec == nil {
+		return nil, fmt.Errorf("socialscope: follower: no checkpoint in %s — start the leader first", dir)
+	}
+	e := &Engine{cfg: cfg}
+	st := &engineState{
+		base:     rec.Graph,
+		analyzed: rec.Analyzed,
+		version:  rec.Meta.Version,
+	}
+	st.disc = discovery.NewDiscoverer(st.current(), cfg.ItemType)
+	e.state.Store(st)
+	e.fol = &follower{
+		fsys:    fsys,
+		dir:     dir,
+		opts:    opts,
+		watch:   store.NewWatcher(fsys, path.Join(dir, ckptSubdir), rec.Seq),
+		tail:    wal.NewTailer(fsys, path.Join(dir, walSubdir), rec.Meta.WalLSN+1),
+		manSeq:  rec.Seq,
+		manLSN:  rec.Meta.WalLSN,
+		confirm: rec.Meta.WalLSN,
+	}
+	e.isFol.Store(true)
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, err := e.catchUpLocked(0, false); err != nil {
+		return nil, fmt.Errorf("socialscope: follower: initial catch-up: %w", err)
+	}
+	return e, nil
+}
+
+// CatchUp polls the leader's manifest and WAL once, folding newly
+// confirmed records into the follower's state (at most max records when
+// max > 0) and re-basing onto a newer checkpoint chain if the tail
+// position was checkpointed away. It returns the number of records
+// applied. Zero with a nil error means the follower is caught up — the
+// leader's last record stays invisible until a later write or
+// checkpoint confirms it (bounded staleness; never bytes the leader may
+// retract). Call it on a timer; each applied record publishes a new
+// queryable version.
+func (e *Engine) CatchUp(max int) (int, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.catchUpLocked(max, false)
+}
+
+// catchUpLocked is CatchUp's body; callers hold e.mu. drain selects
+// crash-recovery semantics — deliver every decodable record including a
+// complete-but-unacknowledged tail — and is only valid when the leader
+// is known dead (Promote).
+func (e *Engine) catchUpLocked(max int, drain bool) (int, error) {
+	f := e.fol
+	if f == nil {
+		return 0, fmt.Errorf("socialscope: CatchUp on a non-follower engine")
+	}
+	if man, changed, err := f.watch.Poll(); err != nil {
+		return 0, fmt.Errorf("socialscope: follower: manifest watch: %w", err)
+	} else if changed {
+		f.manSeq, f.manLSN, f.confirm = man.Seq, man.WalLSN, man.WalLSN
+	}
+	total := 0
+	for {
+		budget := 0
+		if max > 0 {
+			if budget = max - total; budget <= 0 {
+				return total, nil
+			}
+		}
+		confirm := f.confirm
+		if drain {
+			confirm = wal.DrainConfirm
+		}
+		n, err := f.tail.Poll(confirm, budget, e.replayRecord)
+		total += n
+		if err == nil {
+			return total, nil
+		}
+		if errors.Is(err, wal.ErrGone) {
+			// The leader checkpointed past our tail position: fold the new
+			// chain instead of replaying records that no longer exist.
+			if err := e.rebaseLocked(); err != nil {
+				return total, err
+			}
+			continue
+		}
+		return total, fmt.Errorf("socialscope: follower: %w", err)
+	}
+}
+
+// rebaseLocked reloads the latest checkpoint chain and re-points the
+// tailer past it. Versions may skip forward — every version ever
+// published was still once a leader version — but never backward.
+func (e *Engine) rebaseLocked() error {
+	f := e.fol
+	rec, err := store.LoadLatest(f.fsys, path.Join(f.dir, ckptSubdir))
+	if err != nil {
+		return fmt.Errorf("socialscope: follower re-base: %w", err)
+	}
+	if rec == nil {
+		return fmt.Errorf("socialscope: follower re-base: checkpoint chain vanished")
+	}
+	if cur := e.state.Load(); rec.Meta.Version < cur.version {
+		return fmt.Errorf("socialscope: follower re-base: checkpoint at version %d behind follower at %d",
+			rec.Meta.Version, cur.version)
+	}
+	st := &engineState{
+		base:     rec.Graph,
+		analyzed: rec.Analyzed,
+		version:  rec.Meta.Version,
+	}
+	st.disc = discovery.NewDiscoverer(st.current(), e.cfg.ItemType)
+	e.state.Store(st)
+	f.watch = store.NewWatcher(f.fsys, path.Join(f.dir, ckptSubdir), rec.Seq)
+	f.tail = wal.NewTailer(f.fsys, path.Join(f.dir, walSubdir), rec.Meta.WalLSN+1)
+	f.manSeq, f.manLSN, f.confirm = rec.Seq, rec.Meta.WalLSN, rec.Meta.WalLSN
+	return nil
+}
+
+// Promote upgrades a follower into a writable leader after the previous
+// leader has died. It drains the WAL with crash-recovery semantics —
+// including a complete-but-unacknowledged tail record, exactly what the
+// dead leader's own recovery would have replayed — then takes over the
+// log at the recovered LSN and the checkpoint chain at its sequence.
+// The caller must ensure the old leader is actually gone: two writers
+// on one WAL directory corrupt it. Promote cross-checks that the log
+// resumes at the LSN the drain reached and refuses otherwise.
+func (e *Engine) Promote() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	f := e.fol
+	if f == nil {
+		return fmt.Errorf("socialscope: Promote on a non-follower engine")
+	}
+	if _, err := e.catchUpLocked(0, true); err != nil {
+		return fmt.Errorf("socialscope: promote: drain: %w", err)
+	}
+	next := f.tail.NextLSN()
+	log, err := wal.Open(f.fsys, path.Join(f.dir, walSubdir), wal.Options{
+		SegmentBytes: f.opts.SegmentBytes,
+		FirstLSN:     next,
+	})
+	if err != nil {
+		return fmt.Errorf("socialscope: promote: %w", err)
+	}
+	if got := log.NextLSN(); got != next {
+		_ = log.Close()
+		return fmt.Errorf("socialscope: promote: log resumes at LSN %d but the drained tail ends at %d — "+
+			"is the old leader still writing?", got, next)
+	}
+	e.dur = &durable{
+		fsys:  f.fsys,
+		log:   log,
+		ckpt:  store.NewCheckpointer(f.fsys, path.Join(f.dir, ckptSubdir), f.opts.MaxChain, f.manSeq),
+		every: f.opts.CheckpointEvery,
+		// Records replayed since the last checkpoint are inherited debt,
+		// same as leader recovery.
+		sinceCkpt: int(next - 1 - f.manLSN),
+	}
+	e.fol = nil
+	e.isFol.Store(false)
+	if e.dur.every > 0 && e.dur.sinceCkpt >= e.dur.every {
+		_ = e.checkpointLocked()
+	}
+	return nil
 }

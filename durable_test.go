@@ -22,6 +22,7 @@ import (
 	"testing"
 
 	"socialscope/internal/graph"
+	"socialscope/internal/store"
 	"socialscope/internal/vfs"
 	"socialscope/internal/workload"
 )
@@ -377,6 +378,87 @@ func TestWALSyncFailureThenRetry(t *testing.T) {
 			t.Fatalf("recovered state at version %d diverged from oracle", v)
 		}
 	})
+}
+
+// TestRecoveryCutsCheckpointDebtAtOpen: records replayed during
+// recovery count toward CheckpointEvery, and the due checkpoint must be
+// cut at the end of OpenDurable — not inside the first live write's
+// critical section (the regression), and not never.
+func TestRecoveryCutsCheckpointDebtAtOpen(t *testing.T) {
+	genesis, steps, _, _, _ := buildDurabilityWorkload(t)
+	fsys := vfs.NewFaultFS(vfs.DropUnsynced)
+
+	// First life: no auto-checkpoints, so four applied batches all sit in
+	// the WAL past the genesis checkpoint.
+	eng, err := OpenDurable(durTestDir, genesis, durableTestConfig(), DurableOptions{FS: fsys})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rest []durStep
+	applied := 0
+	for i, s := range steps {
+		if s.analyze {
+			continue
+		}
+		if applied == 4 {
+			rest = steps[i:]
+			break
+		}
+		if err := eng.Apply(s.muts); err != nil {
+			t.Fatal(err)
+		}
+		applied++
+	}
+	acked := eng.Version()
+	fsys.SetCrashAtOp(fsys.Ops()) // crash without Close: debt stays in the WAL
+	fsys.Recover()
+
+	// Second life: CheckpointEvery=3 < 4 replayed records, so the debt is
+	// due the moment recovery finishes.
+	rec, err := OpenDurable(durTestDir, nil, durableTestConfig(),
+		DurableOptions{CheckpointEvery: 3, FS: fsys})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := rec.Version(); v != acked {
+		t.Fatalf("recovered version %d, want %d", v, acked)
+	}
+	ck, err := store.LoadLatest(fsys, durTestDir+"/ckpt")
+	if err != nil || ck == nil {
+		t.Fatalf("no checkpoint after recovery: %v", err)
+	}
+	if ck.Meta.Version != acked {
+		t.Fatalf("checkpoint at version %d after open, want the debt settled at %d",
+			ck.Meta.Version, acked)
+	}
+	seqAfterOpen := ck.Seq
+
+	// The first live write must NOT cut a checkpoint — the debt was
+	// settled at open, so its counter starts at zero again.
+	var next durStep
+	for _, s := range rest {
+		if !s.analyze {
+			next = s
+			break
+		}
+	}
+	if next.muts == nil {
+		t.Fatal("workload too short for a post-recovery step")
+	}
+	if err := rec.Apply(next.muts); err != nil {
+		t.Fatal(err)
+	}
+	ck2, err := store.LoadLatest(fsys, durTestDir+"/ckpt")
+	if err != nil || ck2 == nil {
+		t.Fatal(err)
+	}
+	if ck2.Seq != seqAfterOpen {
+		t.Fatalf("first post-recovery Apply cut a checkpoint (seq %d -> %d)",
+			seqAfterOpen, ck2.Seq)
+	}
+	if v := rec.Version(); v != acked+1 {
+		t.Fatalf("post-recovery Apply at version %d, want %d", v, acked+1)
+	}
 }
 
 // TestDurableReopenResumesExactVersion runs the durability subsystem on

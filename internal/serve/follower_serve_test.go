@@ -1,0 +1,142 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"socialscope"
+	"socialscope/internal/vfs"
+	"socialscope/internal/workload"
+)
+
+// TestFollowerServingAndPromotion exercises the HTTP surface of a read
+// replica: /healthz reports the role, writes bounce with 409 while
+// following, and POST /promote flips the engine to a writable leader
+// that then accepts the same write.
+func TestFollowerServingAndPromotion(t *testing.T) {
+	corpus, err := workload.Travel(workload.TravelConfig{
+		Users: 40, Destinations: 20, Seed: 7, VisitsPerUser: 5, TagFraction: 0.8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := socialscope.Config{
+		ItemType: "destination", TopK: socialscope.TopKTA, ClusterStrategy: "peruser",
+	}
+	fsys := vfs.NewFaultFS(vfs.KeepUnsynced)
+	const dir = "repl"
+
+	leader, err := socialscope.OpenDurable(dir, corpus.Graph, cfg, socialscope.DurableOptions{FS: fsys})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := workload.NewTaggingStream(corpus.Graph, corpus.Users, corpus.Destinations,
+		workload.Categories, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := leader.Apply(stream.Batch(4)); err != nil {
+		t.Fatal(err)
+	}
+	ackedVersion := leader.Version()
+	held := stream.Batch(2) // the write the promoted follower will accept
+	if err := leader.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	fol, err := socialscope.OpenFollower(dir, cfg, socialscope.DurableOptions{FS: fsys})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fol.CatchUp(0); err != nil {
+		t.Fatal(err)
+	}
+	srv := New(fol, Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer func() {
+		ts.Close()
+		srv.Close()
+	}()
+
+	getJSON := func(path string, out any) int {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s: %v", path, err)
+		}
+		return resp.StatusCode
+	}
+	postJSON := func(path string, body string, out any) int {
+		t.Helper()
+		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if out != nil {
+			if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+				t.Fatalf("decode %s: %v", path, err)
+			}
+		}
+		return resp.StatusCode
+	}
+	applyBody := func(muts []MutationWire) string {
+		buf, err := json.Marshal(ApplyRequest{Mutations: muts})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(buf)
+	}
+	wire := make([]MutationWire, len(held))
+	for i, m := range held {
+		wire[i] = MutationToWire(m)
+	}
+
+	var health HealthResponse
+	if code := getJSON("/healthz", &health); code != http.StatusOK {
+		t.Fatalf("healthz on follower: %d", code)
+	}
+	if health.Role != "follower" || health.Version != ackedVersion {
+		t.Fatalf("follower healthz = %+v, want role=follower version=%d", health, ackedVersion)
+	}
+
+	if code := postJSON("/apply", applyBody(wire), nil); code != http.StatusConflict {
+		t.Fatalf("apply on follower = %d, want 409", code)
+	}
+
+	var promoted PromoteResponse
+	if code := postJSON("/promote", "", &promoted); code != http.StatusOK {
+		t.Fatalf("promote: %d (%+v)", code, promoted)
+	}
+	if promoted.Role != "leader" || promoted.Version != ackedVersion {
+		t.Fatalf("promote = %+v, want role=leader version=%d", promoted, ackedVersion)
+	}
+
+	// Promotion is idempotent at the HTTP layer: a retry reports the
+	// current role with 409 instead of failing the failover script.
+	var again PromoteResponse
+	if code := postJSON("/promote", "", &again); code != http.StatusConflict {
+		t.Fatalf("second promote = %d, want 409", code)
+	}
+	if again.Role != "leader" {
+		t.Fatalf("second promote role = %q", again.Role)
+	}
+
+	var out ApplyResponse
+	if code := postJSON("/apply", applyBody(wire), &out); code != http.StatusOK {
+		t.Fatalf("apply after promote = %d", code)
+	}
+	if out.Version != ackedVersion+1 {
+		t.Fatalf("post-promote apply version = %d, want %d", out.Version, ackedVersion+1)
+	}
+	if code := getJSON("/healthz", &health); code != http.StatusOK || health.Role != "leader" {
+		t.Fatalf("healthz after promote = %d %+v", code, health)
+	}
+}

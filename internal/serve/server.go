@@ -79,6 +79,7 @@ func New(eng *socialscope.Engine, cfg Config) *Server {
 	s.mux.HandleFunc("POST /query", s.limited(s.handleQuery))
 	s.mux.HandleFunc("GET /recommend", s.limited(s.handleRecommend))
 	s.mux.HandleFunc("POST /apply", s.limited(s.handleApply))
+	s.mux.HandleFunc("POST /promote", s.handlePromote)
 	// Constructed here, not in Serve, so Shutdown never races the Serve
 	// goroutine's startup: a signal arriving before Serve runs still finds
 	// a server to shut down (whose Serve then returns ErrServerClosed
@@ -382,7 +383,32 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 
 // handleHealthz answers GET /healthz.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok", Version: s.eng.Version()})
+	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok", Version: s.eng.Version(), Role: s.role()})
+}
+
+func (s *Server) role() string {
+	if s.eng.IsFollower() {
+		return "follower"
+	}
+	return "leader"
+}
+
+// handlePromote answers POST /promote: upgrade a follower to a
+// writable leader after the previous leader died. The caller is the
+// failover orchestrator (or operator) and owns the "leader is really
+// dead" judgement; the engine still refuses when the WAL contradicts
+// the drained tail. On a non-follower it reports the current role with
+// 409 rather than failing a retried promotion.
+func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
+	if !s.eng.IsFollower() {
+		writeJSON(w, http.StatusConflict, PromoteResponse{Role: s.role(), Version: s.eng.Version()})
+		return
+	}
+	if err := s.eng.Promote(); err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, PromoteResponse{Role: s.role(), Version: s.eng.Version()})
 }
 
 // statusFor maps evaluation errors to HTTP statuses: deadline and
@@ -397,6 +423,10 @@ func statusFor(err error) int {
 		return http.StatusServiceUnavailable
 	case errors.Is(err, discovery.ErrUnknownUser), errors.Is(err, topk.ErrUnknownUser):
 		return http.StatusNotFound
+	case errors.Is(err, socialscope.ErrFollower):
+		// Writes against a read replica: the request is fine, this server
+		// is the wrong one — retry against the leader (or /promote first).
+		return http.StatusConflict
 	}
 	return http.StatusUnprocessableEntity
 }

@@ -340,6 +340,15 @@ type StatsResponse struct {
 type HealthResponse struct {
 	Status  string `json:"status"`
 	Version uint64 `json:"version"`
+	// Role is "leader" for engines that accept writes and "follower"
+	// for read replicas tailing a leader's WAL (see /promote).
+	Role string `json:"role"`
+}
+
+// PromoteResponse is the body of POST /promote.
+type PromoteResponse struct {
+	Role    string `json:"role"`
+	Version uint64 `json:"version"`
 }
 
 // ErrorResponse is the body every non-2xx answer carries.

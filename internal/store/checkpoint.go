@@ -219,19 +219,9 @@ func (c *Checkpointer) sweep() {
 // graph it encodes. It returns nil (no error) when the directory holds
 // no manifest — a fresh deployment.
 func LoadLatest(fsys vfs.FS, dir string) (*Recovered, error) {
-	data, err := vfs.ReadFile(fsys, path.Join(dir, manifestName))
-	if vfs.IsNotExist(err) {
-		return nil, nil
-	}
-	if err != nil {
-		return nil, fmt.Errorf("store: %w", err)
-	}
-	var man Manifest
-	if err := json.Unmarshal(data, &man); err != nil {
-		return nil, fmt.Errorf("%w: manifest: %v", ErrCkptCorrupt, err)
-	}
-	if len(man.Chain) == 0 {
-		return nil, fmt.Errorf("%w: manifest names no files", ErrCkptCorrupt)
+	man, err := LoadManifest(fsys, dir)
+	if err != nil || man == nil {
+		return nil, err
 	}
 	rBase := graph.NewCkptReader()
 	rAnalyzed := graph.NewCkptReader()

@@ -1,0 +1,51 @@
+package store
+
+import (
+	"testing"
+
+	"socialscope/internal/vfs"
+)
+
+func TestWatcherReportsManifestAdvances(t *testing.T) {
+	fsys := vfs.NewFaultFS(vfs.DropUnsynced)
+	w := NewWatcher(fsys, "ck", 0)
+
+	// No manifest yet: quiet.
+	if man, changed, err := w.Poll(); man != nil || changed || err != nil {
+		t.Fatalf("poll on empty dir: man=%v changed=%v err=%v", man, changed, err)
+	}
+
+	g := bigGraph(t, 6, 4)
+	c := NewCheckpointer(fsys, "ck", 4, 0)
+	if err := c.Save(g, nil, Meta{Version: 3, WalLSN: 7}); err != nil {
+		t.Fatal(err)
+	}
+	man, changed, err := w.Poll()
+	if err != nil || !changed || man == nil {
+		t.Fatalf("first save unseen: changed=%v err=%v", changed, err)
+	}
+	if man.Version != 3 || man.WalLSN != 7 {
+		t.Fatalf("manifest meta: %+v", man)
+	}
+	seq1 := man.Seq
+
+	// Unchanged manifest: reported, but not as a change.
+	if man, changed, err := w.Poll(); err != nil || changed || man == nil || man.Seq != seq1 {
+		t.Fatalf("steady poll: man=%v changed=%v err=%v", man, changed, err)
+	}
+
+	// A second save advances the sequence.
+	if err := c.Save(g, nil, Meta{Version: 4, WalLSN: 9}); err != nil {
+		t.Fatal(err)
+	}
+	man, changed, err = w.Poll()
+	if err != nil || !changed || man.Seq <= seq1 || man.WalLSN != 9 {
+		t.Fatalf("second save: man=%+v changed=%v err=%v", man, changed, err)
+	}
+
+	// A fresh watcher seeded with the latest seq sees no change.
+	w2 := NewWatcher(fsys, "ck", man.Seq)
+	if _, changed, err := w2.Poll(); err != nil || changed {
+		t.Fatalf("seeded watcher: changed=%v err=%v", changed, err)
+	}
+}

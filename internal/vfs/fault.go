@@ -61,6 +61,7 @@ type FaultFS struct {
 	crashAt    int64 // fire when ops reaches this index; -1 disarmed
 	crashed    bool
 	failSyncAt int64 // one-shot transient fsync failure; -1 disarmed
+	failAt     int64 // one-shot transient failure of any op; -1 disarmed
 	writeChunk int
 }
 
@@ -78,6 +79,7 @@ func NewFaultFS(mode LossMode) *FaultFS {
 		dirs:       map[string]bool{".": true, "/": true},
 		crashAt:    -1,
 		failSyncAt: -1,
+		failAt:     -1,
 		writeChunk: DefaultWriteChunk,
 	}
 }
@@ -97,6 +99,18 @@ func (f *FaultFS) FailSyncAtOp(n int64) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.failSyncAt = n
+}
+
+// FailAtOp arms a one-shot transient failure of the operation with
+// index n, whatever it is — a write chunk, a metadata op, a writable
+// close: that operation returns ErrInjected and the filesystem keeps
+// running. Unlike FailSyncAtOp it does not require the victim to be a
+// Sync, so it can hit a mid-loop Remove or a handle Close. Negative
+// disarms.
+func (f *FaultFS) FailAtOp(n int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failAt = n
 }
 
 // SetWriteChunk overrides the write-splitting granularity (min 1).
@@ -143,6 +157,7 @@ func (f *FaultFS) Recover() {
 	f.crashed = false
 	f.crashAt = -1
 	f.failSyncAt = -1
+	f.failAt = -1
 }
 
 // op consumes one fault-schedulable operation. It returns ErrCrashed
@@ -157,7 +172,11 @@ func (f *FaultFS) op() (failSync bool, err error) {
 		return false, ErrCrashed
 	}
 	failSync = f.failSyncAt >= 0 && f.ops == f.failSyncAt
+	fail := f.failAt >= 0 && f.ops == f.failAt
 	f.ops++
+	if fail {
+		return false, ErrInjected
+	}
 	return failSync, nil
 }
 
@@ -380,9 +399,23 @@ func (h *faultHandle) Sync() error {
 	return nil
 }
 
+// Close of a writable handle is a fault-schedulable operation — real
+// filesystems can fail a close (delayed-write errors), and the WAL's
+// heal path must surface that instead of truncating under a dirty
+// handle. Read-only closes stay free so tailing readers never perturb
+// the op schedule a crash harness enumerates.
 func (h *faultHandle) Close() error {
 	h.fs.mu.Lock()
 	defer h.fs.mu.Unlock()
+	if h.closed {
+		return nil
+	}
 	h.closed = true
+	if !h.writable {
+		return nil
+	}
+	if _, err := h.fs.op(); err != nil {
+		return err
+	}
 	return nil
 }

@@ -243,28 +243,32 @@ func (l *Log) AppendSync(kind byte, payload []byte) (uint64, error) {
 	return lsn, nil
 }
 
-// heal reopens the active segment and truncates it back to the last
-// acknowledged record boundary after a failed append.
+// heal truncates the active segment back to the last acknowledged
+// record boundary after a failed append, and (re)opens the append
+// handle. The dirty handle must close cleanly before the truncate: a
+// failed close means buffered writes may still land, so truncating
+// under it could leave the file in a state neither boundary describes.
+// On a close failure the handle is abandoned (l.f = nil) and the error
+// surfaces; the next append retries the heal from the truncate step.
 func (l *Log) heal() error {
-	if l.f == nil {
-		if err := l.openActive(); err != nil {
-			return err
+	if l.dirty {
+		if l.f != nil {
+			err := l.f.Close()
+			l.f = nil
+			if err != nil {
+				return fmt.Errorf("wal: heal: close before truncate: %w", err)
+			}
 		}
+		seg := l.segs[len(l.segs)-1]
+		if err := l.fsys.Truncate(path.Join(l.dir, seg.name), l.goodSize); err != nil {
+			return fmt.Errorf("wal: heal: %w", err)
+		}
+		l.activeSize = l.goodSize
+		l.dirty = false
 	}
-	if !l.dirty {
-		return nil
+	if l.f == nil {
+		return l.openActive()
 	}
-	seg := l.segs[len(l.segs)-1]
-	l.f.Close()
-	l.f = nil
-	if err := l.fsys.Truncate(path.Join(l.dir, seg.name), l.goodSize); err != nil {
-		return fmt.Errorf("wal: heal: %w", err)
-	}
-	if err := l.openActive(); err != nil {
-		return err
-	}
-	l.activeSize = l.goodSize
-	l.dirty = false
 	return nil
 }
 
@@ -279,20 +283,36 @@ func (l *Log) rotate() error {
 	return l.startSegment(l.nextLSN)
 }
 
-// Replay calls fn for every record with LSN >= from, in LSN order,
-// validating continuity and CRCs along the way. The payload passed to
-// fn is only valid for the duration of the call.
+// Replay calls fn for every record with LSN >= from that was
+// acknowledged as of the call, in LSN order, validating continuity and
+// CRCs along the way. The payload passed to fn is only valid for the
+// duration of the call.
+//
+// Replay snapshots the segment list and the acknowledged boundary under
+// the lock, then reads and decodes with the lock released, so a long
+// replay never stalls concurrent AppendSync callers; records appended
+// after the snapshot are simply not replayed. Concurrent TruncateThrough
+// must not drop segments the replay still needs (the engine serializes
+// checkpoints against replay on its own lock).
 func (l *Log) Replay(from uint64, fn func(lsn uint64, kind byte, payload []byte) error) error {
 	l.mu.Lock()
-	defer l.mu.Unlock()
-	for i, seg := range l.segs {
-		last := i == len(l.segs)-1
-		if !last && l.segs[i+1].first <= from {
+	segs := append([]segInfo(nil), l.segs...)
+	good := l.goodSize
+	l.mu.Unlock()
+	for i, seg := range segs {
+		last := i == len(segs)-1
+		if !last && segs[i+1].first <= from {
 			continue // every record in this segment is below from
 		}
 		data, err := vfs.ReadFile(l.fsys, path.Join(l.dir, seg.name))
 		if err != nil {
 			return fmt.Errorf("wal: %w", err)
+		}
+		if last && int64(len(data)) > good {
+			// Bytes past the snapshot boundary are either appends that
+			// landed after the snapshot or an unacknowledged tail awaiting
+			// heal; neither belongs to this replay.
+			data = data[:good]
 		}
 		if len(data) < headerLen || [headerLen]byte(data[:headerLen]) != magic {
 			return fmt.Errorf("%w: %s: bad magic", ErrCorrupt, seg.name)
@@ -321,8 +341,8 @@ func (l *Log) Replay(from uint64, fn func(lsn uint64, kind byte, payload []byte)
 			expect++
 			off += n
 		}
-		if !last && l.segs[i+1].first != expect {
-			return fmt.Errorf("%w: gap between %s and %s", ErrCorrupt, seg.name, l.segs[i+1].name)
+		if !last && segs[i+1].first != expect {
+			return fmt.Errorf("%w: gap between %s and %s", ErrCorrupt, seg.name, segs[i+1].name)
 		}
 	}
 	return nil
@@ -334,14 +354,15 @@ func (l *Log) Replay(from uint64, fn func(lsn uint64, kind byte, payload []byte)
 func (l *Log) TruncateThrough(lsn uint64) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	keep := 0
-	for keep < len(l.segs)-1 && l.segs[keep+1].first <= lsn+1 {
-		if err := l.fsys.Remove(path.Join(l.dir, l.segs[keep].name)); err != nil {
+	// Re-slice as each segment is removed, so a mid-loop Remove failure
+	// leaves l.segs naming only files that still exist — a later Replay
+	// must not trip over a half-finished truncation.
+	for len(l.segs) > 1 && l.segs[1].first <= lsn+1 {
+		if err := l.fsys.Remove(path.Join(l.dir, l.segs[0].name)); err != nil {
 			return fmt.Errorf("wal: %w", err)
 		}
-		keep++
+		l.segs = l.segs[1:]
 	}
-	l.segs = l.segs[keep:]
 	return nil
 }
 

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"testing"
+	"time"
 
 	"socialscope/internal/vfs"
 )
@@ -136,9 +137,10 @@ func TestCrashDuringRotationHealedOnOpen(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	// The next append rotates first: crash during the new segment's
+	// The next append rotates first: close the old segment (one op),
+	// create the new one (one op), then crash during the new segment's
 	// header write, leaving a named-but-headerless segment behind.
-	fsys.SetCrashAtOp(fsys.Ops() + 1)
+	fsys.SetCrashAtOp(fsys.Ops() + 2)
 	if _, err := l.AppendSync(1, []byte("x")); !errors.Is(err, vfs.ErrCrashed) {
 		t.Fatalf("want ErrCrashed, got %v", err)
 	}
@@ -219,6 +221,192 @@ func TestTruncateThroughDropsCoveredSegments(t *testing.T) {
 	}
 	if lsn, err := l.AppendSync(1, []byte("next")); err != nil || lsn != 31 {
 		t.Fatalf("append after full truncate: lsn=%d err=%v", lsn, err)
+	}
+}
+
+func TestTruncateThroughPartialFailureKeepsReplayable(t *testing.T) {
+	fsys := vfs.NewFaultFS(vfs.DropUnsynced)
+	l, err := Open(fsys, "w", Options{SegmentBytes: 96})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		if _, err := l.AppendSync(1, []byte(fmt.Sprintf("r-%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nsegs := len(l.segs)
+	if nsegs < 4 {
+		t.Fatalf("need >= 4 segments, got %d", nsegs)
+	}
+	covered := l.segs[nsegs-1].first - 1 // everything below the active segment
+	// Fail the SECOND Remove: the first segment is gone, the second
+	// survives on disk. The regression was l.segs still naming the
+	// removed file, making every later Replay hard-fail on ErrNotExist.
+	fsys.FailAtOp(fsys.Ops() + 1)
+	if err := l.TruncateThrough(covered); !errors.Is(err, vfs.ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	if len(l.segs) != nsegs-1 {
+		t.Fatalf("segs after partial truncate: got %d, want %d", len(l.segs), nsegs-1)
+	}
+	got := collect(t, l, 0) // must not touch the removed file
+	if len(got) == 0 || got[len(got)-1].lsn != 30 {
+		t.Fatalf("replay after partial truncate: %d records", len(got))
+	}
+	if got[0].lsn != l.segs[0].first {
+		t.Fatalf("replay starts at %d, surviving segment starts at %d", got[0].lsn, l.segs[0].first)
+	}
+	// The retry finishes the job.
+	if err := l.TruncateThrough(covered); err != nil {
+		t.Fatal(err)
+	}
+	if len(l.segs) != 1 {
+		t.Fatalf("want 1 segment after retry, got %d", len(l.segs))
+	}
+	if lsn, err := l.AppendSync(1, []byte("after")); err != nil || lsn != 31 {
+		t.Fatalf("append after retry: lsn=%d err=%v", lsn, err)
+	}
+}
+
+func TestReplayDoesNotBlockAppends(t *testing.T) {
+	fsys := vfs.NewFaultFS(vfs.DropUnsynced)
+	l, err := Open(fsys, "w", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := l.AppendSync(1, []byte(fmt.Sprintf("r-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	started := make(chan struct{})
+	release := make(chan struct{})
+	replayed := make(chan int, 1)
+	go func() {
+		n := 0
+		_ = l.Replay(0, func(uint64, byte, []byte) error {
+			if n == 0 {
+				close(started)
+				<-release // hold the replay mid-stream
+			}
+			n++
+			return nil
+		})
+		replayed <- n
+	}()
+	<-started
+	// With the lock held across the whole replay this deadlocks; the
+	// snapshot-then-decode fix lets the append through immediately.
+	appended := make(chan error, 1)
+	go func() {
+		_, err := l.AppendSync(1, []byte("live"))
+		appended <- err
+	}()
+	select {
+	case err := <-appended:
+		if err != nil {
+			t.Fatalf("append during replay: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("AppendSync blocked behind an in-flight Replay")
+	}
+	close(release)
+	if n := <-replayed; n != 3 {
+		t.Fatalf("replay saw %d records, want the 3 pre-snapshot ones", n)
+	}
+}
+
+func TestHealSurfacesCloseError(t *testing.T) {
+	fsys := vfs.NewFaultFS(vfs.DropUnsynced)
+	fsys.SetWriteChunk(1 << 20) // one op per write for predictable indices
+	l, err := Open(fsys, "w", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.AppendSync(1, []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	// Fail the next append's fsync, leaving the log dirty.
+	fsys.FailSyncAtOp(fsys.Ops() + 1)
+	if _, err := l.AppendSync(1, []byte("unacked")); !errors.Is(err, vfs.ErrInjected) {
+		t.Fatalf("want ErrInjected from sync, got %v", err)
+	}
+	sizeBefore := int64(len(fsys.Bytes("w/" + l.segs[0].name)))
+	// Now fail the heal's Close of the dirty handle: the heal must give
+	// up before truncating, not truncate under a handle whose buffered
+	// writes may still land.
+	fsys.FailAtOp(fsys.Ops())
+	if _, err := l.AppendSync(1, []byte("second")); !errors.Is(err, vfs.ErrInjected) {
+		t.Fatalf("want ErrInjected from heal close, got %v", err)
+	}
+	if size := int64(len(fsys.Bytes("w/" + l.segs[0].name))); size != sizeBefore {
+		t.Fatalf("segment truncated under a dirty handle: %d -> %d", sizeBefore, size)
+	}
+	// With the fault gone the next append heals (truncate + reopen) and
+	// reuses the LSN of the unacked record.
+	lsn, err := l.AppendSync(1, []byte("second"))
+	if err != nil || lsn != 2 {
+		t.Fatalf("append after recovered heal: lsn=%d err=%v", lsn, err)
+	}
+	got := collect(t, l, 0)
+	if len(got) != 2 || got[1].payload != "second" {
+		t.Fatalf("log contents: %+v", got)
+	}
+}
+
+func TestReopenAfterTruncationContinuity(t *testing.T) {
+	// Property: for any checkpoint LSN, TruncateThrough + Close + Open
+	// preserves the LSN sequence and replays exactly the surviving
+	// contiguous suffix.
+	const total = 30
+	for ckptLSN := uint64(0); ckptLSN <= total; ckptLSN += 5 {
+		fsys := vfs.NewFaultFS(vfs.DropUnsynced)
+		l, err := Open(fsys, "w", Options{SegmentBytes: 96})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i <= total; i++ {
+			if _, err := l.AppendSync(1, []byte(fmt.Sprintf("r-%02d", i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := l.TruncateThrough(ckptLSN); err != nil {
+			t.Fatal(err)
+		}
+		first := l.segs[0].first
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		l2, err := Open(fsys, "w", Options{SegmentBytes: 96})
+		if err != nil {
+			t.Fatalf("ckpt=%d: reopen: %v", ckptLSN, err)
+		}
+		if l2.NextLSN() != total+1 {
+			t.Fatalf("ckpt=%d: NextLSN=%d, want %d", ckptLSN, l2.NextLSN(), total+1)
+		}
+		got := collect(t, l2, 0)
+		if len(got) == 0 {
+			t.Fatalf("ckpt=%d: nothing replayed", ckptLSN)
+		}
+		if got[0].lsn != first {
+			t.Fatalf("ckpt=%d: replay starts at %d, want %d", ckptLSN, got[0].lsn, first)
+		}
+		if got[0].lsn > ckptLSN+1 {
+			t.Fatalf("ckpt=%d: replay lost records: starts at %d", ckptLSN, got[0].lsn)
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i].lsn != got[i-1].lsn+1 {
+				t.Fatalf("ckpt=%d: gap at %d -> %d", ckptLSN, got[i-1].lsn, got[i].lsn)
+			}
+		}
+		if last := got[len(got)-1].lsn; last != total {
+			t.Fatalf("ckpt=%d: replay ends at %d, want %d", ckptLSN, last, total)
+		}
+		if lsn, err := l2.AppendSync(1, []byte("next")); err != nil || lsn != total+1 {
+			t.Fatalf("ckpt=%d: append after reopen: lsn=%d err=%v", ckptLSN, lsn, err)
+		}
 	}
 }
 

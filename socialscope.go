@@ -242,7 +242,18 @@ type Engine struct {
 	// dur is the durability state (WAL + checkpointer) for engines opened
 	// with OpenDurable, nil otherwise. Guarded by mu.
 	dur *durable
+	// fol is the replication state for engines opened with OpenFollower,
+	// nil otherwise. Guarded by mu; Promote clears it and sets dur.
+	fol *follower
+	// isFol mirrors fol != nil for lock-free role checks: a health
+	// endpoint must not block behind a long catch-up or analyze.
+	isFol atomic.Bool
 }
+
+// IsFollower reports whether the engine is a read-only follower (opened
+// with OpenFollower and not yet promoted). Safe to call concurrently
+// with CatchUp and queries.
+func (e *Engine) IsFollower() bool { return e.isFol.Load() }
 
 // New builds an engine over the graph. The graph is used as-is (not
 // copied) until the first Apply, which switches the engine onto private
@@ -281,6 +292,9 @@ func (e *Engine) Analyzed() bool { return e.state.Load().analyzed != nil }
 func (e *Engine) Analyze() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.fol != nil {
+		return ErrFollower
+	}
 	return e.analyzeLocked(true)
 }
 
@@ -359,6 +373,9 @@ func (e *Engine) Apply(muts []graph.Mutation) error {
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.fol != nil {
+		return ErrFollower
+	}
 	return e.applyLocked(muts, true)
 }
 
