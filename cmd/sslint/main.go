@@ -1,0 +1,194 @@
+// Command sslint is the repo's multichecker: it runs the five
+// SocialScope analyzers — vfsseam, lockio, ctxflow, closeerr,
+// rcupublish — over the module and exits non-zero on any finding.
+// These passes machine-enforce the invariants the compiler can't see:
+// durability IO stays behind the vfs.FS seam, no read IO under locks,
+// contexts thread through request paths, write-side Close/Sync errors
+// surface, and nobody writes through a published snapshot.
+//
+// Usage:
+//
+//	go run ./cmd/sslint ./...
+//	go run ./cmd/sslint ./internal/wal ./internal/store/...
+//	go run ./cmd/sslint -list
+//
+// Patterns are package-path patterns relative to the module root
+// ("./..." everything, "./x" one package, "./x/..." a subtree). See
+// docs/static-analysis.md for each analyzer's invariant, the
+// historical bug behind it, and the //sslint:ignore escape hatch.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"socialscope/internal/analysis"
+	"socialscope/internal/analysis/closeerr"
+	"socialscope/internal/analysis/ctxflow"
+	"socialscope/internal/analysis/lockio"
+	"socialscope/internal/analysis/rcupublish"
+	"socialscope/internal/analysis/vfsseam"
+)
+
+var analyzers = []*analysis.Analyzer{
+	vfsseam.Analyzer,
+	lockio.Analyzer,
+	ctxflow.Analyzer,
+	closeerr.Analyzer,
+	rcupublish.Analyzer,
+}
+
+func main() {
+	list := flag.Bool("list", false, "print the analyzers and exit")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	flag.Parse()
+
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	active, err := selectAnalyzers(*only)
+	if err != nil {
+		fail(err)
+	}
+
+	root, err := moduleRoot()
+	if err != nil {
+		fail(err)
+	}
+	pkgs, err := analysis.LoadModule(root)
+	if err != nil {
+		fail(err)
+	}
+	if len(pkgs) == 0 {
+		fail(fmt.Errorf("no packages under %s", root))
+	}
+	module := pkgs[0].Path // LoadModule sorts; the root package path is the module name
+	for _, p := range pkgs {
+		if !strings.Contains(p.Path, "/") {
+			module = p.Path
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	var selected []*analysis.Package
+	for _, pkg := range pkgs {
+		if matchesAny(patterns, module, pkg.Path) {
+			selected = append(selected, pkg)
+		}
+	}
+	if len(selected) == 0 {
+		fail(fmt.Errorf("no packages match %v", patterns))
+	}
+
+	// All packages load (the //ss:immutable registry is cross-package)
+	// but only findings in the selected ones are reported.
+	findings, err := analysis.Run(pkgs, active)
+	if err != nil {
+		fail(err)
+	}
+	inSel := make(map[string]bool, len(selected))
+	for _, p := range selected {
+		inSel[p.Path] = true
+	}
+	bad := 0
+	for _, f := range findings {
+		if !inSel[owningPkg(pkgs, f.Pos.Filename)] {
+			continue
+		}
+		rel := f.Pos.Filename
+		if r, err := filepath.Rel(root, rel); err == nil {
+			rel = r
+		}
+		fmt.Printf("%s:%d:%d: %s: %s\n", rel, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+		bad++
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "sslint: %d finding(s)\n", bad)
+		os.Exit(1)
+	}
+}
+
+func selectAnalyzers(only string) ([]*analysis.Analyzer, error) {
+	if only == "" {
+		return analyzers, nil
+	}
+	byName := map[string]*analysis.Analyzer{}
+	for _, a := range analyzers {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(only, ",") {
+		a := byName[strings.TrimSpace(name)]
+		if a == nil {
+			return nil, fmt.Errorf("unknown analyzer %q (use -list)", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// matchesAny resolves "./"-relative patterns against the module path
+// and matches pkgPath go-style.
+func matchesAny(patterns []string, module, pkgPath string) bool {
+	for _, pat := range patterns {
+		switch {
+		case pat == "./...":
+			return true
+		case pat == ".":
+			if pkgPath == module {
+				return true
+			}
+		default:
+			p := strings.TrimPrefix(pat, "./")
+			if analysis.Match(module+"/"+p, pkgPath) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// owningPkg maps a finding's file back to its package path.
+func owningPkg(pkgs []*analysis.Package, filename string) string {
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			if p.Fset.Position(f.Pos()).Filename == filename {
+				return p.Path
+			}
+		}
+	}
+	return ""
+}
+
+// moduleRoot walks up from the working directory to the go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "sslint: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,291 @@
+// Package analysis is the repo's static-analysis framework: a minimal,
+// dependency-free mirror of the golang.org/x/tools/go/analysis
+// vocabulary (the standard vet-extension machinery) that the sslint
+// analyzers are written against.
+//
+// Why a mirror and not the real thing: this module deliberately has no
+// external dependencies, and the build environments it targets cannot
+// assume a module proxy. The subset implemented here — Analyzer, Pass,
+// Diagnostic, a module loader, and an analysistest-style golden-file
+// harness (internal/analysis/analysistest) — keeps the analyzer code
+// shaped so that a future port to golang.org/x/tools/go/analysis is a
+// mechanical change of import paths and Run signatures, not a rewrite.
+//
+// The framework is purely syntactic: packages are parsed, not
+// type-checked. Analyzers therefore resolve imports through each file's
+// import table (see ImportLocal) and match methods by name, trading a
+// sliver of precision for zero dependencies and millisecond runs. Each
+// analyzer documents its heuristics and their known blind spots in
+// docs/static-analysis.md.
+//
+// Two comment directives drive cross-cutting behavior:
+//
+//   - "//ss:immutable" on a function or method declaration marks its
+//     return values as aliasing shared snapshot state that callers must
+//     never mutate. The driver collects these into a Registry before
+//     any analyzer runs; rcupublish enforces them at call sites.
+//   - "//sslint:ignore <analyzer> <reason>" suppresses that analyzer's
+//     diagnostics on the same line and the line below. The reason is
+//     mandatory: a suppression is a reviewed, documented exception.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Package is one parsed (not type-checked) Go package.
+type Package struct {
+	// Path is the import path ("socialscope/internal/wal"). Testdata
+	// trees mirror real paths so scope-gated analyzers behave
+	// identically under test.
+	Path string
+	// Name is the package clause name.
+	Name string
+	// Fset positions all files of this package.
+	Fset *token.FileSet
+	// Files are the parsed compilation units, with comments.
+	Files []*ast.File
+}
+
+// Analyzer describes one static check, mirroring
+// golang.org/x/tools/go/analysis.Analyzer.
+type Analyzer struct {
+	// Name is the short identifier used in output and in
+	// sslint:ignore directives.
+	Name string
+	// Doc states the invariant the analyzer machine-enforces.
+	Doc string
+	// Run reports diagnostics for one package via pass.Reportf.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding before position resolution.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Pass carries one analyzer's view of one package, mirroring
+// golang.org/x/tools/go/analysis.Pass.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	// Immutable is the cross-package registry of //ss:immutable
+	// accessors, collected over every loaded package before analyzers
+	// run (the framework's stand-in for analysis facts).
+	Immutable *Registry
+
+	diags []Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Finding is one resolved diagnostic: what sslint prints and what the
+// test harness compares against want expectations.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// Run executes the analyzers over the packages: collect the immutable
+// registry over all packages, run every analyzer on every package,
+// filter suppressed diagnostics, and return findings sorted by
+// position. An analyzer error aborts the run.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	reg := CollectImmutable(pkgs)
+	var out []Finding
+	seen := make(map[Finding]bool) // lexical passes can revisit nested literals
+	for _, pkg := range pkgs {
+		sup := collectSuppressions(pkg)
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg, Immutable: reg}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+			for _, d := range pass.diags {
+				pos := pkg.Fset.Position(d.Pos)
+				if sup.suppressed(a.Name, pos) {
+					continue
+				}
+				f := Finding{Analyzer: a.Name, Pos: pos, Message: d.Message}
+				if seen[f] {
+					continue
+				}
+				seen[f] = true
+				out = append(out, f)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
+}
+
+// suppressions maps file -> line -> set of analyzer names silenced
+// there by sslint:ignore directives.
+type suppressions map[string]map[int]map[string]bool
+
+func (s suppressions) suppressed(analyzer string, pos token.Position) bool {
+	lines := s[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	return lines[pos.Line][analyzer]
+}
+
+// collectSuppressions scans every comment for
+// "//sslint:ignore <analyzer> <reason>". The directive silences the
+// named analyzer on the comment's own line (trailing-comment form) and
+// on the next line (own-line form). A missing reason disables the
+// suppression — exceptions must say why.
+func collectSuppressions(pkg *Package) suppressions {
+	sup := make(suppressions)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, "sslint:ignore ")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					continue // no reason given: not a valid suppression
+				}
+				name := fields[0]
+				pos := pkg.Fset.Position(c.Pos())
+				byLine := sup[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int]map[string]bool)
+					sup[pos.Filename] = byLine
+				}
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					if byLine[line] == nil {
+						byLine[line] = make(map[string]bool)
+					}
+					byLine[line][name] = true
+				}
+			}
+		}
+	}
+	return sup
+}
+
+// ImportLocal returns the local name under which file f refers to the
+// import with the given path: the alias if one was given, otherwise the
+// path's last element. ok is false when f does not import path (or
+// imports it blank or dot — neither yields selector calls).
+func ImportLocal(f *ast.File, path string) (name string, ok bool) {
+	for _, imp := range f.Imports {
+		p, err := strconv.Unquote(imp.Path.Value)
+		if err != nil || p != path {
+			continue
+		}
+		if imp.Name != nil {
+			if imp.Name.Name == "_" || imp.Name.Name == "." {
+				return "", false
+			}
+			return imp.Name.Name, true
+		}
+		if i := strings.LastIndex(p, "/"); i >= 0 {
+			p = p[i+1:]
+		}
+		return p, true
+	}
+	return "", false
+}
+
+// IsPkgCall reports whether call is pkg.fn(...) where pkg is file f's
+// local name for the import path.
+func IsPkgCall(f *ast.File, call *ast.CallExpr, path, fn string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != fn {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok || id.Obj != nil { // a local variable shadowing the package name
+		return false
+	}
+	local, ok := ImportLocal(f, path)
+	return ok && id.Name == local
+}
+
+// Callee splits call.Fun into its receiver expression and selector
+// name. ok is false for non-selector callees (plain idents, indexed
+// expressions).
+func Callee(call *ast.CallExpr) (x ast.Expr, name string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return nil, "", false
+	}
+	return sel.X, sel.Sel.Name, true
+}
+
+// ExprPath renders a pure ident/selector chain ("s.mu", "l.fsys") as a
+// string key, or "" when e contains calls, indexing or literals — the
+// identity key lockio uses to match Lock/Unlock pairs.
+func ExprPath(e ast.Expr) string {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		base := ExprPath(v.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + v.Sel.Name
+	case *ast.ParenExpr:
+		return ExprPath(v.X)
+	}
+	return ""
+}
+
+// EachFunc invokes fn for every function declaration and function
+// literal in file, with the enclosing declaration's name ("" for
+// literals outside any declaration — package-level var initializers).
+func EachFunc(file *ast.File, fn func(name string, ft *ast.FuncType, body *ast.BlockStmt)) {
+	for _, decl := range file.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+			fn(fd.Name.Name, fd.Type, fd.Body)
+			name := fd.Name.Name
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					fn(name, lit.Type, lit.Body)
+				}
+				return true
+			})
+			continue
+		}
+		ast.Inspect(decl, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				fn("", lit.Type, lit.Body)
+			}
+			return true
+		})
+	}
+}

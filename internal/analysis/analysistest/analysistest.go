@@ -1,0 +1,152 @@
+// Package analysistest runs an analyzer over golden testdata packages
+// and checks its diagnostics against "// want" expectations, mirroring
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// Testdata uses the GOPATH-style layout: testdata/src/<importpath>/
+// holds the golden package, so path-scoped analyzers see the same
+// import paths under test as in the real tree. A line that should be
+// diagnosed carries a trailing comment:
+//
+//	os.Open(path) // want `direct os\.Open`
+//
+// The backquoted (or double-quoted) string is a regexp matched against
+// the diagnostic message. Several expectations on one line mean several
+// diagnostics. Lines without a want comment must produce none.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"socialscope/internal/analysis"
+)
+
+// Run loads every package under testdata/src, applies the analyzer,
+// and compares its findings in the named packages against their want
+// comments. All packages are loaded (the //ss:immutable registry is
+// cross-package) but only diagnostics in pkgpaths are checked.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgpaths ...string) {
+	t.Helper()
+	pkgs, err := analysis.LoadGOPATHTree(filepath.Join(testdata, "src"))
+	if err != nil {
+		t.Fatalf("loading testdata: %v", err)
+	}
+	findings, err := analysis.Run(pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	checked := make(map[string]bool) // filenames belonging to checked packages
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		if !inPaths(pkg.Path, pkgpaths) {
+			continue
+		}
+		for _, f := range pkg.Files {
+			name := pkg.Fset.Position(f.Pos()).Filename
+			checked[name] = true
+			ws, err := collectWants(pkg.Fset, f)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			wants = append(wants, ws...)
+		}
+	}
+
+	for _, fd := range findings {
+		if !checked[fd.Pos.Filename] {
+			continue
+		}
+		if w := matchWant(wants, fd); w != nil {
+			w.matched = true
+			continue
+		}
+		t.Errorf("unexpected diagnostic: %s", fd)
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+func matchWant(wants []*expectation, f analysis.Finding) *expectation {
+	for _, w := range wants {
+		if !w.matched && w.file == f.Pos.Filename && w.line == f.Pos.Line && w.re.MatchString(f.Message) {
+			return w
+		}
+	}
+	return nil
+}
+
+func inPaths(pkgPath string, pats []string) bool {
+	for _, p := range pats {
+		if analysis.Match(p, pkgPath) {
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants extracts "// want `re` `re`..." expectations, anchored
+// to the comment's own line.
+func collectWants(fset *token.FileSet, f *ast.File) ([]*expectation, error) {
+	var out []*expectation
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			rest, ok := strings.CutPrefix(text, "want ")
+			if !ok {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			pats, err := splitPatterns(rest)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %v", pos.Line, err)
+			}
+			for _, p := range pats {
+				re, err := regexp.Compile(p)
+				if err != nil {
+					return nil, fmt.Errorf("line %d: bad want pattern %q: %v", pos.Line, p, err)
+				}
+				out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re})
+			}
+		}
+	}
+	return out, nil
+}
+
+// splitPatterns parses a sequence of backquoted or double-quoted
+// strings: `a` "b" ...
+func splitPatterns(s string) ([]string, error) {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		quote := s[0]
+		if quote != '`' && quote != '"' {
+			return nil, fmt.Errorf("want pattern must be quoted with ` or \", got %q", s)
+		}
+		end := strings.IndexByte(s[1:], quote)
+		if end < 0 {
+			return nil, fmt.Errorf("unterminated want pattern %q", s)
+		}
+		out = append(out, s[1:1+end])
+		s = strings.TrimSpace(s[2+end:])
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty want clause")
+	}
+	return out, nil
+}

@@ -1,0 +1,177 @@
+// Package closeerr flags unchecked Close/Sync results on writable
+// files — the heal bug class from PR 7, where a WAL segment's Close
+// error was dropped and a short write could masquerade as a healed
+// log. On a writable file the Close (and any Sync) return value IS the
+// write result: buffered bytes reach the kernel at close, so ignoring
+// it acknowledges data the disk may never have seen.
+//
+// The read-side idiom stays legal: `defer f.Close()` on a file opened
+// read-only loses nothing — reads already reported their errors — so
+// files from os.Open (and OpenFile with O_RDONLY) are allowlisted.
+// Writable tracking is conservative: OpenFile with a flag expression
+// the analyzer cannot prove read-only counts as writable, and an
+// explicit `_ = f.Close()` is the documented way to say "discard is
+// intended" on error-path cleanup.
+package closeerr
+
+import (
+	"go/ast"
+
+	"socialscope/internal/analysis"
+)
+
+// Analyzer is the closeerr pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "closeerr",
+	Doc:  "Close/Sync on writable files must be checked (or explicitly discarded with _ =)",
+	Run:  run,
+}
+
+// writeFlags are flag idents that make an OpenFile writable.
+var writeFlags = map[string]bool{
+	"O_WRONLY": true, "O_RDWR": true, "O_APPEND": true,
+	"O_CREATE": true, "O_TRUNC": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+// checkFunc runs over one declaration's whole body, nested literals
+// included: closures share the open-file variables of their enclosing
+// function, so one table per declaration is the right scope.
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	// First pass: map variable name -> writable? for vars assigned from
+	// open-like calls.
+	writable := map[string]bool{} // name -> true (writable) / false (read-only)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		kind, isOpen := openKind(call)
+		if !isOpen {
+			return true
+		}
+		if id, ok := as.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+			writable[id.Name] = kind
+		}
+		return true
+	})
+	if len(writable) == 0 {
+		return
+	}
+
+	// Second pass: unchecked Close/Sync on the tracked writables.
+	ast.Inspect(body, func(n ast.Node) bool {
+		var call *ast.CallExpr
+		deferred := false
+		switch s := n.(type) {
+		case *ast.ExprStmt:
+			call, _ = s.X.(*ast.CallExpr)
+		case *ast.DeferStmt:
+			call, deferred = s.Call, true
+		}
+		if call == nil {
+			return true
+		}
+		x, name, ok := analysis.Callee(call)
+		if !ok || (name != "Close" && name != "Sync") {
+			return true
+		}
+		id, ok := x.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		w, tracked := writable[id.Name]
+		if !tracked {
+			return true
+		}
+		if !w {
+			return true // read-only: defer f.Close() and bare f.Close() lose nothing
+		}
+		if deferred {
+			pass.Reportf(call.Pos(),
+				"defer %s.%s() on a writable file discards the error that reports lost writes — close explicitly and check, or defer a checked closure", id.Name, name)
+		} else {
+			pass.Reportf(call.Pos(),
+				"%s.%s() on a writable file: the result is the write's fate — check it, or discard explicitly with _ =", id.Name, name)
+		}
+		return true
+	})
+}
+
+// openKind classifies call as an open-like call: (writable, true) /
+// (read-only, true) / (_, false).
+func openKind(call *ast.CallExpr) (writable, isOpen bool) {
+	_, name, ok := analysis.Callee(call)
+	if !ok {
+		return false, false
+	}
+	switch name {
+	case "Create":
+		// os.Create / fsys.Create: write-mode by definition.
+		return true, true
+	case "Open":
+		// os.Open and zip/archive-style Open are read-only by contract.
+		return false, true
+	case "OpenFile":
+		if len(call.Args) < 2 {
+			return true, true
+		}
+		return flagsWritable(call.Args[1]), true
+	}
+	return false, false
+}
+
+// flagsWritable decides writability from the flag expression: any
+// write flag makes it writable; a provably flag-only read expression
+// (O_RDONLY alone) is read-only; anything opaque (a variable, a call)
+// is conservatively writable.
+func flagsWritable(flags ast.Expr) bool {
+	sawWrite := false
+	opaque := false
+	var scan func(e ast.Expr)
+	scan = func(e ast.Expr) {
+		switch v := e.(type) {
+		case *ast.BinaryExpr:
+			scan(v.X)
+			scan(v.Y)
+		case *ast.ParenExpr:
+			scan(v.X)
+		case *ast.Ident:
+			if writeFlags[v.Name] {
+				sawWrite = true
+			} else if v.Name != "O_RDONLY" {
+				opaque = true
+			}
+		case *ast.SelectorExpr:
+			if writeFlags[v.Sel.Name] {
+				sawWrite = true
+			} else if v.Sel.Name != "O_RDONLY" {
+				opaque = true
+			}
+		case *ast.BasicLit:
+			if v.Value != "0" {
+				opaque = true
+			}
+		default:
+			opaque = true
+		}
+	}
+	scan(flags)
+	return sawWrite || opaque
+}

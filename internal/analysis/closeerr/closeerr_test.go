@@ -1,0 +1,12 @@
+package closeerr_test
+
+import (
+	"testing"
+
+	"socialscope/internal/analysis/analysistest"
+	"socialscope/internal/analysis/closeerr"
+)
+
+func TestCloseErr(t *testing.T) {
+	analysistest.Run(t, "testdata", closeerr.Analyzer, "example/files")
+}

@@ -1,0 +1,99 @@
+// Golden file for closeerr: writable Close/Sync results are the
+// write's fate; the read-only defer idiom is allowlisted.
+package files
+
+import "os"
+
+type FS interface {
+	OpenFile(name string, flag int, perm os.FileMode) (*os.File, error)
+}
+
+// snapshotBad is the heal bug class: the tmp file's Close error — the
+// moment buffered bytes hit the kernel — is dropped twice.
+func snapshotBad(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want `defer f\.Close\(\) on a writable file discards the error`
+	if _, err := f.Write([]byte("state")); err != nil {
+		return err
+	}
+	f.Sync() // want `f\.Sync\(\) on a writable file`
+	return nil
+}
+
+// snapshotGood checks every write-side result and uses the explicit
+// discard on the error path, where the first error already won.
+func snapshotGood(fsys FS, path string) error {
+	f, err := fsys.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte("state")); err != nil {
+		_ = f.Close() // clean: explicit discard on the error path
+		return err
+	}
+	if err := f.Sync(); err != nil { // clean: checked
+		_ = f.Close()
+		return err
+	}
+	return f.Close() // clean: returned
+}
+
+// readPath is the allowlisted idiom: a read-only file's Close loses
+// nothing.
+func readPath(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close() // clean: read-only allowlist
+	buf := make([]byte, 16)
+	_, err = f.Read(buf)
+	return buf, err
+}
+
+// readOnlyOpenFile: O_RDONLY alone is provably read-only.
+func readOnlyOpenFile(fsys FS, path string) error {
+	f, err := fsys.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // clean: flags prove read-only
+	return nil
+}
+
+// opaqueFlags: a flag variable cannot be proven read-only, so the file
+// counts as writable.
+func opaqueFlags(fsys FS, path string, flags int) error {
+	f, err := fsys.OpenFile(path, flags, 0o644)
+	if err != nil {
+		return err
+	}
+	f.Close() // want `f\.Close\(\) on a writable file`
+	return nil
+}
+
+// appendLog: O_APPEND is a write mode even without O_WRONLY spelled
+// first.
+func appendLog(fsys FS, path string) error {
+	w, err := fsys.OpenFile(path, os.O_APPEND|os.O_CREATE, 0o644)
+	if err != nil {
+		return err
+	}
+	defer w.Close() // want `defer w\.Close\(\) on a writable file discards the error`
+	_, err = w.Write([]byte("rec"))
+	return err
+}
+
+// suppressed: the reviewed-exception escape hatch still works here.
+func suppressed(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	//sslint:ignore closeerr scratch file, contents never read back
+	defer f.Close()
+	return nil
+}

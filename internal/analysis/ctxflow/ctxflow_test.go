@@ -1,0 +1,14 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"socialscope/internal/analysis/analysistest"
+	"socialscope/internal/analysis/ctxflow"
+)
+
+func TestCtxFlow(t *testing.T) {
+	analysistest.Run(t, "testdata", ctxflow.Analyzer,
+		"socialscope", "socialscope/internal/serve", "socialscope/internal/batch",
+	)
+}

@@ -1,0 +1,47 @@
+// Golden file: HTTP handlers carry a context via *http.Request; every
+// engine call must use the Ctx variant against r.Context().
+package serve
+
+import (
+	"context"
+	"net/http"
+
+	"socialscope"
+)
+
+type Server struct {
+	eng *socialscope.Engine
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	out, err := s.eng.Search(r.URL.Query().Get("user"), "q") // want `Search drops the in-scope context r\.Context\(\)`
+	_ = out
+	_ = err
+}
+
+func (s *Server) handleSearchCtx(w http.ResponseWriter, r *http.Request) {
+	out, err := s.eng.SearchCtx(r.Context(), r.URL.Query().Get("user"), "q") // clean
+	_ = out
+	_ = err
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	ctx := context.Background() // want `fresh context on a request path`
+	_ = ctx
+}
+
+func (s *Server) flushLoop() {
+	// Clean: no request in scope — background maintenance may own its
+	// lifecycle.
+	ctx := context.Background()
+	_ = ctx
+	out, _ := s.eng.Search("system", "warmup") // clean: no context to drop
+	_ = out
+}
+
+func (s *Server) register(mux *http.ServeMux) {
+	mux.HandleFunc("/inline", func(w http.ResponseWriter, r *http.Request) {
+		out, _ := s.eng.Search("u", "q") // want `Search drops the in-scope context r\.Context\(\)`
+		_ = out
+	})
+}

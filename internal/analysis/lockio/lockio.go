@@ -1,0 +1,220 @@
+// Package lockio flags file IO performed lexically between a
+// mutex Lock/Unlock pair — the PR 7 wal.Replay bug class, where whole
+// WAL segments were read and decoded under the log mutex, stalling
+// every concurrent append behind disk latency. The fix pattern the
+// analyzer pushes toward: snapshot the shared state under the lock
+// (segment list, good-size watermark), unlock, then do the IO outside.
+//
+// The engine's durability barrier is an intentional exception: an
+// acknowledged write REQUIRES fsync-before-ack under the writer lock
+// (wal.AppendSync holds l.mu across Write+Sync so acks and the log
+// agree on ordering). lockio therefore scopes by lock kind:
+//
+//   - under an exclusive Lock, only read-side IO is flagged — reads
+//     can always be moved outside by snapshotting, while write-side
+//     IO under the writer lock is the durability protocol itself;
+//   - under an RLock, both read and write IO are flagged — a shared
+//     lock never justifies blocking other readers on the disk, and
+//     write IO under a read lock is a correctness smell outright.
+//
+// Purely lexical: a call inside a function literal defined in the
+// locked region is treated as running under the lock (the common case:
+// forEach callbacks invoked synchronously while held).
+package lockio
+
+import (
+	"go/ast"
+	"go/token"
+
+	"socialscope/internal/analysis"
+)
+
+// Analyzer is the lockio pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockio",
+	Doc:  "no read-side file IO between Lock/Unlock, no IO at all between RLock/RUnlock",
+	Run:  run,
+}
+
+// readIO are method/function selector names that read from the
+// filesystem regardless of receiver (vfs.ReadFile, io.ReadAll,
+// fsys.ReadDir, fsys.Size, f.ReadAt).
+var readIO = map[string]bool{
+	"ReadFile": true, "ReadAll": true, "ReadDir": true,
+	"Size": true, "ReadAt": true,
+}
+
+// writeIO are write-side selector names — legal under an exclusive
+// lock (the fsync-before-ack barrier), flagged under RLock.
+var writeIO = map[string]bool{
+	"Write": true, "WriteString": true, "Sync": true, "Flush": true,
+	"OpenFile": true, "Create": true, "Truncate": true,
+	"Rename": true, "Remove": true, "MkdirAll": true,
+	"AppendSync": true, "WriteFile": true, "WriteFileSync": true,
+}
+
+// osReadFns are os-package read entry points flagged under any lock.
+var osReadFns = map[string]bool{"Open": true, "Stat": true, "ReadFile": true, "ReadDir": true}
+
+type interval struct {
+	key    string // lock receiver path, e.g. "l.mu"
+	shared bool   // RLock vs Lock
+	start  token.Pos
+	end    token.Pos
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Pkg.Files {
+		f := file
+		analysis.EachFunc(file, func(_ string, _ *ast.FuncType, body *ast.BlockStmt) {
+			checkFunc(pass, f, body)
+		})
+	}
+	return nil
+}
+
+// checkFunc flags IO inside the lock intervals of one function body.
+// Nested function literals are scanned as part of the enclosing
+// interval (lexical containment) and again on their own by EachFunc
+// for their private Lock/Unlock pairs; the two passes cannot
+// double-report because an inner literal never re-contains the outer
+// interval's bounds.
+func checkFunc(pass *analysis.Pass, file *ast.File, body *ast.BlockStmt) {
+	intervals := lockIntervals(body)
+	if len(intervals) == 0 {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		iv := containing(intervals, call.Pos())
+		if iv == nil {
+			return true
+		}
+		x, name, ok := analysis.Callee(call)
+		if !ok {
+			return true
+		}
+		switch {
+		case readIO[name] && !isLockTarget(x, iv.key):
+			pass.Reportf(call.Pos(),
+				"%s under %s: read IO while holding the lock — snapshot state under the lock and read outside (wal.Replay bug class)",
+				name, lockName(iv))
+		case isOSReadCall(file, call, name):
+			pass.Reportf(call.Pos(),
+				"os.%s under %s: read IO while holding the lock — snapshot state under the lock and read outside (wal.Replay bug class)",
+				name, lockName(iv))
+		case iv.shared && writeIO[name]:
+			pass.Reportf(call.Pos(),
+				"%s under %s: write IO under a shared read lock blocks every reader and cannot be the durability barrier",
+				name, lockName(iv))
+		}
+		return true
+	})
+}
+
+func isOSReadCall(file *ast.File, call *ast.CallExpr, name string) bool {
+	return osReadFns[name] && analysis.IsPkgCall(file, call, "os", name)
+}
+
+// isLockTarget guards against self-matches like key "l.mu" receiver —
+// Size/ReadAt etc. never appear on a mutex, but keep the check cheap
+// and explicit.
+func isLockTarget(x ast.Expr, key string) bool {
+	return analysis.ExprPath(x) == key
+}
+
+func lockName(iv *interval) string {
+	if iv.shared {
+		return iv.key + ".RLock()"
+	}
+	return iv.key + ".Lock()"
+}
+
+// lockIntervals computes the lexical [Lock, Unlock] spans of body. A
+// lock with a matching `defer Unlock` in the same function extends to
+// the end of the body. Nested function literals are skipped — their
+// pairs are their own function's business.
+func lockIntervals(body *ast.BlockStmt) []*interval {
+	opened := map[string]*interval{}
+	var out []*interval
+	deferred := map[string]bool{}
+	inspectShallow(body, func(n ast.Node) {
+		switch s := n.(type) {
+		case *ast.ExprStmt:
+			call, ok := s.X.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			x, name, ok := analysis.Callee(call)
+			if !ok {
+				return
+			}
+			key := analysis.ExprPath(x)
+			if key == "" {
+				return
+			}
+			switch name {
+			case "Lock", "RLock":
+				if opened[key] == nil {
+					iv := &interval{key: key, shared: name == "RLock", start: call.End()}
+					opened[key] = iv
+					out = append(out, iv)
+				}
+			case "Unlock", "RUnlock":
+				if iv := opened[key]; iv != nil {
+					iv.end = call.Pos()
+					delete(opened, key)
+				}
+			}
+		case *ast.DeferStmt:
+			if x, name, ok := analysis.Callee(s.Call); ok && (name == "Unlock" || name == "RUnlock") {
+				if key := analysis.ExprPath(x); key != "" {
+					deferred[key] = true
+				}
+			}
+		}
+	})
+	var kept []*interval
+	for _, iv := range out {
+		if iv.end == token.NoPos {
+			if !deferred[iv.key] {
+				continue // unmatched Lock with no deferred Unlock: don't guess
+			}
+			iv.end = body.End()
+		}
+		kept = append(kept, iv)
+	}
+	return kept
+}
+
+// containing returns the innermost interval containing pos, preferring
+// shared (stricter) intervals on ties.
+func containing(ivs []*interval, pos token.Pos) *interval {
+	var best *interval
+	for _, iv := range ivs {
+		if pos <= iv.start || pos >= iv.end {
+			continue
+		}
+		if best == nil || iv.shared && !best.shared {
+			best = iv
+		}
+	}
+	return best
+}
+
+// inspectShallow walks n's statements without descending into nested
+// function literals.
+func inspectShallow(n ast.Node, fn func(ast.Node)) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, isLit := m.(*ast.FuncLit); isLit {
+			return false
+		}
+		if m != nil {
+			fn(m)
+		}
+		return true
+	})
+}

@@ -1,0 +1,12 @@
+package lockio_test
+
+import (
+	"testing"
+
+	"socialscope/internal/analysis/analysistest"
+	"socialscope/internal/analysis/lockio"
+)
+
+func TestLockIO(t *testing.T) {
+	analysistest.Run(t, "testdata", lockio.Analyzer, "example/locks")
+}

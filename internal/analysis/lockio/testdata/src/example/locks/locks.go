@@ -1,0 +1,117 @@
+// Golden file for lockio: read IO under a lock is the wal.Replay bug
+// class; write IO under the exclusive lock is the legal durability
+// barrier; anything under an RLock is flagged.
+package locks
+
+import (
+	"io"
+	"os"
+	"sync"
+)
+
+type FS interface {
+	ReadFile(name string) ([]byte, error)
+	ReadDir(dir string) ([]string, error)
+	Size(name string) (int64, error)
+	Truncate(name string, size int64) error
+}
+
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+type Log struct {
+	mu    sync.RWMutex
+	fsys  FS
+	f     File
+	segs  []string
+	good  int64
+	bytes []byte
+}
+
+// replayBad is the PR 7 bug shape: whole segments read and decoded
+// while every appender waits on l.mu.
+func (l *Log) replayBad() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, seg := range l.segs {
+		data, err := l.fsys.ReadFile(seg) // want `ReadFile under l\.mu\.Lock\(\)`
+		if err != nil {
+			return err
+		}
+		l.bytes = append(l.bytes, data...)
+	}
+	return nil
+}
+
+// replayGood is the fixed shape: snapshot the segment list and the
+// watermark under the lock, read outside.
+func (l *Log) replayGood() error {
+	l.mu.Lock()
+	segs := append([]string(nil), l.segs...)
+	good := l.good
+	l.mu.Unlock()
+	_ = good
+	for _, seg := range segs {
+		data, err := l.fsys.ReadFile(seg)
+		if err != nil {
+			return err
+		}
+		l.bytes = append(l.bytes, data...)
+	}
+	return nil
+}
+
+// appendSync is the durability barrier: Write+Sync under the exclusive
+// writer lock is fsync-before-ack, not a finding.
+func (l *Log) appendSync(rec []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, err := l.f.Write(rec); err != nil {
+		return err
+	}
+	return l.f.Sync()
+}
+
+// scanUnderLock mixes more read-side shapes inside an explicit
+// Lock/Unlock span. The span ends at the lexically first Unlock —
+// anything after it is clean again.
+func (l *Log) scanUnderLock(dir string) error {
+	l.mu.Lock()
+	names, err := l.fsys.ReadDir(dir) // want `ReadDir under l\.mu\.Lock\(\)`
+	f, err2 := os.Open(dir)           // want `os\.Open under l\.mu\.Lock\(\)`
+	l.mu.Unlock()
+	if err != nil || err2 != nil {
+		return err
+	}
+	_ = f
+	_ = names
+	// After the unlock: reads are free again.
+	_, err = l.fsys.Size(dir)
+	return err
+}
+
+// underRLock: a shared lock never excuses IO — read or write.
+func (l *Log) underRLock(name string) error {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if _, err := l.fsys.Size(name); err != nil { // want `Size under l\.mu\.RLock\(\)`
+		return err
+	}
+	return l.fsys.Truncate(name, l.good) // want `Truncate under l\.mu\.RLock\(\)`
+}
+
+// noLock: plain IO with no lock held is out of scope.
+func (l *Log) noLock(name string) ([]byte, error) {
+	return l.fsys.ReadFile(name)
+}
+
+// suppressed documents the one reviewed exception shape.
+func (l *Log) suppressed(name string) ([]byte, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	//sslint:ignore lockio bootstrap path, no concurrent appenders exist yet
+	return l.fsys.ReadFile(name)
+}

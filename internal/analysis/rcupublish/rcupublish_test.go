@@ -1,0 +1,12 @@
+package rcupublish_test
+
+import (
+	"testing"
+
+	"socialscope/internal/analysis/analysistest"
+	"socialscope/internal/analysis/rcupublish"
+)
+
+func TestRCUPublish(t *testing.T) {
+	analysistest.Run(t, "testdata", rcupublish.Analyzer, "example/consumer")
+}

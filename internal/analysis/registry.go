@@ -1,0 +1,86 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Registry is the cross-package set of accessors whose results alias
+// shared snapshot state: every function or method whose doc comment
+// contains an "//ss:immutable" line. rcupublish flags writes through
+// values these return. Matching at call sites is by selector name —
+// the framework has no type information — so annotated names should be
+// accessor-specific (Out, In, List, At) rather than generic verbs.
+type Registry struct {
+	// names maps accessor name -> list of "pkgpath.Recv.Name" (or
+	// "pkgpath.Name") declaration sites, for diagnostics and docs.
+	names map[string][]string
+}
+
+// Has reports whether some annotated accessor has this name.
+func (r *Registry) Has(name string) bool {
+	if r == nil {
+		return false
+	}
+	_, ok := r.names[name]
+	return ok
+}
+
+// Sites returns the declaration sites of the annotated accessors with
+// this name, e.g. ["socialscope/internal/graph.Graph.Out"].
+func (r *Registry) Sites(name string) []string {
+	if r == nil {
+		return nil
+	}
+	return r.names[name]
+}
+
+// CollectImmutable scans every function declaration in pkgs for the
+// "//ss:immutable" directive and returns the resulting registry. The
+// directive must be its own line in the doc comment; trailing prose
+// after the marker is allowed ("//ss:immutable — callers must Clone").
+func CollectImmutable(pkgs []*Package) *Registry {
+	reg := &Registry{names: make(map[string][]string)}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Doc == nil || !hasImmutableDirective(fd.Doc) {
+					continue
+				}
+				site := pkg.Path + "." + fd.Name.Name
+				if fd.Recv != nil && len(fd.Recv.List) > 0 {
+					if recv := recvTypeName(fd.Recv.List[0].Type); recv != "" {
+						site = pkg.Path + "." + recv + "." + fd.Name.Name
+					}
+				}
+				reg.names[fd.Name.Name] = append(reg.names[fd.Name.Name], site)
+			}
+		}
+	}
+	return reg
+}
+
+func hasImmutableDirective(doc *ast.CommentGroup) bool {
+	for _, c := range doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if text == "ss:immutable" || strings.HasPrefix(text, "ss:immutable ") || strings.HasPrefix(text, "ss:immutable:") {
+			return true
+		}
+	}
+	return false
+}
+
+func recvTypeName(t ast.Expr) string {
+	switch v := t.(type) {
+	case *ast.StarExpr:
+		return recvTypeName(v.X)
+	case *ast.Ident:
+		return v.Name
+	case *ast.IndexExpr: // generic receiver Map[K, V] — single param
+		return recvTypeName(v.X)
+	case *ast.IndexListExpr: // generic receiver, multiple params
+		return recvTypeName(v.X)
+	}
+	return ""
+}

@@ -1,0 +1,15 @@
+// Golden file: in the root package only durable.go is in scope.
+package socialscope
+
+import "os"
+
+func recoverState(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil { // want `direct os\.MkdirAll`
+		return err
+	}
+	f, err := os.OpenFile(dir+"/wal", os.O_RDONLY, 0) // want `direct os\.OpenFile`
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,13 @@
+// Golden file: root-package files other than durable.go are out of
+// scope — loading a corpus with os.Open here is legal.
+package socialscope
+
+import "os"
+
+func loadCorpus(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}

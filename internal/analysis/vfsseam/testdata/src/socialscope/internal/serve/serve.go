@@ -1,0 +1,13 @@
+// Golden file: serve is outside the vfsseam scope; raw os IO here is
+// not this analyzer's business.
+package serve
+
+import "os"
+
+func dumpProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}

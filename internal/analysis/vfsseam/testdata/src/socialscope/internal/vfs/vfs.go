@@ -1,0 +1,16 @@
+// Minimal vfs stub so golden packages resolve their imports. Parsed,
+// never compiled.
+package vfs
+
+import "io"
+
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	Sync() error
+}
+
+type FS interface {
+	OpenFile(name string, flag int, perm uint32) (File, error)
+}

@@ -1,0 +1,47 @@
+// Golden file: the wal package is inside the vfsseam scope, so every
+// direct os filesystem call must be diagnosed while vfs-seam calls and
+// non-filesystem os functions stay clean.
+package wal
+
+import (
+	"os"
+
+	"socialscope/internal/vfs"
+)
+
+type Log struct {
+	fsys vfs.FS
+	dir  string
+}
+
+func (l *Log) Rotate(name string) error {
+	f, err := os.Create(name) // want `direct os\.Create`
+	if err != nil {
+		return err
+	}
+	_ = f
+	if err := os.Rename(name, name+".seg"); err != nil { // want `direct os\.Rename`
+		return err
+	}
+	entries, err := os.ReadDir(l.dir) // want `direct os\.ReadDir`
+	if err != nil {
+		return err
+	}
+	_ = entries
+	return os.Remove(name) // want `direct os\.Remove`
+}
+
+func (l *Log) open(name string) (vfs.File, error) {
+	// Clean: IO through the seam, and os constants are not calls.
+	return l.fsys.OpenFile(name, os.O_WRONLY|os.O_APPEND|os.O_CREATE, 0o644)
+}
+
+func (l *Log) env() string {
+	// Clean: os.Getenv is not filesystem IO.
+	return os.Getenv("WAL_DIR")
+}
+
+func (l *Log) migrate(name string) error {
+	//sslint:ignore vfsseam one-time migration outside the crash-consistency domain
+	return os.Remove(name)
+}

@@ -1,0 +1,86 @@
+// Package vfsseam flags direct os.* filesystem calls inside the
+// durability layer — internal/wal, internal/store, and the facade's
+// durable.go. Every byte those packages touch must flow through the
+// vfs.FS seam: the crash-at-every-op differential harness
+// (vfs.FaultFS) can only injure IO it can see, so a raw os.Open or
+// os.Rename is a hole in the crash-safety proof. PR 6's harness found
+// torn-tail and fsync-ordering bugs precisely because all store/wal IO
+// was behind the seam; this analyzer keeps it that way.
+package vfsseam
+
+import (
+	"go/ast"
+	"strings"
+
+	"socialscope/internal/analysis"
+)
+
+// Analyzer is the vfsseam pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "vfsseam",
+	Doc:  "durability packages must do filesystem IO through vfs.FS, never os.* directly",
+	Run:  run,
+}
+
+// fsFuncs are the os package's filesystem entry points. Constants
+// (os.O_WRONLY) and process functions (os.Exit, os.Getenv) are not
+// calls into the filesystem and stay legal.
+var fsFuncs = map[string]bool{
+	"Open": true, "Create": true, "OpenFile": true,
+	"ReadFile": true, "WriteFile": true, "ReadDir": true,
+	"Rename": true, "Remove": true, "RemoveAll": true,
+	"Truncate": true, "Stat": true, "Lstat": true,
+	"Mkdir": true, "MkdirAll": true, "MkdirTemp": true,
+	"CreateTemp": true, "Chmod": true, "Symlink": true, "Link": true,
+}
+
+// scopedPkgs are the packages whose every file is in scope.
+var scopedPkgs = map[string]bool{
+	"socialscope/internal/wal":   true,
+	"socialscope/internal/store": true,
+}
+
+func run(pass *analysis.Pass) error {
+	pkg := pass.Pkg
+	for _, file := range pkg.Files {
+		if !inScope(pkg, file) {
+			continue
+		}
+		osName, ok := analysis.ImportLocal(file, "os")
+		if !ok {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			x, name, ok := analysis.Callee(call)
+			if !ok || !fsFuncs[name] {
+				return true
+			}
+			id, ok := x.(*ast.Ident)
+			if !ok || id.Name != osName || id.Obj != nil {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"direct os.%s in the durability layer bypasses vfs.FS and is invisible to the crash harness", name)
+			return true
+		})
+	}
+	return nil
+}
+
+func inScope(pkg *analysis.Package, file *ast.File) bool {
+	if scopedPkgs[pkg.Path] {
+		return true
+	}
+	if pkg.Path != "socialscope" {
+		return false
+	}
+	name := pkg.Fset.Position(file.Pos()).Filename
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		name = name[i+1:]
+	}
+	return name == "durable.go"
+}

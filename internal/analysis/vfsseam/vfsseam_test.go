@@ -1,0 +1,14 @@
+package vfsseam_test
+
+import (
+	"testing"
+
+	"socialscope/internal/analysis/analysistest"
+	"socialscope/internal/analysis/vfsseam"
+)
+
+func TestVFSSeam(t *testing.T) {
+	analysistest.Run(t, "testdata", vfsseam.Analyzer,
+		"socialscope/...",
+	)
+}

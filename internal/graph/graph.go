@@ -108,10 +108,16 @@ func (g *Graph) NumNodes() int { return g.nodes.Len() }
 // NumLinks returns the number of links.
 func (g *Graph) NumLinks() int { return g.links.Len() }
 
-// Node returns the node with the given id, or nil.
+// Node returns the node with the given id, or nil. The pointer is the
+// node stored in the published snapshot, not a copy.
+//
+//ss:immutable — Clone before mutating.
 func (g *Graph) Node(id NodeID) *Node { return g.nodes.At(id) }
 
-// Link returns the link with the given id, or nil.
+// Link returns the link with the given id, or nil. The pointer is the
+// link stored in the published snapshot, not a copy.
+//
+//ss:immutable — Clone before mutating.
 func (g *Graph) Link(id LinkID) *Link { return g.links.At(id) }
 
 // HasNode reports whether the node id is present.
@@ -266,7 +272,10 @@ func (g *Graph) LinkIDs() []LinkID {
 	return ids
 }
 
-// Nodes returns all nodes ordered by ascending id.
+// Nodes returns all nodes ordered by ascending id. The slice is fresh
+// but the elements are the snapshot's own nodes.
+//
+//ss:immutable — Clone elements before mutating them.
 func (g *Graph) Nodes() []*Node {
 	ns := make([]*Node, 0, g.nodes.Len())
 	g.nodes.Range(func(_ NodeID, n *Node) bool {
@@ -277,7 +286,10 @@ func (g *Graph) Nodes() []*Node {
 	return ns
 }
 
-// Links returns all links ordered by ascending id.
+// Links returns all links ordered by ascending id. The slice is fresh
+// but the elements are the snapshot's own links.
+//
+//ss:immutable — Clone elements before mutating them.
 func (g *Graph) Links() []*Link {
 	ls := make([]*Link, 0, g.links.Len())
 	g.links.Range(func(_ LinkID, l *Link) bool {
@@ -289,17 +301,25 @@ func (g *Graph) Links() []*Link {
 }
 
 // Out returns the links whose source is the given node, ordered by id.
+// The elements alias the published snapshot.
+//
+//ss:immutable — Clone elements before mutating them.
 func (g *Graph) Out(id NodeID) []*Link {
 	return g.linkSlice(g.out.At(id))
 }
 
 // In returns the links whose target is the given node, ordered by id.
+// The elements alias the published snapshot.
+//
+//ss:immutable — Clone elements before mutating them.
 func (g *Graph) In(id NodeID) []*Link {
 	return g.linkSlice(g.in.At(id))
 }
 
 // Incident returns all links touching the node (out then in), ordered by id
-// within each direction.
+// within each direction. The elements alias the published snapshot.
+//
+//ss:immutable — Clone elements before mutating them.
 func (g *Graph) Incident(id NodeID) []*Link {
 	return append(g.Out(id), g.In(id)...)
 }

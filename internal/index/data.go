@@ -185,8 +185,10 @@ func Extract(g *graph.Graph) *Data {
 				d.noteConnDup(edgeOf(l.Src, l.Tgt), 1)
 				continue
 			}
-			network.At(l.Src).Add(l.Tgt)
-			network.At(l.Tgt).Add(l.Src)
+			// Cold build: every set in these transients was created a few
+			// lines up — nothing here is published yet.
+			network.At(l.Src).Add(l.Tgt) //sslint:ignore rcupublish fresh per-build set, Data not yet returned
+			network.At(l.Tgt).Add(l.Src) //sslint:ignore rcupublish fresh per-build set, Data not yet returned
 		case l.HasType(graph.SubtypeTag):
 			tags := l.Attrs.All("tags")
 			if len(tags) == 0 {
@@ -194,11 +196,11 @@ func Extract(g *graph.Graph) *Data {
 			}
 			itemSet[l.Tgt] = struct{}{}
 			if s, ok := itemsOf.Get(l.Src); ok {
-				s.Add(l.Tgt)
+				s.Add(l.Tgt) //sslint:ignore rcupublish fresh per-build set, Data not yet returned
 			}
 			for _, tag := range tags {
 				if s, ok := tagsOf.Get(l.Src); ok {
-					s.Add(tag)
+					s.Add(tag) //sslint:ignore rcupublish fresh per-build set, Data not yet returned
 				}
 				byItem := inner[tag]
 				if byItem == nil {

@@ -244,7 +244,10 @@ func (ix *Index) ForEachList(fn func(cluster int, tag string, l []Entry)) {
 }
 
 // List exposes the posting list for a (user, tag) pair — the list of the
-// user's cluster. Nil when the user is unknown or the tag unindexed.
+// user's cluster. Nil when the user is unknown or the tag unindexed. The
+// slice is the live posting list of the published index version.
+//
+//ss:immutable — callers must not mutate or reorder; copy first.
 func (ix *Index) List(user graph.NodeID, tag string) []Entry {
 	cid := ix.clustering.Of(user)
 	if cid < 0 {

@@ -130,7 +130,11 @@ type node[K comparable, V any] struct {
 // Len returns the number of entries. O(1).
 func (m Map[K, V]) Len() int { return m.size }
 
-// Get returns the value stored under k and whether it is present.
+// Get returns the value stored under k and whether it is present. When V
+// is a reference type the value aliases the trie's shared state across
+// every snapshot that includes this entry.
+//
+//ss:immutable — copy before mutating reference-typed values.
 func (m Map[K, V]) Get(k K) (V, bool) {
 	var zero V
 	n := m.root
@@ -164,7 +168,10 @@ func (m Map[K, V]) Get(k K) (V, bool) {
 
 // At returns the value stored under k, or V's zero value when absent —
 // the built-in map's indexing convenience for nil-tolerant value types
-// (slices, maps, sets).
+// (slices, maps, sets). When V is a reference type the value aliases the
+// trie's shared state across every snapshot that includes this entry.
+//
+//ss:immutable — copy before mutating reference-typed values.
 func (m Map[K, V]) At(k K) V {
 	v, _ := m.Get(k)
 	return v

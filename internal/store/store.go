@@ -8,19 +8,27 @@
 // Snapshot writes the full graph to snapshot.json and truncates the log;
 // Open recovers by loading the snapshot and replaying the log, tolerating
 // a torn final record (the crash case).
+//
+// All file IO flows through vfs.FS (enforced by the vfsseam analyzer), so
+// the fault-injection harness can crash this store at every operation
+// boundary exactly as it does the checkpoint/manifest machinery in this
+// package's other files. An append is acknowledged only after fsync: a
+// nil error from PutNode/PutLink/Remove* means the record survives a
+// crash.
 package store
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"os"
 	"path/filepath"
 	"sync"
 
 	"socialscope/internal/graph"
+	"socialscope/internal/vfs"
 )
 
 const (
@@ -35,9 +43,10 @@ var ErrClosed = errors.New("store: closed")
 // mutations serialize and hit the log before the graph.
 type Store struct {
 	mu     sync.RWMutex
+	fsys   vfs.FS
 	dir    string
 	g      *graph.Graph
-	wal    *os.File
+	wal    vfs.File
 	walW   *bufio.Writer
 	closed bool
 	// appliedRecords counts log records since the last snapshot; exposed
@@ -67,40 +76,41 @@ type linkJSON struct {
 	Attrs map[string][]string `json:"attrs,omitempty"`
 }
 
-// Open loads (or initializes) a store in dir: snapshot first, then WAL
-// replay. A torn trailing WAL record — the crash signature — is discarded;
-// any earlier corruption is an error.
+// Open loads (or initializes) a store in dir on the real filesystem.
 func Open(dir string) (*Store, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	return OpenFS(vfs.OS{}, dir)
+}
+
+// OpenFS loads (or initializes) a store in dir through fsys: snapshot
+// first, then WAL replay. A torn trailing WAL record — the crash
+// signature — is discarded; any earlier corruption is an error.
+func OpenFS(fsys vfs.FS, dir string) (*Store, error) {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	g := graph.New()
 	snapPath := filepath.Join(dir, snapshotName)
-	if f, err := os.Open(snapPath); err == nil {
-		loaded, derr := graph.Decode(f)
-		cerr := f.Close()
+	if data, err := vfs.ReadFile(fsys, snapPath); err == nil {
+		loaded, derr := graph.Decode(bytes.NewReader(data))
 		if derr != nil {
 			return nil, fmt.Errorf("store: snapshot corrupt: %w", derr)
 		}
-		if cerr != nil {
-			return nil, cerr
-		}
 		g = loaded
-	} else if !errors.Is(err, os.ErrNotExist) {
+	} else if !vfs.IsNotExist(err) {
 		return nil, fmt.Errorf("store: %w", err)
 	}
 
 	walPath := filepath.Join(dir, walName)
-	replayed, err := replay(walPath, g)
+	replayed, err := replay(fsys, walPath, g)
 	if err != nil {
 		return nil, err
 	}
-	wal, err := os.OpenFile(walPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	wal, err := fsys.OpenFile(walPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	return &Store{
-		dir: dir, g: g, wal: wal, walW: bufio.NewWriter(wal),
+		fsys: fsys, dir: dir, g: g, wal: wal, walW: bufio.NewWriter(wal),
 		appliedRecords: replayed,
 	}, nil
 }
@@ -110,29 +120,30 @@ func Open(dir string) (*Store, error) {
 // prefix; a decode error earlier is fatal. Application errors (e.g. a link
 // whose endpoint never existed) are fatal: they indicate a corrupt log,
 // not a crash.
-func replay(path string, g *graph.Graph) (int, error) {
-	f, err := os.Open(path)
-	if errors.Is(err, os.ErrNotExist) {
+func replay(fsys vfs.FS, path string, g *graph.Graph) (int, error) {
+	data, err := vfs.ReadFile(fsys, path)
+	if vfs.IsNotExist(err) {
 		return 0, nil
 	}
 	if err != nil {
-		return 0, fmt.Errorf("store: %w", err)
+		return 0, fmt.Errorf("store: reading wal: %w", err)
 	}
-	defer f.Close()
 
 	applied := 0
 	var goodBytes int64
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
-	for sc.Scan() {
-		line := sc.Bytes()
+	for len(data) > 0 {
+		line := data
+		rest := []byte(nil)
+		if i := bytes.IndexByte(data, '\n'); i >= 0 {
+			line, rest = data[:i], data[i+1:]
+		}
 		var rec record
 		if err := json.Unmarshal(line, &rec); err != nil {
 			// Torn tail: only acceptable if nothing follows.
-			if sc.Scan() {
+			if len(rest) > 0 {
 				return 0, fmt.Errorf("store: wal corrupt mid-stream: %w", err)
 			}
-			if terr := os.Truncate(path, goodBytes); terr != nil {
+			if terr := fsys.Truncate(path, goodBytes); terr != nil {
 				return 0, fmt.Errorf("store: truncating torn wal: %w", terr)
 			}
 			return applied, nil
@@ -142,9 +153,7 @@ func replay(path string, g *graph.Graph) (int, error) {
 		}
 		goodBytes += int64(len(line)) + 1
 		applied++
-	}
-	if err := sc.Err(); err != nil {
-		return 0, fmt.Errorf("store: reading wal: %w", err)
+		data = rest
 	}
 	return applied, nil
 }
@@ -180,7 +189,11 @@ func apply(g *graph.Graph, rec record) error {
 	return fmt.Errorf("unknown op %q", rec.Op)
 }
 
-// append writes a record to the WAL and flushes it, then applies it.
+// append writes a record to the WAL, makes it durable, then applies it.
+// The fsync before returning is the durability barrier: a nil result
+// promises the record survives a crash (this store once flushed without
+// syncing, so "acknowledged" writes could vanish — the exact gap the
+// fault harness now guards).
 func (s *Store) append(rec record) error {
 	if s.closed {
 		return ErrClosed
@@ -194,6 +207,9 @@ func (s *Store) append(rec record) error {
 	}
 	if err := s.walW.Flush(); err != nil {
 		return fmt.Errorf("store: wal flush: %w", err)
+	}
+	if err := s.wal.Sync(); err != nil {
+		return fmt.Errorf("store: wal sync: %w", err)
 	}
 	if err := apply(s.g, rec); err != nil {
 		return err
@@ -271,8 +287,10 @@ func (s *Store) PendingRecords() int {
 	return s.appliedRecords
 }
 
-// Snapshot writes the full graph to snapshot.json (atomically via rename)
-// and truncates the WAL — log compaction.
+// Snapshot writes the full graph to snapshot.json (atomically via
+// sync-then-rename) and truncates the WAL — log compaction. The open
+// append handle stays valid across the truncate: it is in O_APPEND mode,
+// so the next record lands at the new end of file.
 func (s *Store) Snapshot() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -280,29 +298,26 @@ func (s *Store) Snapshot() error {
 		return ErrClosed
 	}
 	tmp := filepath.Join(s.dir, snapshotName+".tmp")
-	f, err := os.Create(tmp)
+	f, err := s.fsys.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
 	if err := s.g.Encode(f); err != nil {
-		f.Close()
+		_ = f.Close()
 		return fmt.Errorf("store: snapshot encode: %w", err)
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
+		_ = f.Close()
 		return fmt.Errorf("store: %w", err)
 	}
 	if err := f.Close(); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
-	if err := os.Rename(tmp, filepath.Join(s.dir, snapshotName)); err != nil {
+	if err := s.fsys.Rename(tmp, filepath.Join(s.dir, snapshotName)); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
 	// Truncate the log now that the snapshot covers it.
-	if err := s.wal.Truncate(0); err != nil {
-		return fmt.Errorf("store: %w", err)
-	}
-	if _, err := s.wal.Seek(0, io.SeekStart); err != nil {
+	if err := s.fsys.Truncate(filepath.Join(s.dir, walName), 0); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
 	s.walW.Reset(s.wal)
@@ -310,8 +325,9 @@ func (s *Store) Snapshot() error {
 	return nil
 }
 
-// Close flushes and closes the WAL. Further operations fail with
-// ErrClosed.
+// Close flushes, syncs and closes the WAL, surfacing any error on the
+// way out — on a writable log the Close result is the write's fate.
+// Further operations fail with ErrClosed.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -320,7 +336,11 @@ func (s *Store) Close() error {
 	}
 	s.closed = true
 	if err := s.walW.Flush(); err != nil {
-		s.wal.Close()
+		_ = s.wal.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := s.wal.Sync(); err != nil {
+		_ = s.wal.Close()
 		return fmt.Errorf("store: %w", err)
 	}
 	return s.wal.Close()

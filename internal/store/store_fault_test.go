@@ -1,0 +1,166 @@
+package store
+
+import (
+	"errors"
+	"testing"
+
+	"socialscope/internal/graph"
+	"socialscope/internal/vfs"
+)
+
+// These tests pin the behavior changes from moving the legacy JSON
+// store onto vfs.FS: acknowledged appends are fsynced (they survive a
+// DropUnsynced crash), a failed fsync is a failed write (no false
+// acks), and the snapshot+truncate compaction is crash-atomic at every
+// filesystem-op boundary — all invisible to the harness while the
+// store did raw os.* IO.
+
+func openFaultStore(t *testing.T, fsys vfs.FS) *Store {
+	t.Helper()
+	s, err := OpenFS(fsys, "db")
+	if err != nil {
+		t.Fatalf("OpenFS: %v", err)
+	}
+	return s
+}
+
+// TestAppendAckDurableUnderDropUnsynced: before the port, append
+// flushed the bufio layer but never fsynced, so a crash that drops the
+// page cache lost writes the caller had been told were durable.
+func TestAppendAckDurableUnderDropUnsynced(t *testing.T) {
+	fs := vfs.NewFaultFS(vfs.DropUnsynced)
+	s := openFaultStore(t, fs)
+	if err := s.PutNode(graph.NewNode(1, "user")); err != nil {
+		t.Fatalf("PutNode: %v", err)
+	}
+
+	// Crash before any further op: everything merely written — not
+	// synced — is gone after recovery.
+	fs.SetCrashAtOp(fs.Ops())
+	if err := s.PutNode(graph.NewNode(2, "user")); err == nil {
+		t.Fatal("PutNode after crash point should fail")
+	}
+	fs.Recover()
+
+	s2 := openFaultStore(t, fs)
+	g, err := s2.Graph()
+	if err != nil {
+		t.Fatalf("Graph: %v", err)
+	}
+	if !g.HasNode(1) {
+		t.Fatal("acknowledged node 1 lost in crash: append did not fsync before ack")
+	}
+	if g.HasNode(2) {
+		t.Fatal("unacknowledged node 2 resurrected")
+	}
+}
+
+// TestAppendSyncFailureNotAcked: a transient fsync failure must surface
+// as a failed write, not a silent ack.
+func TestAppendSyncFailureNotAcked(t *testing.T) {
+	fs := vfs.NewFaultFS(vfs.DropUnsynced)
+	s := openFaultStore(t, fs)
+	if err := s.PutNode(graph.NewNode(1, "user")); err != nil {
+		t.Fatalf("PutNode: %v", err)
+	}
+
+	// The record is small: one write chunk per 7 bytes, then exactly one
+	// Sync. Arm a transient failure for every upcoming op in turn until
+	// the Sync is the victim; the write must fail whenever it is.
+	start := fs.Ops()
+	var failed error
+	for n := start; n < start+64; n++ {
+		fs.FailAtOp(n)
+		err := s.PutNode(graph.NewNode(graph.NodeID(100+n), "user"))
+		if err != nil {
+			failed = err
+			break
+		}
+	}
+	if failed == nil {
+		t.Fatal("no op of an append could be made to fail — fault plumbing broken")
+	}
+	if !errors.Is(failed, vfs.ErrInjected) {
+		t.Fatalf("append failure should carry the injected fault, got %v", failed)
+	}
+}
+
+// TestSnapshotCrashEveryOp drives the full compaction — tmp write,
+// sync, close, rename, WAL truncate — with a crash at every op
+// boundary under both loss modes. Whatever the crash point, reopening
+// must yield exactly the pre-snapshot graph: the snapshot either fully
+// replaced the old state or never happened, and the WAL only shrank if
+// the snapshot covers it.
+func TestSnapshotCrashEveryOp(t *testing.T) {
+	for _, mode := range []vfs.LossMode{vfs.DropUnsynced, vfs.KeepUnsynced} {
+		for crash := int64(0); ; crash++ {
+			fs := vfs.NewFaultFS(mode)
+			s := openFaultStore(t, fs)
+			mustSeed(t, s)
+			want, err := s.Graph()
+			if err != nil {
+				t.Fatalf("Graph: %v", err)
+			}
+
+			base := fs.Ops()
+			fs.SetCrashAtOp(base + crash)
+			snapErr := s.Snapshot()
+			if !fs.Crashed() {
+				// The whole snapshot completed before the crash point:
+				// the op space is exhausted, this mode is done.
+				if snapErr != nil {
+					t.Fatalf("mode %v: clean snapshot failed: %v", mode, snapErr)
+				}
+				break
+			}
+			if snapErr == nil {
+				t.Fatalf("mode %v crash@+%d: snapshot acked despite crash", mode, crash)
+			}
+			fs.Recover()
+
+			s2, err := OpenFS(fs, "db")
+			if err != nil {
+				t.Fatalf("mode %v crash@+%d: reopen: %v", mode, crash, err)
+			}
+			got, err := s2.Graph()
+			if err != nil {
+				t.Fatalf("Graph: %v", err)
+			}
+			if !got.Equal(want) {
+				t.Fatalf("mode %v crash@+%d: recovered graph differs from pre-snapshot state", mode, crash)
+			}
+		}
+	}
+}
+
+// TestCloseSurfacesSyncError: Close now syncs the WAL on the way out
+// and reports the failure instead of swallowing it.
+func TestCloseSurfacesSyncError(t *testing.T) {
+	fs := vfs.NewFaultFS(vfs.DropUnsynced)
+	s := openFaultStore(t, fs)
+	if err := s.PutNode(graph.NewNode(1, "user")); err != nil {
+		t.Fatalf("PutNode: %v", err)
+	}
+
+	// Close performs exactly Sync then Close on the WAL handle: two ops.
+	// Fail the first — the Sync — and the error must come back.
+	fs.FailAtOp(fs.Ops())
+	if err := s.Close(); !errors.Is(err, vfs.ErrInjected) {
+		t.Fatalf("Close should surface the WAL sync failure, got %v", err)
+	}
+}
+
+func mustSeed(t *testing.T, s *Store) {
+	t.Helper()
+	for i := graph.NodeID(1); i <= 4; i++ {
+		if err := s.PutNode(graph.NewNode(i, "user")); err != nil {
+			t.Fatalf("PutNode %d: %v", i, err)
+		}
+	}
+	if err := s.PutLink(graph.NewLink(1, 1, 2, "connect")); err != nil {
+		t.Fatalf("PutLink: %v", err)
+	}
+	if err := s.RemoveNode(4); err != nil {
+		t.Fatalf("RemoveNode: %v", err)
+	}
+}

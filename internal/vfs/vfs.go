@@ -119,11 +119,11 @@ func WriteFileSync(fsys FS, name string, data []byte, perm fs.FileMode) error {
 		return err
 	}
 	if _, err := f.Write(data); err != nil {
-		f.Close()
+		_ = f.Close() // the write error is the one the caller needs
 		return err
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
+		_ = f.Close() // the sync error already condemns the file
 		return err
 	}
 	return f.Close()

@@ -122,11 +122,11 @@ func (l *Log) recoverTail() error {
 			return fmt.Errorf("wal: %w", err)
 		}
 		if _, err := f.Write(magic[:]); err != nil {
-			f.Close()
+			_ = f.Close() // the write error is the one the caller needs
 			return fmt.Errorf("wal: %w", err)
 		}
 		if err := f.Sync(); err != nil {
-			f.Close()
+			_ = f.Close() // the sync error already condemns the segment
 			return fmt.Errorf("wal: %w", err)
 		}
 		if err := f.Close(); err != nil {
@@ -179,11 +179,11 @@ func (l *Log) startSegment(first uint64) error {
 		return fmt.Errorf("wal: %w", err)
 	}
 	if _, err := f.Write(magic[:]); err != nil {
-		f.Close()
+		_ = f.Close() // the write error is the one the caller needs
 		return fmt.Errorf("wal: %w", err)
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
+		_ = f.Close() // the sync error already condemns the segment
 		return fmt.Errorf("wal: %w", err)
 	}
 	l.f = f

@@ -142,7 +142,9 @@ func Travel(cfg TravelConfig) (*TravelCorpus, error) {
 		for i, u := range users {
 			cat := Categories[i*len(Categories)/len(users)]
 			interests[u] = cat
-			b.Peek().Node(u).Attrs.Set("interests", cat)
+			// Peek's documented use: mid-construction attribute writes by
+			// the builder's owner, before any snapshot is published.
+			b.Peek().Node(u).Attrs.Set("interests", cat) //sslint:ignore rcupublish builder-owned graph, unpublished
 		}
 	}
 
