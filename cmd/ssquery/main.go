@@ -33,10 +33,12 @@ func main() {
 	itemType := flag.String("itemtype", "destination", "node type of candidate results")
 	analyze := flag.Bool("analyze", true, "run the content analyzer before querying")
 	k := flag.Int("k", 10, "results wanted")
+	retries := flag.Int("retries", 2, "with -addr: retries after a failed or shed request (0 = none)")
+	minVersion := flag.Uint64("minversion", 0, "with -addr: lowest acceptable snapshot version (monotonic-read floor; answers below it come back marked STALE)")
 	flag.Parse()
 
 	if *addr != "" {
-		if err := queryRemote(*addr, *userID, *q, *k); err != nil {
+		if err := queryRemote(*addr, *userID, *q, *k, *retries, *minVersion); err != nil {
 			fail(err)
 		}
 		return

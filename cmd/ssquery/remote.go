@@ -3,18 +3,28 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
+	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"socialscope/internal/serve"
 )
 
-// queryRemote issues the query against a running ssserve instance and
-// prints the answer in the same layout the local path uses, plus the
-// serving metadata the wire carries (state version, cache outcome).
-func queryRemote(addr string, userID int64, q string, k int) error {
+// queryRemote issues the query against a running ssserve (or ssrouter)
+// instance and prints the answer in the same layout the local path
+// uses, plus the serving metadata the wire carries: state version,
+// cache outcome, and — when the serving tier degraded to an old
+// snapshot — an explicit STALE marker.
+//
+// minVersion > 0 sends the monotonic-read floor (X-SS-Min-Version);
+// retries govern how often a failed or shed request is re-issued, with
+// jittered exponential backoff honoring the server's Retry-After hint.
+func queryRemote(addr string, userID int64, q string, k, retries int, minVersion uint64) error {
 	base := addr
 	if !strings.Contains(base, "://") {
 		base = "http://" + base
@@ -30,7 +40,7 @@ func queryRemote(addr string, userID int64, q string, k int) error {
 		"k":    {strconv.Itoa(k)},
 	}.Encode()
 
-	httpResp, err := http.Get(u.String())
+	httpResp, err := getWithRetry(u.String(), retries, minVersion)
 	if err != nil {
 		return err
 	}
@@ -47,8 +57,15 @@ func queryRemote(addr string, userID int64, q string, k int) error {
 		return fmt.Errorf("decoding response: %w", err)
 	}
 
-	fmt.Printf("query %q for user %d against %s (version %d, cache %s)\n",
-		q, userID, addr, resp.Version, httpResp.Header.Get("X-SS-Cache"))
+	staleMark := ""
+	if httpResp.Header.Get(serve.HeaderStale) == "true" {
+		staleMark = " STALE"
+	}
+	fmt.Printf("query %q for user %d against %s (version %d%s, cache %s)\n",
+		q, userID, addr, resp.Version, staleMark, httpResp.Header.Get(serve.HeaderCache))
+	if staleMark != "" {
+		fmt.Printf("NOTE: degraded answer — snapshot %d is older than the requested floor\n", resp.Version)
+	}
 	if resp.Basis != "" {
 		fmt.Printf("social basis: %s\n", resp.Basis)
 	}
@@ -82,6 +99,49 @@ func queryRemote(addr string, userID int64, q string, k int) error {
 		}
 	}
 	return nil
+}
+
+// getWithRetry issues the GET with minVersion as the monotonic-read
+// floor, retrying transport errors and 5xx answers up to retries times
+// with jittered exponential backoff. A 503's Retry-After hint floors
+// the wait; 4xx answers are the server's final word and return as-is.
+func getWithRetry(url string, retries int, minVersion uint64) (*http.Response, error) {
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	backoff := 50 * time.Millisecond
+	for try := 0; ; try++ {
+		req, err := http.NewRequest(http.MethodGet, url, nil)
+		if err != nil {
+			return nil, err
+		}
+		if minVersion > 0 {
+			req.Header.Set(serve.HeaderMinVersion, strconv.FormatUint(minVersion, 10))
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil && resp.StatusCode < http.StatusInternalServerError {
+			return resp, nil
+		}
+		wait := backoff/2 + time.Duration(rng.Int63n(int64(backoff)))
+		if err == nil {
+			if ms, perr := strconv.ParseInt(resp.Header.Get(serve.HeaderRetryAfterMs), 10, 64); perr == nil && time.Duration(ms)*time.Millisecond > wait {
+				wait = time.Duration(ms) * time.Millisecond
+			}
+			if try >= retries {
+				return resp, nil // out of budget: hand the caller the last answer
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			fmt.Fprintf(os.Stderr, "ssquery: %s — retrying in %v (%d left)\n", resp.Status, wait, retries-try)
+		} else {
+			if try >= retries {
+				return nil, err
+			}
+			fmt.Fprintf(os.Stderr, "ssquery: %v — retrying in %v (%d left)\n", err, wait, retries-try)
+		}
+		time.Sleep(wait)
+		if backoff < time.Second {
+			backoff *= 2
+		}
+	}
 }
 
 func orID(name string, id int64) string {

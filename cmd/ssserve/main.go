@@ -29,6 +29,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"math/rand"
 	"net"
 	"net/http"
 	"os"
@@ -175,14 +176,25 @@ func main() {
 	fmt.Fprintln(os.Stderr, "ssserve: bye")
 }
 
-// followLoop tails the leader on a timer until the engine stops being a
-// follower (POST /promote) or the process exits. Transient errors — the
-// leader mid-rotation, a checkpoint truncation racing the poll — are
-// retried on the next tick; only the role change ends the loop.
+// followLoop tails the leader until the engine stops being a follower
+// (POST /promote) or the process exits. The poll interval is the base
+// of a jittered exponential backoff: consecutive failed polls — the
+// leader mid-rotation, a checkpoint truncation racing the poll, a dead
+// leader — double the wait (±25% jitter) up to a cap, and any
+// successful poll resets it, so a healthy replica tails tightly while a
+// broken one stops hammering a directory that cannot answer.
 func followLoop(eng *socialscope.Engine, every time.Duration) {
-	tick := time.NewTicker(every)
-	defer tick.Stop()
-	for range tick.C {
+	const maxBackoffFactor = 32
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	wait := every
+	for {
+		// Full-period jitter on the backoff tail only: ±25% keeps replicas
+		// from thundering in lockstep after a leader hiccup.
+		d := wait
+		if wait > every {
+			d = wait - wait/4 + time.Duration(rng.Int63n(int64(wait)/2+1))
+		}
+		time.Sleep(d)
 		if !eng.IsFollower() {
 			return
 		}
@@ -190,8 +202,13 @@ func followLoop(eng *socialscope.Engine, every time.Duration) {
 			if !eng.IsFollower() {
 				return // lost the race with /promote; not an error
 			}
-			fmt.Fprintf(os.Stderr, "ssserve: catch-up: %v (retrying)\n", err)
+			if wait < every*maxBackoffFactor {
+				wait *= 2
+			}
+			fmt.Fprintf(os.Stderr, "ssserve: catch-up: %v (retrying in ~%v)\n", err, wait)
+			continue
 		}
+		wait = every
 	}
 }
 

@@ -312,6 +312,26 @@ func OpenFollower(dir string, cfg Config, opts DurableOptions) (*Engine, error) 
 	return e, nil
 }
 
+// ReplicationLag reports how many confirmed WAL records a follower has
+// yet to apply — the staleness a routing tier weighs when picking the
+// most-caught-up replica to promote. ok is false on non-followers. Zero
+// lag means the follower has applied everything the leader has
+// confirmed; the unconfirmed tail record (bounded staleness) is not
+// counted because the follower is forbidden to apply it.
+func (e *Engine) ReplicationLag() (lag uint64, ok bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	f := e.fol
+	if f == nil {
+		return 0, false
+	}
+	applied := f.tail.NextLSN() - 1
+	if f.confirm > applied {
+		return f.confirm - applied, true
+	}
+	return 0, true
+}
+
 // CatchUp polls the leader's manifest and WAL once, folding newly
 // confirmed records into the follower's state (at most max records when
 // max > 0) and re-basing onto a newer checkpoint chain if the tail

@@ -27,10 +27,17 @@ var Analyzer = &analysis.Analyzer{
 	Run:  run,
 }
 
-// scopedPkgs are the request-path packages.
+// scopedPkgs are the request-path packages. The routing tier is in
+// scope for the same reason the serve layer is: a proxied request that
+// loses its context keeps retrying and hedging against backends after
+// the client hung up. (Its health checker and failover loop legally
+// mint contexts — they run on their own cadence, with no request in
+// scope.)
 var scopedPkgs = map[string]bool{
 	"socialscope":                true,
 	"socialscope/internal/serve": true,
+	"socialscope/internal/route": true,
+	"socialscope/cmd/ssrouter":   true,
 }
 
 // ctxVariants are engine entry points with Ctx siblings. Discover is

@@ -10,5 +10,6 @@ import (
 func TestCtxFlow(t *testing.T) {
 	analysistest.Run(t, "testdata", ctxflow.Analyzer,
 		"socialscope", "socialscope/internal/serve", "socialscope/internal/batch",
+		"socialscope/internal/route",
 	)
 }

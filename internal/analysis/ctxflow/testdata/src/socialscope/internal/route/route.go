@@ -1,0 +1,55 @@
+// Golden file: the routing tier is a request path too. A proxy try
+// must derive its per-try deadline from the caller's context, and a
+// handler must not mint a fresh one — but the health checker and the
+// failover loop own their lifecycles and mint legally.
+package route
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+type Router struct {
+	client *http.Client
+}
+
+func (rt *Router) serveRead(w http.ResponseWriter, r *http.Request) {
+	ctx := context.Background() // want `fresh context on a request path`
+	_ = ctx
+}
+
+func (rt *Router) tryOnce(ctx context.Context, url string) error {
+	// Clean: the per-try timeout derives from the caller's context, so
+	// client disconnects stop the retry loop.
+	tctx, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(tctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	_, err = rt.client.Do(req)
+	return err
+}
+
+func (rt *Router) tryDetached(ctx context.Context, url string) error {
+	tctx, cancel := context.WithTimeout(context.Background(), time.Second) // want `fresh context on a request path`
+	defer cancel()
+	req, err := http.NewRequestWithContext(tctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	_, err = rt.client.Do(req)
+	return err
+}
+
+func (rt *Router) probe(url string) {
+	// Clean: the health checker runs on its own cadence; there is no
+	// request whose deadline could be dropped.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if req != nil {
+		rt.client.Do(req)
+	}
+}

@@ -1,0 +1,79 @@
+package netfault
+
+import (
+	"math/rand"
+	"time"
+)
+
+// ScheduleConfig shapes a randomized fault schedule. Probabilities are
+// per-op and independent; what remains is KindNone. The zero value is
+// all-clear (no faults).
+type ScheduleConfig struct {
+	// Horizon is how many ops the schedule covers (faults are drawn for
+	// op indices [0, Horizon)).
+	Horizon int64
+	// PFail, PReset, PDelay, PBlackhole, PPartial weight the fault kinds;
+	// their sum must be <= 1.
+	PFail, PReset, PDelay, PBlackhole, PPartial float64
+	// MaxDelay bounds drawn delays (uniform in (0, MaxDelay]; default
+	// 10ms).
+	MaxDelay time.Duration
+	// MaxBodyBytes bounds partial-body allowances (uniform in
+	// [0, MaxBodyBytes]; default 64).
+	MaxBodyBytes int
+}
+
+// Schedule is a deterministic assignment of faults to op indices on one
+// backend, drawn from a seed. Two schedules with the same seed and
+// config are identical, so a failing chaos run replays from its seed.
+type Schedule struct {
+	Seed   int64
+	Faults map[int64]Fault
+}
+
+// NewSchedule draws a schedule from seed. The generator consumes a
+// fixed number of random values per op regardless of outcome, so
+// adding ops to the horizon never perturbs earlier assignments.
+func NewSchedule(seed int64, cfg ScheduleConfig) *Schedule {
+	if cfg.MaxDelay <= 0 {
+		cfg.MaxDelay = 10 * time.Millisecond
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 64
+	}
+	rng := rand.New(rand.NewSource(seed))
+	s := &Schedule{Seed: seed, Faults: make(map[int64]Fault)}
+	for op := int64(0); op < cfg.Horizon; op++ {
+		// Fixed draw count per op: one kind selector, one delay, one size.
+		u := rng.Float64()
+		delay := time.Duration(1 + rng.Int63n(int64(cfg.MaxDelay)))
+		size := rng.Intn(cfg.MaxBodyBytes + 1)
+		var f Fault
+		switch {
+		case u < cfg.PFail:
+			f = Fault{Kind: KindFail}
+		case u < cfg.PFail+cfg.PReset:
+			f = Fault{Kind: KindReset}
+		case u < cfg.PFail+cfg.PReset+cfg.PDelay:
+			f = Fault{Kind: KindDelay, Delay: delay}
+		case u < cfg.PFail+cfg.PReset+cfg.PDelay+cfg.PBlackhole:
+			f = Fault{Kind: KindBlackhole}
+		case u < cfg.PFail+cfg.PReset+cfg.PDelay+cfg.PBlackhole+cfg.PPartial:
+			f = Fault{Kind: KindPartial, BodyBytes: size}
+		default:
+			continue
+		}
+		s.Faults[op] = f
+	}
+	return s
+}
+
+// Arm installs the schedule's faults on backend.
+func (s *Schedule) Arm(t *Transport, backend string) {
+	for op, f := range s.Faults {
+		t.SetAt(backend, op, f)
+	}
+}
+
+// Count returns how many ops carry a fault.
+func (s *Schedule) Count() int { return len(s.Faults) }

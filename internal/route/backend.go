@@ -1,0 +1,261 @@
+package route
+
+import (
+	"fmt"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Role is a backend's replication role as reported by its /healthz.
+type Role int
+
+const (
+	RoleUnknown Role = iota
+	RoleLeader
+	RoleFollower
+)
+
+func (r Role) String() string {
+	switch r {
+	case RoleLeader:
+		return "leader"
+	case RoleFollower:
+		return "follower"
+	}
+	return "unknown"
+}
+
+// latencyWindow is a fixed-size ring of recent request latencies, the
+// input to the hedging trigger: hedge when the in-flight try exceeds a
+// high quantile of what this backend usually takes.
+type latencyWindow struct {
+	samples []time.Duration
+	next    int
+	full    bool
+}
+
+const latencyWindowSize = 64
+
+func (w *latencyWindow) observe(d time.Duration) {
+	if w.samples == nil {
+		w.samples = make([]time.Duration, latencyWindowSize)
+	}
+	w.samples[w.next] = d
+	w.next = (w.next + 1) % len(w.samples)
+	if w.next == 0 {
+		w.full = true
+	}
+}
+
+// quantile returns the q-quantile of the window by nearest rank, or
+// (0, false) with fewer than 8 samples — too little signal to hedge on.
+func (w *latencyWindow) quantile(q float64) (time.Duration, bool) {
+	n := w.next
+	if w.full {
+		n = len(w.samples)
+	}
+	if n < 8 {
+		return 0, false
+	}
+	sorted := make([]time.Duration, n)
+	copy(sorted, w.samples[:n])
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(q*float64(n)) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return sorted[idx], true
+}
+
+// Backend is one ssserve instance behind the router: its address plus
+// the router's view of its health, role, snapshot version, replication
+// lag, circuit breaker and latency profile. All mutable state is
+// guarded by mu; the health checker writes it, request paths read it.
+type Backend struct {
+	// URL is the normalized base URL ("http://host:port").
+	URL string
+	// Host is the URL's host part — the key netfault.Transport counts
+	// ops under, and the stable name in stats and logs.
+	Host string
+
+	mu          sync.Mutex
+	role        Role
+	version     uint64
+	lag         uint64
+	healthy     bool
+	consecFails int
+	deposed     bool // was the leader, got failed over; never a leader again
+	brk         breaker
+	lat         latencyWindow
+}
+
+// newBackend normalizes addr ("host:port" or a full URL) into a Backend.
+func newBackend(addr string, brkThreshold int, brkCooldown time.Duration) (*Backend, error) {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	u, err := url.Parse(addr)
+	if err != nil {
+		return nil, fmt.Errorf("route: bad backend %q: %w", addr, err)
+	}
+	if u.Host == "" {
+		return nil, fmt.Errorf("route: backend %q has no host", addr)
+	}
+	return &Backend{
+		URL:  u.Scheme + "://" + u.Host,
+		Host: u.Host,
+		brk:  breaker{threshold: brkThreshold, cooldown: brkCooldown},
+	}, nil
+}
+
+// noteHealth folds one successful health check into the view.
+func (b *Backend) noteHealth(role Role, version, lag uint64, now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.healthy = true
+	b.consecFails = 0
+	if !(b.deposed && role == RoleLeader) {
+		// A deposed leader still claiming leadership is a zombie: keep it
+		// demoted in our view so writes never reach it.
+		b.role = role
+	}
+	b.version = version
+	b.lag = lag
+	b.brk.success()
+}
+
+// noteHealthFail folds one failed health check and returns the
+// consecutive-failure count.
+func (b *Backend) noteHealthFail(now time.Time) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.healthy = false
+	b.consecFails++
+	b.brk.failure(now)
+	return b.consecFails
+}
+
+// failCount returns the consecutive failed-health-check count.
+func (b *Backend) failCount() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.consecFails
+}
+
+// allow consults health and the circuit breaker; a true return may be a
+// half-open probe, so the caller must report the outcome via noteResult.
+func (b *Backend) allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.healthy && b.brk.allow(now)
+}
+
+// noteResult records a request outcome for the breaker, and latency for
+// the hedging profile. lat <= 0 skips the latency sample (503 sheds are
+// "ok" for the breaker — the backend is alive — but their fast turnaround
+// would poison the hedging profile).
+func (b *Backend) noteResult(ok bool, lat time.Duration, now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if ok {
+		b.brk.success()
+		if lat > 0 {
+			b.lat.observe(lat)
+		}
+	} else {
+		b.brk.failure(now)
+	}
+}
+
+// snapshot returns a consistent view for selection and stats.
+func (b *Backend) snapshot() BackendStatus {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BackendStatus{
+		URL:     b.URL,
+		Host:    b.Host,
+		Role:    b.role.String(),
+		Healthy: b.healthy,
+		Deposed: b.deposed,
+		Version: b.version,
+		Lag:     b.lag,
+		Breaker: b.brk.state.String(),
+	}
+}
+
+// observeVersion folds a snapshot version seen on a served answer into
+// the view: between health sweeps, answers are fresher than the last
+// probe, and selection by min-version works off the best known value.
+func (b *Backend) observeVersion(v uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if v > b.version {
+		b.version = v
+	}
+}
+
+func (b *Backend) roleVersion() (Role, uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.role, b.version
+}
+
+// hedgeDelay returns how long to let a try run before hedging: the
+// configured quantile of this backend's recent latencies, clamped to
+// [min, max]. ok is false when the window is too thin to say.
+func (b *Backend) hedgeDelay(q float64, min, max time.Duration) (time.Duration, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	d, ok := b.lat.quantile(q)
+	if !ok {
+		return 0, false
+	}
+	if d < min {
+		d = min
+	}
+	if max > 0 && d > max {
+		d = max
+	}
+	return d, true
+}
+
+// depose marks a former leader as permanently non-leader in the
+// router's view (reads may still hit it; writes never will).
+func (b *Backend) depose() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.deposed = true
+	if b.role == RoleLeader {
+		b.role = RoleUnknown
+	}
+}
+
+// promote records a successful /promote: this backend is the leader now.
+func (b *Backend) promoted(version uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.role = RoleLeader
+	b.version = version
+	b.lag = 0
+	b.healthy = true
+	b.deposed = false
+	b.brk.success()
+}
+
+// BackendStatus is one backend's state as reported by /routerz.
+type BackendStatus struct {
+	URL     string `json:"url"`
+	Host    string `json:"host"`
+	Role    string `json:"role"`
+	Healthy bool   `json:"healthy"`
+	Deposed bool   `json:"deposed,omitempty"`
+	Version uint64 `json:"version"`
+	Lag     uint64 `json:"lag"`
+	Breaker string `json:"breaker"`
+}

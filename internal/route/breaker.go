@@ -1,0 +1,81 @@
+package route
+
+import (
+	"time"
+)
+
+// breakerState is the classic three-state circuit.
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerClosed:
+		return "closed"
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// breaker is a per-backend circuit breaker. It is not self-locking —
+// the owning Backend's mutex guards it — and it takes time as an
+// argument so tests drive it with a fake clock. threshold consecutive
+// failures open the circuit; after cooldown one probe is let through
+// (half-open); the probe's outcome closes or re-opens it.
+//
+// The point of the circuit is to stop burning retry budget and per-try
+// timeouts on a backend that is down: with the breaker open, selection
+// skips the backend entirely, so a dead replica costs nothing after the
+// first few failures instead of a timeout per request.
+type breaker struct {
+	state     breakerState
+	fails     int
+	threshold int
+	cooldown  time.Duration
+	openedAt  time.Time
+}
+
+// allow reports whether a request may be sent now. In the open state it
+// transitions to half-open once the cooldown has elapsed — the caller
+// that got true IS the probe and must report success or failure.
+func (b *breaker) allow(now time.Time) bool {
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if now.Sub(b.openedAt) >= b.cooldown {
+			b.state = breakerHalfOpen
+			return true
+		}
+		return false
+	case breakerHalfOpen:
+		// One probe at a time; concurrent requests keep routing elsewhere
+		// until the probe resolves.
+		return false
+	}
+	return false
+}
+
+// success records a completed request and closes the circuit.
+func (b *breaker) success() {
+	b.state = breakerClosed
+	b.fails = 0
+}
+
+// failure records a failed request; threshold consecutive failures (or
+// a failed half-open probe) open the circuit.
+func (b *breaker) failure(now time.Time) {
+	b.fails++
+	if b.state == breakerHalfOpen || b.fails >= b.threshold {
+		b.state = breakerOpen
+		b.openedAt = now
+	}
+}

@@ -1,0 +1,122 @@
+package route
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"socialscope"
+	"socialscope/internal/serve"
+	"socialscope/internal/workload"
+)
+
+// TestWriteForwardingPreservesCoalescing is the regression pinning the
+// serve layer's write-coalescing contract through the routing tier:
+// concurrent /apply requests forwarded by the router still share
+// flushes, and the engine version advances exactly once per flush — not
+// once per request. A router that serialized, split or replayed batches
+// would show up here as version delta ≠ distinct acked versions.
+func TestWriteForwardingPreservesCoalescing(t *testing.T) {
+	corpus, err := workload.Travel(workload.TravelConfig{
+		Users: 30, Destinations: 15, Seed: 21, VisitsPerUser: 4, TagFraction: 0.8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := socialscope.New(corpus.Graph, socialscope.Config{ItemType: "destination"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A long flush interval and high batch threshold force concurrent
+	// requests to wait for company: coalescing is the only way out.
+	srv := serve.New(eng, serve.Config{FlushInterval: 30 * time.Millisecond, MaxBatch: 1 << 20})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	r, err := New(testConfig(ts.Listener.Addr().String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	const writers = 8
+	before := eng.Version()
+	base := corpus.Graph.MaxNodeID() + 1
+
+	var wg sync.WaitGroup
+	versions := make([]uint64, writers)
+	coalesced := make([]int, writers)
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id := base + socialscope.NodeID(i)
+			body := fmt.Sprintf(
+				`{"mutations":[{"op":"add-node","node":{"id":%d,"types":["destination"],"attrs":{"name":["coal-%d"]}}}]}`,
+				id, id)
+			rec := post(t, r.Handler(), "/apply", body)
+			if rec.Code != http.StatusOK {
+				t.Errorf("writer %d: status %d: %s", i, rec.Code, rec.Body.String())
+				return
+			}
+			v, err := strconv.ParseUint(rec.Header().Get(serve.HeaderVersion), 10, 64)
+			if err != nil {
+				t.Errorf("writer %d: no version header: %v", i, err)
+				return
+			}
+			versions[i] = v
+			var ar serve.ApplyResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &ar); err != nil {
+				t.Errorf("writer %d: decode ack: %v", i, err)
+				return
+			}
+			coalesced[i] = ar.Coalesced
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Exactly one version bump per flush: the engine's total advance must
+	// equal the number of distinct versions acked to the writers.
+	distinct := make(map[uint64]bool)
+	for _, v := range versions {
+		distinct[v] = true
+	}
+	delta := eng.Version() - before
+	if delta != uint64(len(distinct)) {
+		t.Fatalf("version advanced %d times for %d distinct acked versions — coalescing broken through the router",
+			delta, len(distinct))
+	}
+	if delta == uint64(writers) {
+		// All 8 writers flushing alone despite the 30ms window would mean
+		// the router serialized them; with coalescing intact at least two
+		// must share.
+		t.Fatalf("no coalescing at all: %d writers, %d flushes", writers, delta)
+	}
+	// Every mutation landed despite sharing flushes.
+	g := eng.Graph()
+	for i := 0; i < writers; i++ {
+		if g.Node(base+socialscope.NodeID(i)) == nil {
+			t.Fatalf("writer %d's node missing after coalesced flush", i)
+		}
+	}
+	// The ack metadata agrees: a writer in a shared flush reports the
+	// company it kept.
+	maxCoal := 0
+	for _, c := range coalesced {
+		if c > maxCoal {
+			maxCoal = c
+		}
+	}
+	if maxCoal < 2 {
+		t.Fatalf("coalesced counts %v: no flush carried more than one request", coalesced)
+	}
+}

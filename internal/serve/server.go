@@ -99,17 +99,41 @@ func (s *Server) Handler() http.Handler {
 	})
 }
 
-// limited wraps a handler in the admission limiter.
+// limited wraps a handler in the admission limiter. Sheds carry a
+// Retry-After hint so callers back off instead of hammering.
 func (s *Server) limited(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		release, err := s.limiter.Acquire(r.Context())
 		if err != nil {
-			writeError(w, http.StatusServiceUnavailable, err)
+			s.writeStatusError(w, err)
 			return
 		}
 		defer release()
 		h(w, r)
 	}
+}
+
+// writeStatusError maps err through statusFor and, on a 503 shed,
+// attaches the backpressure hint: the standard Retry-After (whole
+// seconds, never below 1) plus the millisecond-precision
+// X-SS-Retry-After-Ms the router's backoff actually consumes. The hint
+// is the write coalescer's flush interval — the natural period at which
+// admission pressure drains.
+func (s *Server) writeStatusError(w http.ResponseWriter, err error) {
+	status := statusFor(err)
+	if status == http.StatusServiceUnavailable {
+		hint := s.cfg.FlushInterval
+		if hint <= 0 {
+			hint = DefaultFlushInterval
+		}
+		secs := int(hint / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		w.Header().Set(HeaderRetryAfterMs, strconv.FormatInt(hint.Milliseconds(), 10))
+	}
+	writeError(w, status, err)
 }
 
 // Serve accepts connections on ln until Shutdown. It returns the error
@@ -324,12 +348,12 @@ func (s *Server) respondCached(w http.ResponseWriter, r *http.Request,
 		body, outcome, err = s.cache.Do(r.Context(), key, compute)
 	}
 	if err != nil {
-		writeError(w, statusFor(err), err)
+		s.writeStatusError(w, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	w.Header().Set("X-SS-Cache", string(outcome))
-	w.Header().Set("X-SS-Version", strconv.FormatUint(*bodyVersion, 10))
+	w.Header().Set(HeaderCache, string(outcome))
+	w.Header().Set(HeaderVersion, strconv.FormatUint(*bodyVersion, 10))
 	w.Write(body)
 }
 
@@ -352,9 +376,12 @@ func (s *Server) handleApply(w http.ResponseWriter, r *http.Request) {
 	}
 	out, err := s.coal.Enqueue(r.Context(), muts)
 	if err != nil {
-		writeError(w, statusFor(err), err)
+		s.writeStatusError(w, err)
 		return
 	}
+	// The version header rides on writes too, so a routing tier updates
+	// its monotonic-read token from acks without decoding bodies.
+	w.Header().Set(HeaderVersion, strconv.FormatUint(out.version, 10))
 	writeJSON(w, http.StatusOK, ApplyResponse{
 		Version:   out.version,
 		Applied:   len(muts),
@@ -381,9 +408,15 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleHealthz answers GET /healthz.
+// handleHealthz answers GET /healthz: role, snapshot version and (for
+// followers) replication lag — the facts a routing tier's health
+// checker builds membership from.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok", Version: s.eng.Version(), Role: s.role()})
+	h := HealthResponse{Status: "ok", Version: s.eng.Version(), Role: s.role()}
+	if lag, ok := s.eng.ReplicationLag(); ok {
+		h.Lag = &lag
+	}
+	writeJSON(w, http.StatusOK, h)
 }
 
 func (s *Server) role() string {

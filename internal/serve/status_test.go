@@ -1,0 +1,194 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"socialscope"
+	"socialscope/internal/discovery"
+	"socialscope/internal/topk"
+	"socialscope/internal/vfs"
+	"socialscope/internal/workload"
+)
+
+// TestStatusForMapping pins the error→HTTP contract the router's retry
+// classifier depends on: a drifting mapping silently turns retryable
+// conditions into terminal ones (or worse, the reverse).
+func TestStatusForMapping(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"deadline", context.DeadlineExceeded, http.StatusGatewayTimeout},
+		{"canceled", context.Canceled, http.StatusGatewayTimeout},
+		{"wrapped deadline", fmt.Errorf("evaluating: %w", context.DeadlineExceeded), http.StatusGatewayTimeout},
+		{"overloaded", ErrOverloaded, http.StatusServiceUnavailable},
+		{"wrapped overloaded", fmt.Errorf("admission: %w", ErrOverloaded), http.StatusServiceUnavailable},
+		{"unknown user (discovery)", discovery.ErrUnknownUser, http.StatusNotFound},
+		{"unknown user (topk)", topk.ErrUnknownUser, http.StatusNotFound},
+		{"follower write", socialscope.ErrFollower, http.StatusConflict},
+		{"wrapped follower write", fmt.Errorf("apply: %w", socialscope.ErrFollower), http.StatusConflict},
+		{"engine rejection", errors.New("bad mutation"), http.StatusUnprocessableEntity},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := statusFor(tc.err); got != tc.want {
+				t.Fatalf("statusFor(%v) = %d, want %d", tc.err, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestShedCarriesRetryAfter asserts the 503 shed path emits both the
+// standard Retry-After and the millisecond-precision hint the router's
+// backoff consumes.
+func TestShedCarriesRetryAfter(t *testing.T) {
+	corpus, err := workload.Travel(workload.TravelConfig{
+		Users: 20, Destinations: 10, Seed: 3, VisitsPerUser: 4, TagFraction: 0.8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := socialscope.New(corpus.Graph, socialscope.Config{ItemType: "destination"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One slot, no queue, and a handler that blocks: the second request
+	// must shed.
+	srv := New(eng, Config{MaxConcurrent: 1, MaxQueue: 0, FlushInterval: 40 * time.Millisecond})
+	defer srv.Close()
+	block := make(chan struct{})
+	srv.mux.HandleFunc("GET /block", srv.limited(func(w http.ResponseWriter, r *http.Request) {
+		<-block
+	}))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer close(block)
+
+	go http.Get(ts.URL + "/block")
+	// Wait for the blocker to hold the slot.
+	deadline := time.Now().Add(2 * time.Second)
+	var resp *http.Response
+	for {
+		resp, err = http.Get(ts.URL + "/search?user=1&q=x")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusServiceUnavailable || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("never shed: last status %d", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "1" {
+		t.Fatalf("Retry-After = %q, want \"1\" (sub-second hints round up)", ra)
+	}
+	if ms := resp.Header.Get(HeaderRetryAfterMs); ms != "40" {
+		t.Fatalf("%s = %q, want \"40\"", HeaderRetryAfterMs, ms)
+	}
+}
+
+// TestHealthzReportsFollowerLag asserts the enriched /healthz: version
+// always, lag only on followers, and lag reflecting unapplied records.
+func TestHealthzReportsFollowerLag(t *testing.T) {
+	corpus, err := workload.Travel(workload.TravelConfig{
+		Users: 30, Destinations: 15, Seed: 5, VisitsPerUser: 4, TagFraction: 0.8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := socialscope.Config{ItemType: "destination"}
+	fsys := vfs.NewFaultFS(vfs.KeepUnsynced)
+	leader, err := socialscope.OpenDurable("lagdir", corpus.Graph, cfg, socialscope.DurableOptions{FS: fsys})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fol, err := socialscope.OpenFollower("lagdir", cfg, socialscope.DurableOptions{FS: fsys})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	leaderSrv := New(leader, Config{})
+	defer leaderSrv.Close()
+	rec := httptest.NewRecorder()
+	leaderSrv.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	var lh HealthResponse
+	decodeBody(t, rec, &lh)
+	if lh.Role != "leader" || lh.Lag != nil {
+		t.Fatalf("leader healthz = %+v, want role=leader lag=nil", lh)
+	}
+	if lh.Version != leader.Version() {
+		t.Fatalf("leader healthz version = %d, want %d", lh.Version, leader.Version())
+	}
+
+	// Write through the leader and checkpoint (confirming the records)
+	// WITHOUT letting the follower catch up: lag must surface.
+	stream, err := workload.NewTaggingStream(corpus.Graph, corpus.Users, corpus.Destinations,
+		workload.Categories, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := leader.Apply(stream.Batch(2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := leader.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	folSrv := New(fol, Config{})
+	defer folSrv.Close()
+	health := func() HealthResponse {
+		rec := httptest.NewRecorder()
+		folSrv.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+		var h HealthResponse
+		decodeBody(t, rec, &h)
+		return h
+	}
+	// The follower hasn't polled: it reports zero lag only until its next
+	// CatchUp observes the manifest. Poll the manifest by catching up
+	// with a budget of 0 records? CatchUp(max) with max<0 is not a mode;
+	// instead catch up fully and assert lag returns to zero, then verify
+	// the intermediate observation with a 1-record budget.
+	if _, err := fol.CatchUp(1); err != nil {
+		t.Fatal(err)
+	}
+	h := health()
+	if h.Role != "follower" || h.Lag == nil {
+		t.Fatalf("follower healthz = %+v, want role=follower with lag", h)
+	}
+	if *h.Lag == 0 {
+		t.Fatalf("follower applied 1 of several confirmed records, lag = 0 (version %d)", h.Version)
+	}
+	if _, err := fol.CatchUp(0); err != nil {
+		t.Fatal(err)
+	}
+	h = health()
+	if h.Lag == nil || *h.Lag != 0 {
+		t.Fatalf("caught-up follower lag = %v, want 0", h.Lag)
+	}
+	if h.Version != leader.Version() {
+		t.Fatalf("caught-up follower version = %d, leader %d", h.Version, leader.Version())
+	}
+	if err := leader.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func decodeBody(t *testing.T, rec *httptest.ResponseRecorder, out any) {
+	t.Helper()
+	if err := json.Unmarshal(rec.Body.Bytes(), out); err != nil {
+		t.Fatalf("decode: %v (body %q)", err, rec.Body.String())
+	}
+}

@@ -336,6 +336,27 @@ type StatsResponse struct {
 	Limiter   LimiterStatsWire   `json:"limiter"`
 }
 
+// Response and request header names shared by the server, the router
+// (internal/route) and the remote clients. Kept here so all tiers speak
+// one dialect.
+const (
+	// HeaderVersion carries the engine snapshot version a body was
+	// evaluated against — the currency of monotonic-read tokens.
+	HeaderVersion = "X-SS-Version"
+	// HeaderCache reports the result-cache outcome (hit/miss/shared/bypass).
+	HeaderCache = "X-SS-Cache"
+	// HeaderMinVersion is the client's monotonic-read token: the lowest
+	// snapshot version an answer may be evaluated against.
+	HeaderMinVersion = "X-SS-Min-Version"
+	// HeaderStale marks a degraded answer that could not satisfy the
+	// requested min-version within the staleness budget ("true").
+	HeaderStale = "X-SS-Stale"
+	// HeaderRetryAfterMs is the millisecond-precision sibling of the
+	// standard Retry-After header (whose granularity is whole seconds —
+	// useless for a router backing off tens of milliseconds).
+	HeaderRetryAfterMs = "X-SS-Retry-After-Ms"
+)
+
 // HealthResponse is the body of /healthz.
 type HealthResponse struct {
 	Status  string `json:"status"`
@@ -343,6 +364,11 @@ type HealthResponse struct {
 	// Role is "leader" for engines that accept writes and "follower"
 	// for read replicas tailing a leader's WAL (see /promote).
 	Role string `json:"role"`
+	// Lag is the follower's replication lag in confirmed-but-unapplied
+	// WAL records; absent on leaders. Zero means caught up to everything
+	// the leader has confirmed (the unconfirmed tail record is bounded
+	// staleness, not lag).
+	Lag *uint64 `json:"lag,omitempty"`
 }
 
 // PromoteResponse is the body of POST /promote.

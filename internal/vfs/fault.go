@@ -131,6 +131,50 @@ func (f *FaultFS) Ops() int64 {
 	return f.ops
 }
 
+// Crash takes the filesystem down immediately, as if an armed crash had
+// just fired: every subsequent operation fails with ErrCrashed until
+// Recover, which then applies the LossMode to unsynced data. It models
+// an externally induced kill -9 — the network-chaos harness uses it to
+// fell a leader at a point chosen by the injection schedule rather than
+// by the op counter.
+func (f *FaultFS) Crash() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.crashed = true
+}
+
+// Clone returns a deep copy of the filesystem's current state — files,
+// durable images, op counter — with all faults disarmed and the crash
+// flag preserved. A clone taken at the instant a leader dies is the
+// "twin disk" a differential harness crash-recovers independently, to
+// prove a follower's promotion lands on the exact state the dead
+// leader's own recovery would have produced.
+func (f *FaultFS) Clone() *FaultFS {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	c := &FaultFS{
+		mode:       f.mode,
+		files:      make(map[string]*memFile, len(f.files)),
+		dirs:       make(map[string]bool, len(f.dirs)),
+		ops:        f.ops,
+		crashAt:    -1,
+		crashed:    f.crashed,
+		failSyncAt: -1,
+		failAt:     -1,
+		writeChunk: f.writeChunk,
+	}
+	for name, mf := range f.files {
+		c.files[name] = &memFile{
+			data:   append([]byte(nil), mf.data...),
+			synced: append([]byte(nil), mf.synced...),
+		}
+	}
+	for d, ok := range f.dirs {
+		c.dirs[d] = ok
+	}
+	return c
+}
+
 // Crashed reports whether the armed crash has fired.
 func (f *FaultFS) Crashed() bool {
 	f.mu.Lock()

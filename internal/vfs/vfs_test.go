@@ -244,3 +244,96 @@ func TestOSImplementsFS(t *testing.T) {
 		t.Fatalf("want not-exist, got %v", err)
 	}
 }
+
+func TestFaultFSCrashNow(t *testing.T) {
+	fsys := NewFaultFS(DropUnsynced)
+	f, err := fsys.OpenFile("a/log", os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("synced part")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte(" volatile part")); err != nil {
+		t.Fatal(err)
+	}
+	fsys.Crash() // kill -9: no op needs to fire
+	if !fsys.Crashed() {
+		t.Fatal("Crash() did not take the filesystem down")
+	}
+	if _, err := f.Write([]byte("x")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("write after Crash: got %v, want ErrCrashed", err)
+	}
+	fsys.Recover()
+	got, err := ReadFile(fsys, "a/log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "synced part" {
+		t.Fatalf("after Crash+Recover under DropUnsynced: %q", got)
+	}
+}
+
+func TestFaultFSCloneIsIndependent(t *testing.T) {
+	fsys := NewFaultFS(DropUnsynced)
+	writeAll(t, fsys, "d/base", []byte("shared"))
+	f, err := fsys.OpenFile("d/log", os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("durable")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("-volatile")); err != nil {
+		t.Fatal(err)
+	}
+
+	clone := fsys.Clone()
+	if got, want := clone.Ops(), fsys.Ops(); got != want {
+		t.Fatalf("clone ops = %d, want %d", got, want)
+	}
+	// Divergence after the clone stays private to each side.
+	writeAll(t, fsys, "d/only-orig", []byte("x"))
+	writeAll(t, clone, "d/only-clone", []byte("y"))
+	if b := clone.Bytes("d/only-orig"); b != nil {
+		t.Fatalf("clone sees post-clone original write: %q", b)
+	}
+	if b := fsys.Bytes("d/only-clone"); b != nil {
+		t.Fatalf("original sees post-clone clone write: %q", b)
+	}
+	// The clone preserves the synced/volatile split: crashing the clone
+	// under DropUnsynced loses exactly the unsynced tail.
+	clone.Crash()
+	clone.Recover()
+	got, err := ReadFile(clone, "d/log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "durable" {
+		t.Fatalf("cloned volatile state survived a DropUnsynced crash: %q", got)
+	}
+	// The original is untouched by the clone's crash.
+	if got := fsys.Bytes("d/log"); string(got) != "durable-volatile" {
+		t.Fatalf("original damaged by clone crash: %q", got)
+	}
+}
+
+func TestFaultFSClonePreservesCrashedState(t *testing.T) {
+	fsys := NewFaultFS(KeepUnsynced)
+	writeAll(t, fsys, "f", []byte("torn tail stays"))
+	fsys.Crash()
+	clone := fsys.Clone()
+	if !clone.Crashed() {
+		t.Fatal("clone of a crashed fs is not crashed")
+	}
+	clone.Recover()
+	if got := clone.Bytes("f"); string(got) != "torn tail stays" {
+		t.Fatalf("KeepUnsynced clone lost data: %q", got)
+	}
+}
