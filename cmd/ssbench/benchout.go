@@ -6,6 +6,8 @@ import (
 	"os"
 	"path/filepath"
 	"time"
+
+	"socialscope/internal/obs"
 )
 
 // Machine-readable results: alongside its printed tables, every
@@ -20,6 +22,12 @@ type benchFile struct {
 	Seed        int64              `json:"seed"`
 	GeneratedAt string             `json:"generated_at"`
 	Metrics     map[string]float64 `json:"metrics"`
+	// Registry is a flattened snapshot of the obs.Default metrics
+	// registry at the end of the run — counters and gauges directly,
+	// histograms as _count/_sum/_p50/_p99 — so internal behavior
+	// (postings scanned, fsync latency, cache hit counts) lands in the
+	// perf trajectory alongside the wall-clock numbers above.
+	Registry map[string]float64 `json:"registry,omitempty"`
 }
 
 // benchMetrics accumulates the current experiment's metrics; reset by
@@ -46,6 +54,7 @@ func writeBenchJSON(dir, exp string, scale int, seed int64) error {
 		Seed:        seed,
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		Metrics:     benchMetrics,
+		Registry:    obs.Default.Snapshot(),
 	}
 	buf, err := json.MarshalIndent(doc, "", " ")
 	if err != nil {

@@ -1,10 +1,11 @@
-// Command sslint is the repo's multichecker: it runs the five
+// Command sslint is the repo's multichecker: it runs the six
 // SocialScope analyzers — vfsseam, lockio, ctxflow, closeerr,
-// rcupublish — over the module and exits non-zero on any finding.
-// These passes machine-enforce the invariants the compiler can't see:
-// durability IO stays behind the vfs.FS seam, no read IO under locks,
-// contexts thread through request paths, write-side Close/Sync errors
-// surface, and nobody writes through a published snapshot.
+// rcupublish, stdlibonly — over the module and exits non-zero on any
+// finding. These passes machine-enforce the invariants the compiler
+// can't see: durability IO stays behind the vfs.FS seam, no read IO
+// under locks, contexts thread through request paths, write-side
+// Close/Sync errors surface, nobody writes through a published
+// snapshot, and the observability core stays a stdlib-only leaf.
 //
 // Usage:
 //
@@ -30,6 +31,7 @@ import (
 	"socialscope/internal/analysis/ctxflow"
 	"socialscope/internal/analysis/lockio"
 	"socialscope/internal/analysis/rcupublish"
+	"socialscope/internal/analysis/stdlibonly"
 	"socialscope/internal/analysis/vfsseam"
 )
 
@@ -39,6 +41,7 @@ var analyzers = []*analysis.Analyzer{
 	ctxflow.Analyzer,
 	closeerr.Analyzer,
 	rcupublish.Analyzer,
+	stdlibonly.Analyzer,
 }
 
 func main() {

@@ -11,7 +11,7 @@
 //
 // Endpoints (proxied): /search, /query, /recommend, /apply, /stats.
 // Router-local: GET /healthz (router health), GET /routerz (routing
-// view and fault counters).
+// view and fault counters), GET /metrics (Prometheus text exposition).
 package main
 
 import (
@@ -24,6 +24,7 @@ import (
 	"strings"
 	"syscall"
 
+	"socialscope/internal/obs"
 	"socialscope/internal/route"
 )
 
@@ -40,6 +41,7 @@ func main() {
 	failoverAfter := flag.Int("failoverafter", route.DefaultFailoverAfter, "consecutive failed leader health checks that trigger failover")
 	breakerFails := flag.Int("breakerfails", route.DefaultBreakerFails, "consecutive failures that open a backend's circuit")
 	breakerCool := flag.Duration("breakercooldown", route.DefaultBreakerCooldown, "open-circuit cooldown before a half-open probe")
+	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
 	if *backends == "" {
@@ -65,6 +67,8 @@ func main() {
 		FailoverAfter:   *failoverAfter,
 		BreakerFails:    *breakerFails,
 		BreakerCooldown: *breakerCool,
+		Obs:             obs.Default,
+		EnablePprof:     *pprofFlag,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "ssrouter: "+format+"\n", args...)
 		},

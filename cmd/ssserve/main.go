@@ -20,6 +20,7 @@
 //	POST /promote    (follower only: become the writable leader)
 //	GET  /stats
 //	GET  /healthz
+//	GET  /metrics    (Prometheus text exposition; see docs/observability.md)
 //
 // SIGINT/SIGTERM drain gracefully: in-flight requests finish (bounded by
 // -drain), buffered writes flush, then the process exits.
@@ -67,6 +68,8 @@ func main() {
 	ckptEvery := flag.Int("ckptevery", 64, "with -durable: checkpoint after this many applied batches (0 = only on shutdown)")
 	follow := flag.String("follow", "", "follow a leader's durability directory as a read-only replica (POST /promote to take over)")
 	followPoll := flag.Duration("followpoll", 50*time.Millisecond, "with -follow: leader WAL/manifest poll interval")
+	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	traceLog := flag.Int("tracelog", 0, "log a structured trace line for 1-in-N requests (0 = off)")
 	flag.Parse()
 
 	strat, err := socialscope.ParseTopKStrategy(*topkFlag)
@@ -141,6 +144,8 @@ func main() {
 		MaxBatch:       *maxBatch,
 		MaxConcurrent:  *maxConc,
 		MaxQueue:       *maxQueue,
+		EnablePprof:    *pprofFlag,
+		TraceLogEvery:  *traceLog,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

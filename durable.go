@@ -98,12 +98,13 @@ func OpenDurable(dir string, genesis *Graph, cfg Config, opts DurableOptions) (*
 	log, err := wal.Open(fsys, path.Join(dir, walSubdir), wal.Options{
 		SegmentBytes: opts.SegmentBytes,
 		FirstLSN:     firstLSN,
+		Obs:          cfg.Obs,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("socialscope: recovery: %w", err)
 	}
 
-	e := &Engine{cfg: cfg}
+	e := &Engine{cfg: cfg, met: newEngineMetrics(cfg.Obs)}
 	var st *engineState
 	var startSeq uint64
 	if rec == nil {
@@ -121,11 +122,11 @@ func OpenDurable(dir string, genesis *Graph, cfg Config, opts DurableOptions) (*
 		startSeq = rec.Seq
 	}
 	st.disc = discovery.NewDiscoverer(st.current(), cfg.ItemType)
-	e.state.Store(st)
+	e.publish(st)
 	e.dur = &durable{
 		fsys:  fsys,
 		log:   log,
-		ckpt:  store.NewCheckpointer(fsys, path.Join(dir, ckptSubdir), opts.MaxChain, startSeq),
+		ckpt:  store.NewCheckpointer(fsys, path.Join(dir, ckptSubdir), opts.MaxChain, startSeq).Instrument(cfg.Obs),
 		every: opts.CheckpointEvery,
 	}
 
@@ -284,14 +285,14 @@ func OpenFollower(dir string, cfg Config, opts DurableOptions) (*Engine, error) 
 	if rec == nil {
 		return nil, fmt.Errorf("socialscope: follower: no checkpoint in %s — start the leader first", dir)
 	}
-	e := &Engine{cfg: cfg}
+	e := &Engine{cfg: cfg, met: newEngineMetrics(cfg.Obs)}
 	st := &engineState{
 		base:     rec.Graph,
 		analyzed: rec.Analyzed,
 		version:  rec.Meta.Version,
 	}
 	st.disc = discovery.NewDiscoverer(st.current(), cfg.ItemType)
-	e.state.Store(st)
+	e.publish(st)
 	e.fol = &follower{
 		fsys:    fsys,
 		dir:     dir,
@@ -356,6 +357,17 @@ func (e *Engine) catchUpLocked(max int, drain bool) (int, error) {
 	if f == nil {
 		return 0, fmt.Errorf("socialscope: CatchUp on a non-follower engine")
 	}
+	// Keep the replication-lag gauge current on every poll, whatever
+	// path returns (the tail and confirmation point both may move).
+	defer func() {
+		if f := e.fol; f != nil {
+			var lag uint64
+			if applied := f.tail.NextLSN() - 1; f.confirm > applied {
+				lag = f.confirm - applied
+			}
+			e.met.lag.SetUint(lag)
+		}
+	}()
 	if man, changed, err := f.watch.Poll(); err != nil {
 		return 0, fmt.Errorf("socialscope: follower: manifest watch: %w", err)
 	} else if changed {
@@ -412,7 +424,7 @@ func (e *Engine) rebaseLocked() error {
 		version:  rec.Meta.Version,
 	}
 	st.disc = discovery.NewDiscoverer(st.current(), e.cfg.ItemType)
-	e.state.Store(st)
+	e.publish(st)
 	f.watch = store.NewWatcher(f.fsys, path.Join(f.dir, ckptSubdir), rec.Seq)
 	f.tail = wal.NewTailer(f.fsys, path.Join(f.dir, walSubdir), rec.Meta.WalLSN+1)
 	f.manSeq, f.manLSN, f.confirm = rec.Seq, rec.Meta.WalLSN, rec.Meta.WalLSN
@@ -441,6 +453,7 @@ func (e *Engine) Promote() error {
 	log, err := wal.Open(f.fsys, path.Join(f.dir, walSubdir), wal.Options{
 		SegmentBytes: f.opts.SegmentBytes,
 		FirstLSN:     next,
+		Obs:          e.cfg.Obs,
 	})
 	if err != nil {
 		return fmt.Errorf("socialscope: promote: %w", err)
@@ -453,7 +466,7 @@ func (e *Engine) Promote() error {
 	e.dur = &durable{
 		fsys:  f.fsys,
 		log:   log,
-		ckpt:  store.NewCheckpointer(f.fsys, path.Join(f.dir, ckptSubdir), f.opts.MaxChain, f.manSeq),
+		ckpt:  store.NewCheckpointer(f.fsys, path.Join(f.dir, ckptSubdir), f.opts.MaxChain, f.manSeq).Instrument(e.cfg.Obs),
 		every: f.opts.CheckpointEvery,
 		// Records replayed since the last checkpoint are inherited debt,
 		// same as leader recovery.
@@ -461,6 +474,7 @@ func (e *Engine) Promote() error {
 	}
 	e.fol = nil
 	e.isFol.Store(false)
+	e.met.lag.Set(0) // a leader has no replication lag
 	if e.dur.every > 0 && e.dur.sinceCkpt >= e.dur.every {
 		_ = e.checkpointLocked()
 	}

@@ -1,0 +1,63 @@
+// Package stdlibonly keeps the observability core a stdlib-only leaf.
+// Every package in the module — engine facade, serving, routing, WAL,
+// store — imports internal/obs for its metric handles, so obs importing
+// anything of ours would be an import cycle waiting to happen, and obs
+// importing an external module would smuggle a dependency into every
+// build. The PR that introduced obs chose flat atomics plus a hand-rolled
+// Prometheus text encoder precisely to avoid the client_golang
+// dependency; this analyzer machine-enforces that the choice sticks.
+package stdlibonly
+
+import (
+	"strconv"
+	"strings"
+
+	"socialscope/internal/analysis"
+)
+
+// Analyzer is the stdlibonly pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "stdlibonly",
+	Doc:  "internal/obs must import only the standard library: no external modules, no socialscope packages",
+	Run:  run,
+}
+
+// scope is the package subtree held to the stdlib-only rule. Kept as a
+// prefix match so a future internal/obs/expvar split inherits it.
+const scope = "socialscope/internal/obs"
+
+func run(pass *analysis.Pass) error {
+	pkg := pass.Pkg
+	if pkg.Path != scope && !strings.HasPrefix(pkg.Path, scope+"/") {
+		return nil
+	}
+	for _, file := range pkg.Files {
+		for _, imp := range file.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			switch {
+			case path == scope || strings.HasPrefix(path, scope+"/"):
+				// Intra-obs imports are fine: the leaf may have internal
+				// structure of its own.
+			case strings.HasPrefix(path, "socialscope"):
+				pass.Reportf(imp.Pos(),
+					"internal import %q: obs is a leaf every package depends on — importing back into the module is a cycle in waiting", path)
+			case firstSegmentHasDot(path):
+				pass.Reportf(imp.Pos(),
+					"external dependency %q: the observability layer is stdlib-only by design", path)
+			}
+		}
+	}
+	return nil
+}
+
+// firstSegmentHasDot reports whether the import path's leading element
+// looks like a module host ("github.com/...", "gopkg.in/..."): the
+// standard library has no dots in its first segment, external modules
+// always do.
+func firstSegmentHasDot(path string) bool {
+	seg, _, _ := strings.Cut(path, "/")
+	return strings.Contains(seg, ".")
+}

@@ -1,0 +1,14 @@
+package stdlibonly_test
+
+import (
+	"testing"
+
+	"socialscope/internal/analysis/analysistest"
+	"socialscope/internal/analysis/stdlibonly"
+)
+
+func TestStdlibOnly(t *testing.T) {
+	analysistest.Run(t, "testdata", stdlibonly.Analyzer,
+		"socialscope/...",
+	)
+}

@@ -1,0 +1,23 @@
+// Golden file: internal/obs is the stdlib-only scope — standard
+// library imports pass, external modules and module-internal imports
+// are diagnosed.
+package obs
+
+import (
+	"net/http"
+	"sync/atomic"
+
+	"github.com/prometheus/client_golang/prometheus" // want `external dependency "github\.com/prometheus/client_golang/prometheus"`
+
+	"socialscope/internal/graph" // want `internal import "socialscope/internal/graph"`
+)
+
+type Counter struct{ v atomic.Uint64 }
+
+func (c *Counter) Inc() { c.v.Add(1) }
+
+func Handler() http.Handler {
+	_ = prometheus.NewRegistry
+	var _ graph.NodeID
+	return nil
+}

@@ -1,0 +1,15 @@
+// Golden file: packages outside internal/obs may import whatever the
+// module policy allows — the analyzer is scoped, not global.
+package serve
+
+import (
+	"net/http"
+
+	"github.com/some/external/dep"
+
+	"socialscope/internal/obs"
+)
+
+func Handler() http.Handler { return obs.Handler() }
+
+var _ = dep.New

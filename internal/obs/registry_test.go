@@ -1,0 +1,229 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestWriteTextGolden pins the exposition format byte-for-byte:
+// families sorted by name, series by label values, HELP/TYPE comments,
+// cumulative le buckets with +Inf, _sum/_count, and label escaping of
+// backslash, quote and newline.
+func TestWriteTextGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zz_last", "sorts last").Add(3)
+	c := r.CounterVec("aa_requests_total", "requests by handler", "handler", "code")
+	c.With("search", "200").Add(7)
+	c.With("apply", "503").Inc()
+	g := r.Gauge("mm_temp", `gauge with "quotes" and \slashes`)
+	g.Set(1.5)
+	r.GaugeVec("mm_labeled", "escaped label values", "path").
+		With(`a\b"c` + "\n").Set(2)
+	h := r.Histogram("hh_lat", "two-bucket histogram", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP aa_requests_total requests by handler
+# TYPE aa_requests_total counter
+aa_requests_total{handler="apply",code="503"} 1
+aa_requests_total{handler="search",code="200"} 7
+# HELP hh_lat two-bucket histogram
+# TYPE hh_lat histogram
+hh_lat_bucket{le="0.1"} 2
+hh_lat_bucket{le="1"} 3
+hh_lat_bucket{le="+Inf"} 4
+hh_lat_sum 5.6
+hh_lat_count 4
+# HELP mm_labeled escaped label values
+# TYPE mm_labeled gauge
+mm_labeled{path="a\\b\"c\n"} 2
+# HELP mm_temp gauge with "quotes" and \\slashes
+# TYPE mm_temp gauge
+mm_temp 1.5
+# HELP zz_last sorts last
+# TYPE zz_last counter
+zz_last 3
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestGetOrCreate verifies registration is idempotent — same name, same
+// handle — and that a kind or label-arity mismatch panics.
+func TestGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "first")
+	b := r.Counter("x_total", "second help ignored")
+	if a != b {
+		t.Fatal("same name returned distinct counters")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Fatal("handles do not share state")
+	}
+	v1 := r.CounterVec("y_total", "h", "l")
+	v2 := r.CounterVec("y_total", "h", "l")
+	v1.With("a").Add(2)
+	if v2.With("a").Value() != 2 {
+		t.Fatal("vec handles do not share series")
+	}
+
+	for _, f := range []func(){
+		func() { r.Gauge("x_total", "was a counter") },
+		func() { r.CounterVec("x_total", "was unlabeled", "l") },
+		func() { v1.With("a", "b") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("mismatched re-registration did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestGaugeFuncLastWins verifies function-backed gauges replace on
+// re-registration and ignore Set/Add.
+func TestGaugeFuncLastWins(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("fn_gauge", "h", func() float64 { return 1 })
+	r.GaugeFunc("fn_gauge", "h", func() float64 { return 42 })
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "fn_gauge 42\n") {
+		t.Fatalf("last-registered func did not win:\n%s", b.String())
+	}
+}
+
+func TestGaugeOps(t *testing.T) {
+	var g Gauge
+	g.Set(2.5)
+	g.Add(-1)
+	if v := g.Value(); v != 1.5 {
+		t.Fatalf("Set+Add = %v, want 1.5", v)
+	}
+	g.Max(1.0)
+	if v := g.Value(); v != 1.5 {
+		t.Fatalf("Max lowered the gauge to %v", v)
+	}
+	g.Max(9)
+	if v := g.Value(); v != 9 {
+		t.Fatalf("Max(9) = %v", v)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1.5, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	if n := h.Count(); n != 5 {
+		t.Fatalf("count %d, want 5", n)
+	}
+	// p50: rank 2.5 lands in the (1,2] bucket.
+	if q := h.Quantile(0.5); q < 1 || q > 2 {
+		t.Fatalf("p50 = %v, want within (1,2]", q)
+	}
+	// p99 lands in +Inf, clamped to the largest finite bound.
+	if q := h.Quantile(0.99); q != 4 {
+		t.Fatalf("p99 = %v, want clamp to 4", q)
+	}
+}
+
+// TestConcurrentHammer drives counters, gauges and histograms from many
+// goroutines; run under -race this is the lock-freedom proof, and the
+// final counts double-check no increment was lost.
+func TestConcurrentHammer(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hammer_total", "h")
+	g := r.Gauge("hammer_gauge", "h")
+	h := r.Histogram("hammer_lat", "h", DefBuckets)
+	vec := r.CounterVec("hammer_vec_total", "h", "worker")
+
+	const workers, perWorker = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lbl := string(rune('a' + w))
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				g.Max(float64(i))
+				h.Observe(float64(i%100) / 1000)
+				vec.With(lbl).Inc()
+				if i%100 == 0 {
+					h.ObserveSince(time.Now())
+				}
+			}
+		}(w)
+	}
+	// Concurrent scrapes while the hammer runs.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			var b strings.Builder
+			_ = r.WriteText(&b)
+			_ = r.Snapshot()
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	if v := c.Value(); v != workers*perWorker {
+		t.Fatalf("counter %d, want %d", v, workers*perWorker)
+	}
+	if v := g.Value(); v != workers*perWorker {
+		t.Fatalf("gauge %v, want %d", v, workers*perWorker)
+	}
+	wantObs := uint64(workers * (perWorker + perWorker/100))
+	if n := h.Count(); n != wantObs {
+		t.Fatalf("histogram count %d, want %d", n, wantObs)
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("s_total", "h").Add(4)
+	r.CounterVec("s_vec_total", "h", "k").With("v").Add(2)
+	h := r.Histogram("s_lat", "h", []float64{1, 2})
+	h.Observe(0.5)
+	snap := r.Snapshot()
+	if snap["s_total"] != 4 {
+		t.Fatalf("s_total = %v", snap["s_total"])
+	}
+	if snap[`s_vec_total{k="v"}`] != 2 {
+		t.Fatalf("labeled series missing: %v", snap)
+	}
+	if snap["s_lat_count"] != 1 || snap["s_lat_sum"] != 0.5 {
+		t.Fatalf("histogram snapshot: %v", snap)
+	}
+	if _, ok := snap["s_lat_p50"]; !ok {
+		t.Fatal("histogram p50 missing")
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", got, want)
+		}
+	}
+}

@@ -84,6 +84,10 @@ type Backend struct {
 	// ops under, and the stable name in stats and logs.
 	Host string
 
+	// met holds this backend's per-host registry gauges; nil on
+	// backends built outside a Router (see syncLocked).
+	met *backendMetrics
+
 	mu          sync.Mutex
 	role        Role
 	version     uint64
@@ -128,6 +132,7 @@ func (b *Backend) noteHealth(role Role, version, lag uint64, now time.Time) {
 	b.version = version
 	b.lag = lag
 	b.brk.success()
+	b.syncLocked()
 }
 
 // noteHealthFail folds one failed health check and returns the
@@ -138,6 +143,7 @@ func (b *Backend) noteHealthFail(now time.Time) int {
 	b.healthy = false
 	b.consecFails++
 	b.brk.failure(now)
+	b.syncLocked()
 	return b.consecFails
 }
 
@@ -167,10 +173,14 @@ func (b *Backend) noteResult(ok bool, lat time.Duration, now time.Time) {
 		b.brk.success()
 		if lat > 0 {
 			b.lat.observe(lat)
+			if b.met != nil {
+				b.met.lat.Observe(lat.Seconds())
+			}
 		}
 	} else {
 		b.brk.failure(now)
 	}
+	b.syncLocked()
 }
 
 // snapshot returns a consistent view for selection and stats.
@@ -197,6 +207,7 @@ func (b *Backend) observeVersion(v uint64) {
 	defer b.mu.Unlock()
 	if v > b.version {
 		b.version = v
+		b.syncLocked()
 	}
 }
 
@@ -234,6 +245,7 @@ func (b *Backend) depose() {
 	if b.role == RoleLeader {
 		b.role = RoleUnknown
 	}
+	b.syncLocked()
 }
 
 // promote records a successful /promote: this backend is the leader now.
@@ -246,6 +258,7 @@ func (b *Backend) promoted(version uint64) {
 	b.healthy = true
 	b.deposed = false
 	b.brk.success()
+	b.syncLocked()
 }
 
 // BackendStatus is one backend's state as reported by /routerz.

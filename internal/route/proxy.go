@@ -35,7 +35,21 @@ var relayedHeaders = []string{
 	serve.HeaderVersion,
 	serve.HeaderCache,
 	serve.HeaderRetryAfterMs,
+	serve.HeaderTrace,
 	"Retry-After",
+}
+
+// traceCtxKey carries a client's X-SS-Trace request header value
+// through the retry/hedging machinery to each backend try, so the
+// backend produces a span annex the router relays back.
+type traceCtxKey struct{}
+
+// withTrace propagates the trace request header, if present, onto ctx.
+func withTrace(ctx context.Context, req *http.Request) context.Context {
+	if v := req.Header.Get(serve.HeaderTrace); v != "" {
+		ctx = context.WithValue(ctx, traceCtxKey{}, v)
+	}
+	return ctx
 }
 
 // tryOnce sends one request to b with a per-try timeout, reads the full
@@ -54,6 +68,9 @@ func (r *Router) tryOnce(ctx context.Context, b *Backend, method, uri string, bo
 	}
 	if len(body) > 0 {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if v, _ := ctx.Value(traceCtxKey{}).(string); v != "" {
+		req.Header.Set(serve.HeaderTrace, v)
 	}
 	start := time.Now()
 	resp, err := r.client.Do(req)
@@ -199,7 +216,7 @@ func (r *Router) serveRead(w http.ResponseWriter, req *http.Request) {
 			effMin = v
 		}
 	}
-	ctx := req.Context()
+	ctx := withTrace(req.Context(), req)
 	uri := req.URL.RequestURI()
 	staleBy := time.Now().Add(r.cfg.StalenessWait)
 
@@ -271,7 +288,7 @@ func (r *Router) serveWrite(w http.ResponseWriter, req *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	ctx := req.Context()
+	ctx := withTrace(req.Context(), req)
 	uri := req.URL.RequestURI()
 	var last tryResult
 	for try := 0; ; try++ {

@@ -38,10 +38,12 @@ import (
 	"errors"
 	"math/rand"
 	"net/http"
+	"net/http/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"socialscope/internal/obs"
 	"socialscope/internal/serve"
 )
 
@@ -111,6 +113,14 @@ type Config struct {
 	// Logf receives operational events (failovers, breaker trips). Nil
 	// discards.
 	Logf func(format string, args ...any)
+	// Obs is the metrics registry the router records into and /metrics
+	// exposes. Nil means a registry private to this router — not the
+	// process-global obs.Default, so routers built side by side (tests
+	// run many) never share counters.
+	Obs *obs.Registry
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ (off by
+	// default).
+	EnablePprof bool
 }
 
 func (cfg *Config) fill() {
@@ -179,22 +189,12 @@ type Router struct {
 	// most one follower.
 	failoverMu sync.Mutex
 
+	reg   *obs.Registry
 	stats routerCounters
 
 	stop     chan struct{}
 	stopOnce sync.Once
 	wg       sync.WaitGroup
-}
-
-type routerCounters struct {
-	reads, writes         atomic.Uint64
-	retries, hedges       atomic.Uint64
-	hedgeWins             atomic.Uint64
-	staleServed           atomic.Uint64
-	staleRedirects        atomic.Uint64
-	breakerSkips          atomic.Uint64
-	failovers             atomic.Uint64
-	readErrors, writeErrs atomic.Uint64
 }
 
 // New builds a router over the configured backends and starts its
@@ -205,10 +205,16 @@ func New(cfg Config) (*Router, error) {
 	if len(cfg.Backends) == 0 {
 		return nil, errors.New("route: no backends configured")
 	}
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	r := &Router{
 		cfg:    cfg,
 		client: cfg.Client,
 		mux:    http.NewServeMux(),
+		reg:    reg,
+		stats:  newRouterCounters(reg),
 		stop:   make(chan struct{}),
 	}
 	if r.client == nil {
@@ -224,16 +230,28 @@ func New(cfg Config) (*Router, error) {
 		if err != nil {
 			return nil, err
 		}
+		b.met = newBackendMetrics(reg, b.Host)
 		r.backends = append(r.backends, b)
 	}
+	reg.GaugeFunc("ss_route_token",
+		"the router's monotonic-read token: the highest snapshot version any relayed answer was evaluated at",
+		func() float64 { return float64(r.token.Load()) })
 
 	r.mux.HandleFunc("GET /healthz", r.handleHealthz)
 	r.mux.HandleFunc("GET /routerz", r.handleRouterz)
+	r.mux.Handle("GET /metrics", reg.Handler())
 	r.mux.HandleFunc("GET /search", r.serveRead)
 	r.mux.HandleFunc("POST /query", r.serveRead)
 	r.mux.HandleFunc("GET /recommend", r.serveRead)
 	r.mux.HandleFunc("GET /stats", r.serveRead)
 	r.mux.HandleFunc("POST /apply", r.serveWrite)
+	if cfg.EnablePprof {
+		r.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		r.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		r.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		r.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		r.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 
 	r.CheckNow()
 	r.wg.Add(1)

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"sync"
+
+	"socialscope/internal/obs"
 )
 
 // cacheKey identifies one cacheable evaluation: the engine state version
@@ -40,7 +42,8 @@ type Cache struct {
 	entries map[cacheKey][]byte
 	flights map[cacheKey]*flight
 
-	hits, misses, shared, evictions uint64
+	// registry handles (see Instrument); never nil after construction
+	hits, misses, shared, evictions, vetoes *obs.Counter
 }
 
 // DefaultCacheEntries bounds the cache when the configuration does not.
@@ -52,11 +55,14 @@ func NewCache(max int) *Cache {
 	if max <= 0 {
 		max = DefaultCacheEntries
 	}
-	return &Cache{
+	c := &Cache{
 		max:     max,
 		entries: make(map[cacheKey][]byte),
 		flights: make(map[cacheKey]*flight),
 	}
+	// A private registry keeps a bare cache's counters isolated (tests
+	// build many); the Server re-points them at its configured registry.
+	return c.Instrument(obs.NewRegistry())
 }
 
 // Outcome classifies how a Do call was answered, for the X-SS-Cache
@@ -94,7 +100,7 @@ func (c *Cache) Do(ctx context.Context, key cacheKey,
 	for {
 		c.mu.Lock()
 		if body, ok := c.entries[key]; ok {
-			c.hits++
+			c.hits.Inc()
 			c.mu.Unlock()
 			return body, OutcomeHit, nil
 		}
@@ -102,11 +108,11 @@ func (c *Cache) Do(ctx context.Context, key cacheKey,
 		if !inFlight {
 			f = &flight{done: make(chan struct{})}
 			c.flights[key] = f
-			c.misses++
+			c.misses.Inc()
 			c.mu.Unlock()
 			break // this caller leads
 		}
-		c.shared++
+		c.shared.Inc()
 		c.mu.Unlock()
 		select {
 		case <-prev.done:
@@ -148,6 +154,8 @@ func (c *Cache) Do(ctx context.Context, key cacheKey,
 	if err == nil && store {
 		c.evictFor(key)
 		c.entries[key] = body
+	} else if err == nil {
+		c.vetoes.Inc()
 	}
 	c.mu.Unlock()
 	close(f.done)
@@ -169,7 +177,7 @@ func (c *Cache) evictFor(key cacheKey) {
 	for k := range c.entries {
 		if k.version < key.version {
 			delete(c.entries, k)
-			c.evictions++
+			c.evictions.Inc()
 			if len(c.entries) < c.max {
 				return
 			}
@@ -177,22 +185,24 @@ func (c *Cache) evictFor(key cacheKey) {
 	}
 	for k := range c.entries {
 		delete(c.entries, k)
-		c.evictions++
+		c.evictions.Inc()
 		if len(c.entries) < c.max {
 			return
 		}
 	}
 }
 
-// Stats snapshots the cache gauges.
+// Stats snapshots the cache counters — a thin view over the registry
+// handles, so /stats and /metrics can never drift apart.
 func (c *Cache) Stats() CacheStatsWire {
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	entries := len(c.entries)
+	c.mu.Unlock()
 	return CacheStatsWire{
-		Entries:   len(c.entries),
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Shared:    c.shared,
-		Evictions: c.evictions,
+		Entries:   entries,
+		Hits:      c.hits.Value(),
+		Misses:    c.misses.Value(),
+		Shared:    c.shared.Value(),
+		Evictions: c.evictions.Value(),
 	}
 }

@@ -39,10 +39,7 @@ func TestCacheSingleflight(t *testing.T) {
 	}
 	// Wait until every caller has either started the flight or joined it.
 	for {
-		c.mu.Lock()
-		queued := c.shared
-		c.mu.Unlock()
-		if queued == callers-1 {
+		if c.shared.Value() == callers-1 {
 			break
 		}
 		time.Sleep(time.Millisecond)

@@ -7,6 +7,7 @@ import (
 
 	"socialscope"
 	"socialscope/internal/graph"
+	"socialscope/internal/obs"
 )
 
 // applyOutcome is what one /apply request learns from the flush that
@@ -52,13 +53,14 @@ type Coalescer struct {
 	stop chan struct{}
 	wg   sync.WaitGroup
 
-	// gauges, guarded by mu
-	flushes     uint64
-	requests    uint64
-	mutations   uint64
-	maxFlush    int
-	bulkFlushes uint64
-	fallbacks   uint64
+	// registry handles (see Instrument); never nil after construction
+	flushes     *obs.Counter
+	requests    *obs.Counter
+	mutations   *obs.Counter
+	bulkFlushes *obs.Counter
+	fallbacks   *obs.Counter
+	maxFlush    *obs.Gauge // high watermark: largest single flush
+	batchSize   *obs.Histogram
 }
 
 // DefaultFlushInterval bounds write latency when the configuration does
@@ -77,13 +79,15 @@ func NewCoalescer(eng *socialscope.Engine, maxBatch int, interval time.Duration)
 	if interval <= 0 {
 		interval = DefaultFlushInterval
 	}
-	c := &Coalescer{
+	// The private registry keeps a bare coalescer's counters isolated
+	// (tests build many); the Server re-points them at its own registry.
+	c := (&Coalescer{
 		eng:      eng,
 		maxBatch: maxBatch,
 		interval: interval,
 		kick:     make(chan struct{}, 1),
 		stop:     make(chan struct{}),
-	}
+	}).Instrument(obs.NewRegistry())
 	c.wg.Add(1)
 	go c.loop()
 	return c
@@ -107,10 +111,10 @@ func (c *Coalescer) Enqueue(ctx context.Context, muts []graph.Mutation) (applyOu
 	}
 	c.pending = append(c.pending, req)
 	c.pendingMuts += len(muts)
-	c.requests++
-	c.mutations += uint64(len(muts))
 	full := c.pendingMuts >= c.maxBatch
 	c.mu.Unlock()
+	c.requests.Inc()
+	c.mutations.Add(uint64(len(muts)))
 	if full {
 		select {
 		case c.kick <- struct{}{}:
@@ -179,18 +183,15 @@ func (c *Coalescer) flush() {
 		}
 	}
 
-	c.mu.Lock()
-	c.flushes++
-	if nmuts > c.maxFlush {
-		c.maxFlush = nmuts
-	}
+	c.flushes.Inc()
+	c.maxFlush.Max(float64(nmuts))
+	c.batchSize.Observe(float64(nmuts))
 	if nmuts >= graph.BulkApplyThreshold {
-		c.bulkFlushes++
+		c.bulkFlushes.Inc()
 	}
 	if fellBack {
-		c.fallbacks++
+		c.fallbacks.Inc()
 	}
-	c.mu.Unlock()
 }
 
 // Stop flushes whatever is pending and releases the flusher goroutine.
@@ -207,16 +208,15 @@ func (c *Coalescer) Stop() {
 	c.wg.Wait()
 }
 
-// Stats snapshots the coalescer gauges.
+// Stats snapshots the coalescer counters — a thin view over the
+// registry handles, so /stats and /metrics can never drift apart.
 func (c *Coalescer) Stats() CoalescerStatsWire {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	return CoalescerStatsWire{
-		Flushes:     c.flushes,
-		Requests:    c.requests,
-		Mutations:   c.mutations,
-		MaxFlush:    c.maxFlush,
-		BulkFlushes: c.bulkFlushes,
-		Fallbacks:   c.fallbacks,
+		Flushes:     c.flushes.Value(),
+		Requests:    c.requests.Value(),
+		Mutations:   c.mutations.Value(),
+		MaxFlush:    int(c.maxFlush.Value()),
+		BulkFlushes: c.bulkFlushes.Value(),
+		Fallbacks:   c.fallbacks.Value(),
 	}
 }

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"sync/atomic"
+
+	"socialscope/internal/obs"
 )
 
 // ErrOverloaded is returned when a request would exceed both the
@@ -20,9 +22,10 @@ type Limiter struct {
 	slots    chan struct{}
 	maxQueue int64
 
-	queued   atomic.Int64
-	admitted atomic.Uint64
-	rejected atomic.Uint64
+	queued atomic.Int64
+	// registry handles (see Instrument); never nil after construction
+	admitted *obs.Counter
+	rejected *obs.Counter
 }
 
 // Defaults when the configuration leaves the limits unset.
@@ -41,10 +44,12 @@ func NewLimiter(maxConcurrent, maxQueue int) *Limiter {
 	if maxQueue < 0 {
 		maxQueue = DefaultMaxQueue
 	}
-	return &Limiter{
+	// The private registry keeps a bare limiter's counters isolated
+	// (tests build many); the Server re-points them at its own registry.
+	return (&Limiter{
 		slots:    make(chan struct{}, maxConcurrent),
 		maxQueue: int64(maxQueue),
-	}
+	}).Instrument(obs.NewRegistry())
 }
 
 // Acquire admits the request or reports why it cannot run: ErrOverloaded
@@ -54,35 +59,36 @@ func NewLimiter(maxConcurrent, maxQueue int) *Limiter {
 func (l *Limiter) Acquire(ctx context.Context) (release func(), err error) {
 	select {
 	case l.slots <- struct{}{}:
-		l.admitted.Add(1)
+		l.admitted.Inc()
 		return l.release, nil
 	default:
 	}
 	if l.queued.Add(1) > l.maxQueue {
 		l.queued.Add(-1)
-		l.rejected.Add(1)
+		l.rejected.Inc()
 		return nil, ErrOverloaded
 	}
 	select {
 	case l.slots <- struct{}{}:
 		l.queued.Add(-1)
-		l.admitted.Add(1)
+		l.admitted.Inc()
 		return l.release, nil
 	case <-ctx.Done():
 		l.queued.Add(-1)
-		l.rejected.Add(1)
+		l.rejected.Inc()
 		return nil, ctx.Err()
 	}
 }
 
 func (l *Limiter) release() { <-l.slots }
 
-// Stats snapshots the admission gauges.
+// Stats snapshots the admission gauges — a thin view over the registry
+// handles, so /stats and /metrics can never drift apart.
 func (l *Limiter) Stats() LimiterStatsWire {
 	return LimiterStatsWire{
 		Inflight: len(l.slots),
 		Queued:   l.queued.Load(),
-		Admitted: l.admitted.Load(),
-		Rejected: l.rejected.Load(),
+		Admitted: l.admitted.Value(),
+		Rejected: l.rejected.Value(),
 	}
 }

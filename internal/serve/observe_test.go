@@ -1,0 +1,122 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"socialscope/internal/obs"
+)
+
+// TestMetricsEndpoint scrapes /metrics after known traffic: the request
+// counters, cache counters and query counters must all be visible in
+// one exposition with the expected values.
+func TestMetricsEndpoint(t *testing.T) {
+	reg := obs.NewRegistry()
+	site := newTestSite(t, Config{Obs: reg})
+	u := site.corpus.Users[0]
+
+	// Miss then hit on the same cacheable search.
+	for i := 0; i < 2; i++ {
+		if code, _, _ := site.get(t, site.searchPath(u, "museum", false)); code != http.StatusOK {
+			t.Fatalf("search %d: status %d", i, code)
+		}
+	}
+	code, body, hdr := site.get(t, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("exposition content type %q", ct)
+	}
+	text := string(body)
+	for _, want := range []string{
+		`ss_http_requests_total{handler="search",code="200"} 2`,
+		"ss_cache_hits_total 1",
+		"ss_cache_misses_total 1",
+		"ss_limiter_admitted_total 2",
+		"ss_http_request_seconds_count", // histogram materialized
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q\n%s", want, text)
+		}
+	}
+	// /metrics itself is not instrumented — scraping must not move the
+	// counters it reports.
+	if strings.Contains(text, `handler="metrics"`) {
+		t.Error("scrape traffic counted itself")
+	}
+}
+
+// TestTraceHeaderOptIn pins the annex contract: a request carrying the
+// X-SS-Trace header gets the span's JSON annex back in the response
+// header; a plain request gets nothing.
+func TestTraceHeaderOptIn(t *testing.T) {
+	site := newTestSite(t, Config{Obs: obs.NewRegistry()})
+	u := site.corpus.Users[0]
+
+	req, err := http.NewRequest("GET", site.ts.URL+site.searchPath(u, "museum", false), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(HeaderTrace, "1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	annex := resp.Header.Get(HeaderTrace)
+	if annex == "" {
+		t.Fatal("no trace annex despite opting in")
+	}
+	var m map[string]any
+	if err := json.Unmarshal([]byte(annex), &m); err != nil {
+		t.Fatalf("annex not JSON: %v\n%s", err, annex)
+	}
+	for _, k := range []string{"handler", "strategy", "snapshot_version", "cache", "total_ms"} {
+		if _, ok := m[k]; !ok {
+			t.Errorf("annex missing %q: %s", k, annex)
+		}
+	}
+	if m["handler"] != "search" {
+		t.Errorf("handler = %v", m["handler"])
+	}
+
+	// Without the request header the annex must not leak.
+	_, _, hdr := site.get(t, site.searchPath(u, "museum", true))
+	if got := hdr.Get(HeaderTrace); got != "" {
+		t.Fatalf("unsolicited trace annex %q", got)
+	}
+}
+
+// TestTraceCacheOutcomes drives miss → hit with tracing on and checks
+// the annex labels each outcome.
+func TestTraceCacheOutcomes(t *testing.T) {
+	site := newTestSite(t, Config{Obs: obs.NewRegistry()})
+	u := site.corpus.Users[1]
+	outcome := func() string {
+		req, err := http.NewRequest("GET", site.ts.URL+site.searchPath(u, "park", false), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set(HeaderTrace, "1")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		var m map[string]any
+		if err := json.Unmarshal([]byte(resp.Header.Get(HeaderTrace)), &m); err != nil {
+			t.Fatal(err)
+		}
+		s, _ := m["cache"].(string)
+		return s
+	}
+	if got := outcome(); got != "miss" {
+		t.Errorf("first request cache=%q, want miss", got)
+	}
+	if got := outcome(); got != "hit" {
+		t.Errorf("second request cache=%q, want hit", got)
+	}
+}

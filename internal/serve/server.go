@@ -7,12 +7,15 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
+	"strings"
 	"time"
 
 	"socialscope"
 	"socialscope/internal/discovery"
 	"socialscope/internal/graph"
+	"socialscope/internal/obs"
 	"socialscope/internal/topk"
 )
 
@@ -39,6 +42,21 @@ type Config struct {
 	// DefaultMaxConcurrent / DefaultMaxQueue).
 	MaxConcurrent int
 	MaxQueue      int
+	// Obs is the metrics registry the server (and its cache, coalescer
+	// and limiter) record into and /metrics exposes — obs.Default when
+	// nil. Handles are resolved once at construction; the request hot
+	// path touches only lock-free atomics.
+	Obs *obs.Registry
+	// TraceLogEvery samples 1-in-N requests onto a structured "ss.trace"
+	// slog line carrying the full span annex (0 disables). Clients get a
+	// trace regardless of sampling by sending an X-SS-Trace request
+	// header; the annex comes back in the same response header.
+	TraceLogEvery int
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ (off by
+	// default: profiles are operator tooling, not a public API). Profile
+	// endpoints bypass the per-request timeout — a 30s CPU profile must
+	// outlive a 2s request budget.
+	EnablePprof bool
 }
 
 // Server is the HTTP query-serving subsystem over one Engine. Create
@@ -50,6 +68,7 @@ type Server struct {
 	cache   *Cache
 	coal    *Coalescer
 	limiter *Limiter
+	met     *serverMetrics
 	mux     *http.ServeMux
 	httpSrv *http.Server
 	started time.Time
@@ -65,21 +84,30 @@ func New(eng *socialscope.Engine, cfg Config) *Server {
 	s := &Server{
 		eng:     eng,
 		cfg:     cfg,
-		coal:    NewCoalescer(eng, cfg.MaxBatch, cfg.FlushInterval),
-		limiter: NewLimiter(cfg.MaxConcurrent, cfg.MaxQueue),
+		coal:    NewCoalescer(eng, cfg.MaxBatch, cfg.FlushInterval).Instrument(cfg.Obs),
+		limiter: NewLimiter(cfg.MaxConcurrent, cfg.MaxQueue).Instrument(cfg.Obs),
+		met:     newServerMetrics(cfg.Obs),
 		mux:     http.NewServeMux(),
 		started: time.Now(),
 	}
 	if !cfg.DisableCache {
-		s.cache = NewCache(cfg.CacheEntries)
+		s.cache = NewCache(cfg.CacheEntries).Instrument(cfg.Obs)
 	}
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /stats", s.handleStats)
-	s.mux.HandleFunc("GET /search", s.limited(s.handleSearch))
-	s.mux.HandleFunc("POST /query", s.limited(s.handleQuery))
-	s.mux.HandleFunc("GET /recommend", s.limited(s.handleRecommend))
-	s.mux.HandleFunc("POST /apply", s.limited(s.handleApply))
-	s.mux.HandleFunc("POST /promote", s.handlePromote)
+	s.mux.HandleFunc("GET /healthz", s.instrumented("healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /stats", s.instrumented("stats", s.handleStats))
+	s.mux.HandleFunc("GET /search", s.instrumented("search", s.limited(s.handleSearch)))
+	s.mux.HandleFunc("POST /query", s.instrumented("query", s.limited(s.handleQuery)))
+	s.mux.HandleFunc("GET /recommend", s.instrumented("recommend", s.limited(s.handleRecommend)))
+	s.mux.HandleFunc("POST /apply", s.instrumented("apply", s.limited(s.handleApply)))
+	s.mux.HandleFunc("POST /promote", s.instrumented("promote", s.handlePromote))
+	s.mux.Handle("GET /metrics", s.met.reg.Handler())
+	if cfg.EnablePprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	// Constructed here, not in Serve, so Shutdown never races the Serve
 	// goroutine's startup: a signal arriving before Serve runs still finds
 	// a server to shut down (whose Serve then returns ErrServerClosed
@@ -91,8 +119,14 @@ func New(eng *socialscope.Engine, cfg Config) *Server {
 // Handler returns the routed handler with per-request deadlines and
 // admission control applied. /healthz and /stats bypass admission so
 // they stay responsive under overload — that is when they matter most.
+// /debug/pprof/ bypasses the deadline: a 30-second CPU profile must
+// outlive the request budget.
 func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.cfg.EnablePprof && strings.HasPrefix(r.URL.Path, "/debug/pprof/") {
+			s.mux.ServeHTTP(w, r)
+			return
+		}
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 		defer cancel()
 		s.mux.ServeHTTP(w, r.WithContext(ctx))
@@ -253,7 +287,9 @@ func (s *Server) answerQuery(w http.ResponseWriter, r *http.Request) {
 		// assembly: the wire shaping's name fallback reads the live graph,
 		// so a version bump between evaluation and marshal could otherwise
 		// pin a mixed-version body under this version's key.
-		return body, resp.Version == version && s.eng.Version() == version, nil
+		store := resp.Version == version && s.eng.Version() == version
+		obs.SpanFrom(r.Context()).SetBool("cache_veto", !store)
+		return body, store, nil
 	}
 	s.respondCached(w, r, cacheKey{
 		version: version,
@@ -351,6 +387,9 @@ func (s *Server) respondCached(w http.ResponseWriter, r *http.Request,
 		s.writeStatusError(w, err)
 		return
 	}
+	sp := obs.SpanFrom(r.Context())
+	sp.SetString("cache", string(outcome))
+	sp.SetUint("version", *bodyVersion)
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set(HeaderCache, string(outcome))
 	w.Header().Set(HeaderVersion, strconv.FormatUint(*bodyVersion, 10))
@@ -379,6 +418,11 @@ func (s *Server) handleApply(w http.ResponseWriter, r *http.Request) {
 		s.writeStatusError(w, err)
 		return
 	}
+	sp := obs.SpanFrom(r.Context())
+	sp.SetInt("mutations", int64(len(muts)))
+	sp.SetInt("coalesced", int64(out.coalesced))
+	sp.SetInt("batched", int64(out.batched))
+	sp.SetUint("version", out.version)
 	// The version header rides on writes too, so a routing tier updates
 	// its monotonic-read token from acks without decoding bodies.
 	w.Header().Set(HeaderVersion, strconv.FormatUint(out.version, 10))

@@ -355,6 +355,13 @@ const (
 	// standard Retry-After header (whose granularity is whole seconds —
 	// useless for a router backing off tens of milliseconds).
 	HeaderRetryAfterMs = "X-SS-Retry-After-Ms"
+	// HeaderTrace is the per-request trace annex. A client opts in by
+	// sending the header (any value) on the request; the response comes
+	// back with the span's compact JSON annex — strategy, snapshot
+	// version, cache outcome, postings scanned, per-stage latencies —
+	// under the same header. The router forwards the request header
+	// downstream and relays the response annex back unchanged.
+	HeaderTrace = "X-SS-Trace"
 )
 
 // HealthResponse is the body of /healthz.

@@ -33,6 +33,7 @@ import (
 	"os"
 	"path"
 	"strings"
+	"time"
 
 	"socialscope/internal/graph"
 	"socialscope/internal/vfs"
@@ -97,6 +98,8 @@ type Checkpointer struct {
 	wAnalyzed *graph.CkptWriter
 	seq       uint64
 	chain     []string
+	met       *storeMetrics
+	lastFull  int // bytes of the chain's full checkpoint, for the delta ratio
 }
 
 // NewCheckpointer returns a checkpointer writing into dir, numbering
@@ -106,7 +109,10 @@ func NewCheckpointer(fsys vfs.FS, dir string, maxChain int, startSeq uint64) *Ch
 	if maxChain < 1 {
 		maxChain = DefaultMaxChain
 	}
-	return &Checkpointer{fsys: fsys, dir: dir, maxChain: maxChain, seq: startSeq}
+	return &Checkpointer{
+		fsys: fsys, dir: dir, maxChain: maxChain, seq: startSeq,
+		met: newStoreMetrics(nil),
+	}
 }
 
 func ckptName(seq uint64) string { return fmt.Sprintf("ckpt-%016x%s", seq, ckptSuffix) }
@@ -118,14 +124,17 @@ func ckptName(seq uint64) string { return fmt.Sprintf("ckpt-%016x%s", seq, ckptS
 // previous manifest (and chain) remain authoritative. meta.Analyzed is
 // derived from the analyzed argument.
 func (c *Checkpointer) Save(base, analyzed *graph.Graph, meta Meta) error {
+	start := time.Now()
 	if err := c.fsys.MkdirAll(c.dir, 0o755); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
 	parentSeq := uint64(0)
+	full := false
 	if c.wBase == nil || len(c.chain) >= c.maxChain {
 		c.wBase = graph.NewCkptWriter()
 		c.wAnalyzed = graph.NewCkptWriter()
 		c.chain = nil
+		full = true
 	}
 	if len(c.chain) > 0 {
 		parentSeq = c.seq
@@ -176,6 +185,18 @@ func (c *Checkpointer) Save(base, analyzed *graph.Graph, meta Meta) error {
 	c.seq = seq
 	c.chain = man.Chain
 	c.sweep()
+	if full {
+		c.met.saves.With("full").Inc()
+		c.lastFull = len(data)
+	} else {
+		c.met.saves.With("delta").Inc()
+		if c.lastFull > 0 {
+			c.met.ratio.Set(float64(len(data)) / float64(c.lastFull))
+		}
+	}
+	c.met.bytes.Observe(float64(len(data)))
+	c.met.lastBytes.SetUint(uint64(len(data)))
+	c.met.dur.ObserveSince(start)
 	return nil
 }
 

@@ -1,0 +1,31 @@
+package wal
+
+import (
+	"socialscope/internal/obs"
+)
+
+// walMetrics are the log's registry handles, resolved once at Open.
+// The fsync histogram is the serving tier's durability price tag:
+// every acknowledged write sits behind exactly one of these syncs.
+type walMetrics struct {
+	fsync     *obs.Histogram // ss_wal_fsync_seconds
+	appends   *obs.Counter   // ss_wal_appends_total
+	bytes     *obs.Counter   // ss_wal_append_bytes_total
+	rotations *obs.Counter   // ss_wal_rotations_total
+}
+
+func newWalMetrics(reg *obs.Registry) *walMetrics {
+	if reg == nil {
+		reg = obs.Default
+	}
+	return &walMetrics{
+		fsync: reg.Histogram("ss_wal_fsync_seconds",
+			"write+fsync latency per acknowledged WAL record", nil),
+		appends: reg.Counter("ss_wal_appends_total",
+			"WAL records acknowledged (written and fsynced)"),
+		bytes: reg.Counter("ss_wal_append_bytes_total",
+			"framed bytes acknowledged into the WAL"),
+		rotations: reg.Counter("ss_wal_rotations_total",
+			"WAL segment rotations"),
+	}
+}

@@ -7,7 +7,9 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
+	"socialscope/internal/obs"
 	"socialscope/internal/vfs"
 )
 
@@ -23,6 +25,8 @@ type Options struct {
 	// segments (1 if 0). It is ignored when segments exist: the log
 	// resumes where the files say it stopped.
 	FirstLSN uint64
+	// Obs selects the metrics registry (obs.Default when nil).
+	Obs *obs.Registry
 }
 
 // Log is an append-only, segmented write-ahead log. Appends are
@@ -41,6 +45,7 @@ type Log struct {
 	nextLSN    uint64
 	segs       []segInfo // ascending by first LSN; last is active
 	closed     bool
+	met        *walMetrics
 }
 
 type segInfo struct {
@@ -71,7 +76,7 @@ func Open(fsys vfs.FS, dir string, opts Options) (*Log, error) {
 	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
-	l := &Log{fsys: fsys, dir: dir, opts: opts}
+	l := &Log{fsys: fsys, dir: dir, opts: opts, met: newWalMetrics(opts.Obs)}
 	names, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
@@ -227,6 +232,7 @@ func (l *Log) AppendSync(kind byte, payload []byte) (uint64, error) {
 		}
 	}
 	frame := AppendRecord(nil, l.nextLSN, kind, payload)
+	start := time.Now()
 	n, err := l.f.Write(frame)
 	l.activeSize += int64(n)
 	if err != nil {
@@ -237,6 +243,9 @@ func (l *Log) AppendSync(kind byte, payload []byte) (uint64, error) {
 		l.dirty = true
 		return 0, fmt.Errorf("wal: sync: %w", err)
 	}
+	l.met.fsync.ObserveSince(start)
+	l.met.appends.Inc()
+	l.met.bytes.Add(uint64(len(frame)))
 	l.goodSize = l.activeSize
 	lsn := l.nextLSN
 	l.nextLSN++
@@ -280,6 +289,7 @@ func (l *Log) rotate() error {
 		return fmt.Errorf("wal: %w", err)
 	}
 	l.f = nil
+	l.met.rotations.Inc()
 	return l.startSegment(l.nextLSN)
 }
 

@@ -34,6 +34,7 @@ import (
 	"socialscope/internal/discovery"
 	"socialscope/internal/graph"
 	"socialscope/internal/index"
+	"socialscope/internal/obs"
 	"socialscope/internal/presentation"
 	"socialscope/internal/topk"
 )
@@ -178,6 +179,10 @@ type Config struct {
 	// ClusterTheta is the clustering similarity threshold θ in [0,1]
 	// (ignored by peruser and global).
 	ClusterTheta float64
+	// Obs selects the metrics registry the engine instruments into
+	// (obs.Default when nil). Handles are resolved once at construction;
+	// the hot query path performs only atomic updates.
+	Obs *obs.Registry
 }
 
 func (c *Config) fill() {
@@ -248,6 +253,9 @@ type Engine struct {
 	// isFol mirrors fol != nil for lock-free role checks: a health
 	// endpoint must not block behind a long catch-up or analyze.
 	isFol atomic.Bool
+	// met holds the pre-resolved metric handles (see observe.go); set by
+	// every constructor before the first state publish.
+	met *engineMetrics
 }
 
 // IsFollower reports whether the engine is a read-only follower (opened
@@ -264,8 +272,8 @@ func New(g *Graph, cfg Config) (*Engine, error) {
 		return nil, fmt.Errorf("socialscope: nil graph")
 	}
 	cfg.fill()
-	e := &Engine{cfg: cfg}
-	e.state.Store(&engineState{
+	e := &Engine{cfg: cfg, met: newEngineMetrics(cfg.Obs)}
+	e.publish(&engineState{
 		base: g,
 		disc: discovery.NewDiscoverer(g, cfg.ItemType),
 	})
@@ -318,7 +326,7 @@ func (e *Engine) analyzeLocked(live bool) error {
 			return err
 		}
 	}
-	e.state.Store(&engineState{
+	e.publish(&engineState{
 		base:     st.base,
 		analyzed: enriched,
 		disc:     discovery.NewDiscoverer(enriched, e.cfg.ItemType),
@@ -523,7 +531,9 @@ func (e *Engine) applyLocked(muts []graph.Mutation, live bool) error {
 			return err
 		}
 	}
-	e.state.Store(ns)
+	e.publish(ns)
+	e.met.applies.Inc()
+	e.met.applyBatch.Observe(float64(len(muts)))
 	e.maybeCheckpointLocked(live)
 	return nil
 }
@@ -592,7 +602,7 @@ func (e *Engine) ensureProcessor() (*engineState, error) {
 		proc:     proc,
 		version:  st.version,
 	}
-	e.state.Store(ns)
+	e.publish(ns)
 	return ns, nil
 }
 
@@ -667,10 +677,12 @@ func (e *Engine) QueryCtx(ctx context.Context, user NodeID, q discovery.Query) (
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	sp := obs.SpanFrom(ctx)
 	st := e.state.Load()
 	var msg *discovery.MSG
 	var err error
 	var evalStats *SearchStats
+	discoverDone := sp.Stage("discovery")
 	if e.cfg.TopK != TopKOff && len(q.Keywords) > 0 && len(q.Structural) == 0 {
 		st, err = e.ensureProcessor()
 		if err != nil {
@@ -699,6 +711,8 @@ func (e *Engine) QueryCtx(ctx context.Context, user NodeID, q discovery.Query) (
 	if err != nil {
 		return nil, err
 	}
+	discoverDone()
+	e.recordQuery(sp, evalStats, st.version)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -718,6 +732,7 @@ func (e *Engine) QueryCtx(ctx context.Context, user NodeID, q discovery.Query) (
 		items[i] = r.Item
 		scores[r.Item] = r.Score
 	}
+	presentDone := sp.Stage("presentation")
 	pres, err := presentation.Organize(g, items, scores, presentation.OrganizeConfig{
 		MaxGroups: e.cfg.MaxGroups,
 		FacetAttr: e.cfg.FacetAttr,
@@ -736,6 +751,7 @@ func (e *Engine) QueryCtx(ctx context.Context, user NodeID, q discovery.Query) (
 		return nil, err
 	}
 	resp.Related = discovery.RelatedEntities(g, msg, 2, 5)
+	presentDone()
 	return resp, nil
 }
 
